@@ -1,0 +1,148 @@
+// Figure 3 reproduction: "Throughput per Thread per second for priority
+// queues prefilled with 10^6 (left) and 10^7 (right) elements", 50/50
+// insert/delete-min mix of uniform random keys.
+//
+// Queues benchmarked, as in the paper: Heap + Lock, Lindén & Jonsson,
+// SprayList, MultiQueue (c = 2), k-LSM with k in {0, 4, 256, 4096}, and
+// the standalone DLSM.
+//
+// Defaults are scaled down so the binary terminates in about a minute on
+// a laptop-class machine; reproduce the paper's axes with
+//   fig3_throughput --prefill 1000000  --duration 10 --reps 30 \
+//                   --threads 1,2,3,5,10,20,40,80
+//   fig3_throughput --prefill 10000000 --duration 10 --reps 30 \
+//                   --threads 1,2,3,5,10,20,40,80
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "baselines/linden.hpp"
+#include "baselines/multiqueue.hpp"
+#include "baselines/spin_heap.hpp"
+#include "baselines/spraylist.hpp"
+#include "harness/reporter.hpp"
+#include "harness/throughput.hpp"
+#include "klsm/k_lsm.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using bench_key = std::uint32_t;
+using bench_val = std::uint32_t;
+
+struct run_config {
+    std::size_t prefill;
+    unsigned threads;
+    double duration;
+    int reps;
+    std::uint64_t seed;
+};
+
+template <typename PQ, typename Make>
+void run_queue(const std::string &name, const run_config &cfg,
+               klsm::table_reporter &report, Make &&make) {
+    double best_per_thread = 0;
+    double sum_per_thread = 0;
+    std::uint64_t failed = 0;
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+        std::unique_ptr<PQ> q = make();
+        klsm::prefill_queue(*q, cfg.prefill, cfg.seed + rep);
+        klsm::throughput_params params;
+        params.prefill = cfg.prefill;
+        params.threads = cfg.threads;
+        params.duration_s = cfg.duration;
+        params.seed = cfg.seed + 1000 * rep;
+        const auto res = klsm::run_throughput(*q, params);
+        const double per_thread = res.ops_per_thread_per_sec(cfg.threads);
+        sum_per_thread += per_thread;
+        if (per_thread > best_per_thread)
+            best_per_thread = per_thread;
+        failed += res.failed_deletes;
+    }
+    report.row(name, cfg.threads, cfg.prefill,
+               sum_per_thread / cfg.reps, best_per_thread, failed);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+    klsm::cli_parser cli(
+        "Figure 3: 50/50 throughput benchmark on prefilled queues");
+    cli.add_flag("prefill", "100000", "keys inserted before timing");
+    cli.add_flag("threads", "1,2,4", "comma-separated thread counts");
+    cli.add_flag("duration", "0.1", "seconds per measurement");
+    cli.add_flag("reps", "1", "repetitions per configuration");
+    cli.add_flag("queues",
+                 "heap_lock,linden,spray,multiq,klsm0,klsm4,klsm256,"
+                 "klsm4096,dlsm",
+                 "queues to benchmark");
+    cli.add_flag("seed", "1", "base RNG seed");
+    cli.add_flag("csv", "false", "emit CSV instead of a table");
+    cli.parse(argc, argv);
+
+    const auto threads_list = cli.get_int_list("threads");
+    const auto queues = cli.get_list("queues");
+
+    std::cout << "# Figure 3: throughput/thread/s, insert:delete = 50:50, "
+                 "prefill = "
+              << cli.get_int("prefill") << "\n";
+    klsm::table_reporter report({"queue", "threads", "prefill",
+                                 "ops/thread/s", "best", "failed_dels"},
+                                cli.get_bool("csv"));
+
+    for (const auto threads : threads_list) {
+        run_config cfg{};
+        cfg.prefill = static_cast<std::size_t>(cli.get_int("prefill"));
+        cfg.threads = static_cast<unsigned>(threads);
+        cfg.duration = cli.get_double("duration");
+        cfg.reps = static_cast<int>(cli.get_int("reps"));
+        cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+        for (const auto &name : queues) {
+            if (name == "heap_lock") {
+                run_queue<klsm::spin_heap<bench_key, bench_val>>(
+                    name, cfg, report, [] {
+                        return std::make_unique<
+                            klsm::spin_heap<bench_key, bench_val>>();
+                    });
+            } else if (name == "linden") {
+                run_queue<klsm::linden_pq<bench_key, bench_val>>(
+                    name, cfg, report, [] {
+                        return std::make_unique<
+                            klsm::linden_pq<bench_key, bench_val>>(32);
+                    });
+            } else if (name == "spray") {
+                run_queue<klsm::spray_pq<bench_key, bench_val>>(
+                    name, cfg, report, [&] {
+                        return std::make_unique<
+                            klsm::spray_pq<bench_key, bench_val>>(cfg.threads);
+                    });
+            } else if (name == "multiq") {
+                run_queue<klsm::multiqueue<bench_key, bench_val>>(
+                    name, cfg, report, [&] {
+                        return std::make_unique<
+                            klsm::multiqueue<bench_key, bench_val>>(cfg.threads,
+                                                            2);
+                    });
+            } else if (name.rfind("klsm", 0) == 0) {
+                const std::size_t k = std::stoull(name.substr(4));
+                run_queue<klsm::k_lsm<bench_key, bench_val>>(
+                    name, cfg, report, [k] {
+                        return std::make_unique<
+                            klsm::k_lsm<bench_key, bench_val>>(k);
+                    });
+            } else if (name == "dlsm") {
+                run_queue<klsm::dist_pq<bench_key, bench_val>>(
+                    name, cfg, report, [] {
+                        return std::make_unique<
+                            klsm::dist_pq<bench_key, bench_val>>();
+                    });
+            } else {
+                std::cerr << "unknown queue: " << name << "\n";
+                return 2;
+            }
+        }
+    }
+    return 0;
+}

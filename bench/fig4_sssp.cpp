@@ -1,0 +1,161 @@
+// Figure 4 reproduction: "Execution times for SSSP benchmark for varying
+// numbers of threads (k = 256) and values for k (10 threads)" on
+// Erdős–Rényi random graphs, comparing the k-LSM against the centralized
+// and hybrid k-priority queues of Wimmer et al. [29].
+//
+// Also reports the paper's Section 6.1 wasted-work metric: "additional
+// iterations needed to be performed compared to a sequential execution"
+// (expansions beyond the number of reachable nodes).
+//
+// Paper parameters: --nodes 10000 --edge-prob 0.5 --reps 30
+//   left plot:  --sweep threads --threads 1,2,3,5,10,20,40,80 --k 256
+//   right plot: --sweep k --k-list 0,1,4,16,64,256,1024,4096,16384
+//               --threads 10
+// Defaults are scaled down to finish quickly on small machines.
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/centralized_k.hpp"
+#include "baselines/hybrid_k.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/parallel_sssp.hpp"
+#include "harness/reporter.hpp"
+#include "klsm/k_lsm.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct sssp_run {
+    double seconds = 0;
+    klsm::sssp_stats stats;
+};
+
+template <typename MakeQueue>
+sssp_run run_once(const klsm::graph &g, unsigned threads,
+                  MakeQueue &&make) {
+    klsm::sssp_state state{g.num_nodes()};
+    auto pq = make(state);
+    klsm::wall_timer timer;
+    sssp_run out;
+    out.stats = klsm::parallel_sssp(*pq, g, 0, threads, state);
+    out.seconds = timer.elapsed_s();
+    return out;
+}
+
+void report_runs(klsm::table_reporter &report, const std::string &queue,
+                 unsigned threads, std::size_t k, const klsm::graph &g,
+                 std::uint64_t sequential_settled, int reps,
+                 const std::function<sssp_run()> &run) {
+    double total = 0, best = -1;
+    std::uint64_t extra = 0, stale = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const sssp_run r = run();
+        total += r.seconds;
+        if (best < 0 || r.seconds < best)
+            best = r.seconds;
+        extra += r.stats.expansions - sequential_settled;
+        stale += r.stats.stale_pops;
+    }
+    report.row(queue, threads, k, total / reps, best,
+               static_cast<double>(extra) / reps,
+               static_cast<double>(stale) / reps,
+               static_cast<std::uint64_t>(g.num_edges()));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+    klsm::cli_parser cli("Figure 4: parallel SSSP execution time");
+    cli.add_flag("nodes", "1000", "graph size n");
+    cli.add_flag("edge-prob", "0.5", "Erdos-Renyi edge probability");
+    cli.add_flag("max-weight", "100000000", "edge weights in [1, w]");
+    cli.add_flag("sweep", "threads", "sweep dimension: threads | k");
+    cli.add_flag("threads", "1,2,4", "thread counts (sweep=threads)");
+    cli.add_flag("fixed-threads", "4", "thread count (sweep=k)");
+    cli.add_flag("k", "256", "relaxation (sweep=threads)");
+    cli.add_flag("k-list", "0,1,4,16,64,256,1024,4096,16384",
+                 "k values (sweep=k)");
+    cli.add_flag("queues", "centralized,hybrid,klsm", "queues to run");
+    cli.add_flag("reps", "1", "repetitions");
+    cli.add_flag("seed", "42", "graph seed");
+    cli.add_flag("csv", "false", "emit CSV instead of a table");
+    cli.parse(argc, argv);
+
+    klsm::erdos_renyi_params gp;
+    gp.nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    gp.edge_probability = cli.get_double("edge-prob");
+    gp.max_weight = static_cast<std::uint32_t>(cli.get_int("max-weight"));
+    gp.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const klsm::graph g = klsm::make_erdos_renyi(gp);
+
+    const auto ref = klsm::dijkstra(g, 0);
+    std::cout << "# Figure 4: SSSP on G(" << gp.nodes << ", "
+              << gp.edge_probability << "), " << g.num_edges()
+              << " arcs, " << ref.settled
+              << " reachable nodes; sequential Dijkstra settles each "
+                 "once\n";
+
+    klsm::table_reporter report({"queue", "threads", "k", "time_s",
+                                 "best_s", "extra_iter", "stale_pops",
+                                 "arcs"},
+                                cli.get_bool("csv"));
+
+    const int reps = static_cast<int>(cli.get_int("reps"));
+    const auto queues = cli.get_list("queues");
+
+    auto run_point = [&](const std::string &queue, unsigned threads,
+                         std::size_t k) {
+        if (queue == "centralized") {
+            report_runs(report, queue, threads, k, g, ref.settled, reps,
+                        [&] {
+                            return run_once(g, threads, [&](auto &) {
+                                return std::make_unique<
+                                    klsm::centralized_k_pq<std::uint64_t,
+                                                           std::uint32_t>>(
+                                    k);
+                            });
+                        });
+        } else if (queue == "hybrid") {
+            report_runs(report, queue, threads, k, g, ref.settled, reps,
+                        [&] {
+                            return run_once(g, threads, [&](auto &) {
+                                return std::make_unique<
+                                    klsm::hybrid_k_pq<std::uint64_t,
+                                                      std::uint32_t>>(k);
+                            });
+                        });
+        } else if (queue == "klsm") {
+            report_runs(
+                report, queue, threads, k, g, ref.settled, reps, [&] {
+                    return run_once(g, threads, [&](auto &state) {
+                        return std::make_unique<klsm::k_lsm<
+                            std::uint64_t, std::uint32_t,
+                            klsm::sssp_lazy>>(k,
+                                              klsm::sssp_lazy{&state});
+                    });
+                });
+        } else {
+            std::cerr << "unknown queue: " << queue << "\n";
+            std::exit(2);
+        }
+    };
+
+    if (cli.get("sweep") == "threads") {
+        const auto k = static_cast<std::size_t>(cli.get_int("k"));
+        for (const auto threads : cli.get_int_list("threads"))
+            for (const auto &queue : queues)
+                run_point(queue, static_cast<unsigned>(threads), k);
+    } else {
+        const auto threads =
+            static_cast<unsigned>(cli.get_int("fixed-threads"));
+        for (const auto k : cli.get_int_list("k-list"))
+            for (const auto &queue : queues)
+                run_point(queue, threads, static_cast<std::size_t>(k));
+    }
+    return 0;
+}

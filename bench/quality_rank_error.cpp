@@ -1,0 +1,84 @@
+// Relaxation quality (Lemma 2 / Section 5): observed delete-min rank
+// errors versus the rho = T*k worst-case guarantee, for the k-LSM and
+// the relaxed comparators (which provide no worst-case bound — the
+// paper's key qualitative contrast with the SprayList and MultiQueue).
+//
+// Operations are serialized against an exact mirror (see
+// harness/quality.hpp), so every measurement is exact.
+
+#include <iostream>
+#include <string>
+
+#include "baselines/multiqueue.hpp"
+#include "baselines/spraylist.hpp"
+#include "harness/quality.hpp"
+#include "harness/reporter.hpp"
+#include "klsm/k_lsm.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using bench_key = std::uint32_t;
+using bench_val = std::uint32_t;
+
+void report_result(klsm::table_reporter &report, const std::string &name,
+                   unsigned threads, const std::string &bound,
+                   const klsm::quality_result &res) {
+    report.row(name, threads, bound, res.deletes, res.mean_rank(),
+               res.rank_max);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+    klsm::cli_parser cli("Observed delete-min rank error vs rho = T*k");
+    cli.add_flag("threads", "4", "worker threads");
+    cli.add_flag("prefill", "10000", "initial keys");
+    cli.add_flag("ops", "20000", "operations per thread");
+    cli.add_flag("k-list", "0,4,256,4096", "k values for the k-LSM");
+    cli.add_flag("csv", "false", "emit CSV instead of a table");
+    cli.parse(argc, argv);
+
+    const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+    klsm::quality_params params;
+    params.threads = threads;
+    params.prefill = static_cast<std::size_t>(cli.get_int("prefill"));
+    params.ops_per_thread =
+        static_cast<std::uint64_t>(cli.get_int("ops"));
+
+    std::cout << "# Observed rank error (exact mirror, serialized ops); "
+                 "rho = T*k is the k-LSM worst case\n";
+    klsm::table_reporter report(
+        {"queue", "threads", "worst_case", "deletes", "mean_rank",
+         "max_rank"},
+        cli.get_bool("csv"));
+
+    for (const auto k : cli.get_int_list("k-list")) {
+        klsm::k_lsm<bench_key, bench_val> q{static_cast<std::size_t>(k)};
+        const auto res = klsm::measure_rank_error(q, params);
+        report_result(report, "klsm" + std::to_string(k), threads,
+                      "rho=" + std::to_string(threads * k), res);
+        if (res.rank_max > static_cast<std::uint64_t>(threads) *
+                               static_cast<std::uint64_t>(k)) {
+            std::cerr << "BOUND VIOLATION: k-LSM k=" << k << " max rank "
+                      << res.rank_max << " > " << threads * k << "\n";
+            return 1;
+        }
+    }
+    {
+        klsm::spray_pq<bench_key, bench_val> q{threads};
+        report_result(report, "spraylist", threads, "none (whp only)",
+                      klsm::measure_rank_error(q, params));
+    }
+    {
+        klsm::multiqueue<bench_key, bench_val> q{threads, 2};
+        report_result(report, "multiq", threads, "none (expected only)",
+                      klsm::measure_rank_error(q, params));
+    }
+    {
+        klsm::dist_pq<bench_key, bench_val> q;
+        report_result(report, "dlsm", threads, "none (local order only)",
+                      klsm::measure_rank_error(q, params));
+    }
+    return 0;
+}

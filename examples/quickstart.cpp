@@ -1,0 +1,75 @@
+// Quickstart: the k-LSM relaxed priority queue in five minutes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "klsm/k_lsm.hpp"
+
+int main() {
+    // A k-LSM with relaxation parameter k = 16: try_delete_min may
+    // return any of the (T*16 + 1) smallest keys, where T is the number
+    // of threads using the queue.  Keys inserted and deleted by the SAME
+    // thread always come back in exact order.
+    klsm::k_lsm<std::uint32_t, std::uint64_t> queue{16};
+
+    // Single-threaded usage looks exactly like any priority queue.
+    queue.insert(30, 300);
+    queue.insert(10, 100);
+    queue.insert(20, 200);
+
+    std::uint32_t key;
+    std::uint64_t value;
+    while (queue.try_delete_min(key, value))
+        std::printf("single thread: key=%u value=%lu\n", key,
+                    static_cast<unsigned long>(value));
+    // Prints 10, 20, 30 — exact, because one thread implies rho = 0 for
+    // its own items (local ordering semantics).
+
+    // Concurrent usage: producers and consumers share the queue without
+    // locks; relaxation spreads delete-min contention.
+    constexpr int producers = 2, consumers = 2, per_producer = 10000;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&queue, p] {
+            for (std::uint32_t i = 0; i < per_producer; ++i)
+                queue.insert(i, static_cast<std::uint64_t>(p));
+        });
+    }
+    std::vector<std::uint64_t> consumed(consumers, 0);
+    for (int c = 0; c < consumers; ++c) {
+        threads.emplace_back([&queue, &consumed, c] {
+            std::uint32_t k;
+            std::uint64_t v;
+            int misses = 0;
+            while (misses < 100) {
+                if (queue.try_delete_min(k, v)) {
+                    ++consumed[c];
+                    misses = 0;
+                } else {
+                    // try_delete_min may fail spuriously; only repeated
+                    // failure means the queue is (still) empty.
+                    ++misses;
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    std::uint64_t total = 0;
+    for (auto c : consumed)
+        total += c;
+    // Drain the rest (producers may have outpaced the consumers).
+    while (queue.try_delete_min(key, value))
+        ++total;
+    std::printf("concurrent: %lu items consumed of %d inserted\n",
+                static_cast<unsigned long>(total),
+                producers * per_producer);
+    std::printf("size hint after drain: %zu\n", queue.size_hint());
+    return total == producers * per_producer ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#pragma once
+
+// Sequential binary min-heap.
+//
+// Substrate for three baselines: the paper's "Heap + Lock" comparator
+// (Figure 3), the MultiQueue's per-queue heaps, and the hybrid
+// k-priority-queue's thread-local buffers.  Plain array layout, sift
+// up/down, O(log n) operations.
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace klsm {
+
+template <typename K, typename V>
+class binary_heap {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    bool empty() const { return data_.empty(); }
+    std::size_t size() const { return data_.size(); }
+
+    void reserve(std::size_t n) { data_.reserve(n); }
+
+    void insert(const K &key, const V &value) {
+        data_.emplace_back(key, value);
+        sift_up(data_.size() - 1);
+    }
+
+    /// Minimum key without removing it; undefined on empty heap.
+    const K &min_key() const {
+        assert(!data_.empty());
+        return data_.front().first;
+    }
+
+    bool try_find_min(K &key, V &value) const {
+        if (data_.empty())
+            return false;
+        key = data_.front().first;
+        value = data_.front().second;
+        return true;
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        if (data_.empty())
+            return false;
+        key = data_.front().first;
+        value = data_.front().second;
+        data_.front() = data_.back();
+        data_.pop_back();
+        if (!data_.empty())
+            sift_down(0);
+        return true;
+    }
+
+    void clear() { data_.clear(); }
+
+    /// Move all elements out (used by the hybrid queue's bulk spill).
+    std::vector<std::pair<K, V>> drain() {
+        std::vector<std::pair<K, V>> out = std::move(data_);
+        data_.clear();
+        return out;
+    }
+
+    /// Heap-property check for tests.
+    bool check_invariants() const {
+        for (std::size_t i = 1; i < data_.size(); ++i)
+            if (data_[i].first < data_[(i - 1) / 2].first)
+                return false;
+        return true;
+    }
+
+private:
+    void sift_up(std::size_t i) {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!(data_[i].first < data_[parent].first))
+                break;
+            std::swap(data_[i], data_[parent]);
+            i = parent;
+        }
+    }
+
+    void sift_down(std::size_t i) {
+        const std::size_t n = data_.size();
+        for (;;) {
+            std::size_t smallest = i;
+            const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+            if (l < n && data_[l].first < data_[smallest].first)
+                smallest = l;
+            if (r < n && data_[r].first < data_[smallest].first)
+                smallest = r;
+            if (smallest == i)
+                return;
+            std::swap(data_[i], data_[smallest]);
+            i = smallest;
+        }
+    }
+
+    std::vector<std::pair<K, V>> data_;
+};
+
+} // namespace klsm

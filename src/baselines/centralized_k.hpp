@@ -1,0 +1,164 @@
+#pragma once
+
+// Centralized k-priority queue — clean-room reconstruction of the
+// comparator from Wimmer et al. [29] used in the paper's Figure 4.
+//
+// The original lives inside the Pheet task scheduler and "cannot be used
+// as [a] standalone data structure" (paper Section 6); we rebuild the
+// data-structure layer: one global priority queue whose delete-min is
+// k-relaxed through a *claim window* — an array of up to k+1 items that
+// were the smallest keys when the window was last refilled from the
+// backing heap.  Threads claim window slots with a single CAS
+// (contention-free for distinct slots); only refills and inserts take
+// the global lock.
+//
+// Matching the paper's observation: performance is essentially
+// independent of k (a delete-min costs one CAS plus an amortized
+// O((log n) ) share of the refill) but the single lock and shared window
+// keep it centralized, so it does not scale with threads — exactly the
+// flat-in-k, poor-in-T shape of Figure 4.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "util/align.hpp"
+#include "util/rng.hpp"
+#include "util/spin_lock.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class centralized_k_pq {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    explicit centralized_k_pq(std::size_t k)
+        : window_size_(cap_window(k + 1)),
+          window_(std::make_unique<slot[]>(window_size_)) {}
+
+    void insert(const K &key, const V &value) {
+        lock_->lock();
+        heap_.insert(key, value);
+        lock_->unlock();
+    }
+
+    /// Bulk insert under one lock acquisition (used by the hybrid queue's
+    /// spill).
+    void insert_bulk(const std::vector<std::pair<K, V>> &items) {
+        lock_->lock();
+        for (const auto &[k, v] : items)
+            heap_.insert(k, v);
+        lock_->unlock();
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        for (;;) {
+            if (occupancy_.load(std::memory_order_acquire) > 0) {
+                if (claim_random(key, value))
+                    return true;
+                if (claim_scan(key, value))
+                    return true;
+            }
+            // Window exhausted: refill from the heap.
+            lock_->lock();
+            if (occupancy_.load(std::memory_order_acquire) > 0) {
+                // Someone else refilled while we waited.
+                lock_->unlock();
+                continue;
+            }
+            std::size_t filled = 0;
+            for (std::size_t i = 0; i < window_size_; ++i) {
+                slot &s = window_[i];
+                if (s.state.load(std::memory_order_relaxed) != slot_empty)
+                    continue;
+                K k;
+                V v;
+                if (!heap_.try_delete_min(k, v))
+                    break;
+                s.key = k;
+                s.value = v;
+                s.state.store(slot_full, std::memory_order_release);
+                ++filled;
+            }
+            occupancy_.fetch_add(static_cast<std::int64_t>(filled),
+                                 std::memory_order_acq_rel);
+            const bool empty = (filled == 0) && heap_.empty();
+            lock_->unlock();
+            if (empty)
+                return false;
+        }
+    }
+
+    std::size_t size_hint() {
+        lock_->lock();
+        const std::size_t n =
+            heap_.size() +
+            static_cast<std::size_t>(
+                std::max<std::int64_t>(0, occupancy_.load()));
+        lock_->unlock();
+        return n;
+    }
+
+    std::size_t window_capacity() const { return window_size_; }
+
+private:
+    static constexpr std::uint8_t slot_empty = 0;
+    static constexpr std::uint8_t slot_full = 1;
+    static constexpr std::uint8_t slot_claimed = 2;
+    static constexpr std::size_t max_window = std::size_t{1} << 20;
+
+    static std::size_t cap_window(std::size_t n) {
+        return n > max_window ? max_window : (n < 1 ? 1 : n);
+    }
+
+    struct slot {
+        std::atomic<std::uint8_t> state{slot_empty};
+        K key{};
+        V value{};
+    };
+
+    bool try_claim(slot &s, K &key, V &value) {
+        std::uint8_t expected = slot_full;
+        if (!s.state.compare_exchange_strong(expected, slot_claimed,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire))
+            return false;
+        key = s.key;
+        value = s.value;
+        s.state.store(slot_empty, std::memory_order_release);
+        occupancy_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+    }
+
+    bool claim_random(K &key, V &value) {
+        for (int probe = 0; probe < 4; ++probe) {
+            slot &s = window_[thread_rng().bounded(window_size_)];
+            if (try_claim(s, key, value))
+                return true;
+        }
+        return false;
+    }
+
+    bool claim_scan(K &key, V &value) {
+        const std::size_t start = thread_rng().bounded(window_size_);
+        for (std::size_t i = 0; i < window_size_; ++i) {
+            slot &s = window_[(start + i) % window_size_];
+            if (try_claim(s, key, value))
+                return true;
+        }
+        return false;
+    }
+
+    const std::size_t window_size_;
+    cache_aligned<spin_lock> lock_;
+    binary_heap<K, V> heap_;
+    std::unique_ptr<slot[]> window_;
+    std::atomic<std::int64_t> occupancy_{0};
+};
+
+} // namespace klsm

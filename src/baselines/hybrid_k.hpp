@@ -1,0 +1,98 @@
+#pragma once
+
+// Hybrid k-priority queue — clean-room reconstruction of the second
+// comparator from Wimmer et al. [29] in the paper's Figure 4.
+//
+// Combines thread-local buffering with the centralized k-queue: each
+// thread accumulates inserts in a private binary heap bounded by k
+// items; when the bound is exceeded the whole buffer spills into the
+// global queue under a single lock acquisition (amortizing the lock to
+// ~1/k acquisitions per insert — the same batching idea the k-LSM
+// realizes with sorted blocks).  delete-min prefers the local buffer
+// when its minimum is no larger than a (racily read) hint of the global
+// minimum, otherwise claims from the global window.
+//
+// Relaxation: up to k keys can hide in each of the T local buffers plus
+// k+1 in the global window — the same rho ~ T*k contract family as the
+// k-LSM, without its local ordering guarantee for spilled keys.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/centralized_k.hpp"
+#include "util/align.hpp"
+#include "util/thread_id.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class hybrid_k_pq {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    explicit hybrid_k_pq(std::size_t k) : k_(k), global_(k) {
+        for (auto &l : locals_)
+            l = std::make_unique<local_buffer>();
+    }
+
+    void insert(const K &key, const V &value) {
+        local_buffer &mine = *locals_[thread_index()];
+        mine.heap.insert(key, value);
+        if (mine.heap.size() > k_) {
+            const K spilled_min = mine.heap.min_key();
+            global_.insert_bulk(mine.heap.drain());
+            update_global_hint(spilled_min);
+        }
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        local_buffer &mine = *locals_[thread_index()];
+        if (!mine.heap.empty()) {
+            const std::uint64_t gmin =
+                global_min_hint_.load(std::memory_order_acquire);
+            if (static_cast<std::uint64_t>(mine.heap.min_key()) <= gmin)
+                return mine.heap.try_delete_min(key, value);
+        }
+        if (global_.try_delete_min(key, value))
+            return true;
+        // Global empty: fall back to whatever is buffered locally.
+        return mine.heap.try_delete_min(key, value);
+    }
+
+    std::size_t size_hint() {
+        std::size_t n = global_.size_hint();
+        for (const auto &l : locals_)
+            n += l->heap.size();
+        return n;
+    }
+
+private:
+    static constexpr std::uint64_t empty_hint =
+        std::numeric_limits<std::uint64_t>::max();
+
+    struct alignas(cache_line_size) local_buffer {
+        binary_heap<K, V> heap;
+    };
+
+    /// Monotone-decreasing global minimum hint; purely advisory (routing
+    /// quality), reset opportunistically when the global drains.
+    void update_global_hint(const K &key) {
+        std::uint64_t cur = global_min_hint_.load(std::memory_order_relaxed);
+        const auto k64 = static_cast<std::uint64_t>(key);
+        while (k64 < cur &&
+               !global_min_hint_.compare_exchange_weak(
+                   cur, k64, std::memory_order_acq_rel,
+                   std::memory_order_relaxed)) {
+        }
+    }
+
+    const std::size_t k_;
+    centralized_k_pq<K, V> global_;
+    std::unique_ptr<local_buffer> locals_[max_registered_threads];
+    std::atomic<std::uint64_t> global_min_hint_{empty_hint};
+};
+
+} // namespace klsm

@@ -1,0 +1,111 @@
+#pragma once
+
+// Lindén & Jonsson priority queue (OPODIS 2013) — the paper's
+// representative exact (non-relaxed) lock-free priority queue in
+// Figure 3.
+//
+// Key idea: delete-min only *logically* deletes (one CAS that marks the
+// first live node's next pointer), leaving a growing prefix of deleted
+// nodes at the head of the skiplist.  Physical cleanup is deferred until
+// the prefix exceeds `bound_offset` nodes, and then performed as a batch
+// by whichever deleter crossed the bound.  This minimizes the memory
+// contention per delete-min — the property their paper is named for.
+//
+// On this substrate (see skiplist_pq.hpp) the batch cleanup walks the
+// prefix and physically deletes each node under the claim-protected
+// discipline, so racing cleaners are safe.  insert is the substrate's
+// lock-free skiplist insert; a key smaller than every live key simply
+// becomes the new first live node.
+
+#include <cstdint>
+
+#include "baselines/skiplist_pq.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class linden_pq : private skiplist_pq_base<K, V> {
+    using base = skiplist_pq_base<K, V>;
+    using node = typename base::node;
+
+public:
+    using key_type = K;
+    using value_type = V;
+
+    /// `bound_offset`: deleted-prefix length that triggers batched
+    /// physical cleanup; Lindén & Jonsson report 32-128 as a good range.
+    explicit linden_pq(unsigned bound_offset = 32)
+        : bound_offset_(bound_offset) {}
+
+    void insert(const K &key, const V &value) {
+        epoch_manager::guard g(this->mm_);
+        this->do_insert(key, value);
+        this->drain_pending();
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        epoch_manager::guard g(this->mm_);
+        node *curr =
+            base::ptr(this->head_->next[0].load(std::memory_order_acquire));
+        unsigned offset = 0;
+        while (curr != this->tail_) {
+            std::uintptr_t succ_word =
+                curr->next[0].load(std::memory_order_acquire);
+            if (base::marked(succ_word)) {
+                // Part of the deleted prefix: walk past it (no CAS).
+                ++offset;
+                curr = base::ptr(succ_word);
+                continue;
+            }
+            // First live node: one CAS decides ownership.
+            if (curr->next[0].compare_exchange_weak(
+                    succ_word, succ_word | 1, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                key = curr->key;
+                value = curr->value;
+                if (++offset >= bound_offset_)
+                    cleanup_prefix();
+                this->drain_pending();
+                return true;
+            }
+            // CAS failed: either someone marked curr (walk past it next
+            // iteration) or an insert linked in front — re-read, stay.
+        }
+        return false;
+    }
+
+    bool try_find_min(K &key, V &value) {
+        epoch_manager::guard g(this->mm_);
+        node *curr =
+            base::ptr(this->head_->next[0].load(std::memory_order_acquire));
+        while (curr != this->tail_) {
+            const std::uintptr_t w =
+                curr->next[0].load(std::memory_order_acquire);
+            if (!base::marked(w)) {
+                key = curr->key;
+                value = curr->value;
+                return true;
+            }
+            curr = base::ptr(w);
+        }
+        return false;
+    }
+
+    std::size_t size_hint() { return this->count_alive(); }
+
+private:
+    /// Batched physical deletion of the marked prefix.
+    void cleanup_prefix() {
+        for (;;) {
+            node *first = base::ptr(
+                this->head_->next[0].load(std::memory_order_acquire));
+            if (first == this->tail_ || !base::is_logically_deleted(first))
+                return;
+            this->complete_delete(first);
+        }
+    }
+
+    const unsigned bound_offset_;
+};
+
+} // namespace klsm

@@ -1,0 +1,140 @@
+#pragma once
+
+// MultiQueue baseline (Rihani, Sanders, Dementiev 2014; paper Section 6).
+//
+// c * T sequential binary heaps, each behind its own try-lock.
+//   * insert: lock a uniformly random queue (retrying with fresh random
+//     picks on contention) and push.
+//   * delete-min: sample TWO random queues, compare their cached minima,
+//     lock the one with the smaller top and pop it ("power of two
+//     choices" — the expected rank error stays O(T)).
+//
+// Each queue caches its current minimum in an atomic so the two-choice
+// comparison runs without taking locks.  The paper notes the MultiQueue's
+// quality matches roughly k-LSM with k = 4 in expectation, but a stalled
+// thread holding a lock can block access to an arbitrary number of keys,
+// so no worst-case relaxation bound exists (Section 6.1) — the structural
+// contrast to the k-LSM that Figure 3 discusses.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "util/align.hpp"
+#include "util/rng.hpp"
+#include "util/spin_lock.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class multiqueue {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    /// `threads` = expected number of worker threads T, `c` = queues per
+    /// thread (the paper's experiments use c = 2).
+    explicit multiqueue(std::size_t threads, std::size_t c = 2)
+        : queues_(std::max<std::size_t>(1, threads * c)) {
+        for (auto &q : queues_)
+            q = std::make_unique<padded_queue>();
+    }
+
+    void insert(const K &key, const V &value) {
+        for (;;) {
+            padded_queue &q = random_queue();
+            if (!q.lock.try_lock())
+                continue;
+            q.heap.insert(key, value);
+            q.publish_top();
+            q.lock.unlock();
+            return;
+        }
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        // Two-choice sampling with a bounded number of rounds; an empty
+        // result after inspecting every queue is a genuine (or at worst
+        // spurious, which the interface allows) empty.
+        for (std::size_t attempt = 0; attempt < queues_.size() + 2;
+             ++attempt) {
+            padded_queue &a = random_queue();
+            padded_queue &b = random_queue();
+            padded_queue *pick = better(a, b);
+            if (pick == nullptr)
+                continue; // both look empty; resample
+            if (!pick->lock.try_lock())
+                continue;
+            const bool ok = pick->heap.try_delete_min(key, value);
+            pick->publish_top();
+            pick->lock.unlock();
+            if (ok)
+                return true;
+        }
+        // Deterministic sweep so "false" means every queue was empty at
+        // inspection time.
+        for (auto &qp : queues_) {
+            padded_queue &q = *qp;
+            if (q.cached_top() == empty_marker && q.heap.empty())
+                continue;
+            q.lock.lock();
+            const bool ok = q.heap.try_delete_min(key, value);
+            q.publish_top();
+            q.lock.unlock();
+            if (ok)
+                return true;
+        }
+        return false;
+    }
+
+    std::size_t size_hint() const {
+        std::size_t n = 0;
+        for (const auto &q : queues_)
+            n += q->heap.size();
+        return n;
+    }
+
+    std::size_t queue_count() const { return queues_.size(); }
+
+private:
+    static constexpr std::uint64_t empty_marker =
+        std::numeric_limits<std::uint64_t>::max();
+
+    struct alignas(cache_line_size) padded_queue {
+        spin_lock lock;
+        binary_heap<K, V> heap;
+        /// Minimum key widened to 64 bits, or empty_marker; read lock-free
+        /// by the two-choice comparison.
+        std::atomic<std::uint64_t> top{empty_marker};
+
+        std::uint64_t cached_top() const {
+            return top.load(std::memory_order_acquire);
+        }
+
+        void publish_top() {
+            top.store(heap.empty()
+                          ? empty_marker
+                          : static_cast<std::uint64_t>(heap.min_key()),
+                      std::memory_order_release);
+        }
+    };
+
+    padded_queue &random_queue() {
+        return *queues_[thread_rng().bounded(queues_.size())];
+    }
+
+    padded_queue *better(padded_queue &a, padded_queue &b) {
+        const std::uint64_t ta = a.cached_top();
+        const std::uint64_t tb = b.cached_top();
+        if (ta == empty_marker && tb == empty_marker)
+            return nullptr;
+        return ta <= tb ? &a : &b;
+    }
+
+    std::vector<std::unique_ptr<padded_queue>> queues_;
+};
+
+} // namespace klsm

@@ -1,0 +1,328 @@
+#pragma once
+
+// Lock-free skiplist substrate for the two skiplist-based comparators of
+// Figure 3: the Lindén & Jonsson priority queue and the SprayList.
+//
+// Design (Fraser-style, with per-level deletion marks):
+//   * Keys are made unique by pairing the user key with a per-insert
+//     sequence number (lexicographic order), so every node has a
+//     deterministic position at every level — required for the targeted
+//     unlink argument below, and the standard way skiplist PQs support
+//     duplicate priorities.
+//   * Every next pointer carries a deletion mark in bit 0.  A node is
+//     logically deleted once next[0] is marked; that marking CAS is the
+//     ownership point (exactly one deleter wins).  A node's *deletedness*
+//     is always judged by its next[0] mark, at every level — judging by
+//     the per-level mark alone would let a search advance onto a node
+//     that is dead at level 0 but not yet marked higher up, where the
+//     subsequent level-0 unlink CAS on the dead predecessor's marked
+//     pointer can never succeed (a deterministic livelock).
+//   * Physical unlinking happens inside search (helping): any dead node
+//     on the path is spliced out of the current level.  A successful
+//     *level-0* splice makes the node unreachable, so the splicer records
+//     it in a per-thread pending list and, still inside its epoch guard,
+//     runs `complete_delete`: mark all tower levels (fetch_or), re-search
+//     until the node appears among no successors (unique keys make its
+//     position deterministic, so reachable == returned-by-search), then
+//     retire.  A per-node claim flag makes completion idempotent across
+//     helpers, so nodes are retired exactly once and only after they are
+//     verifiably unlinked from every level.
+//   * The tower-link handshake: an insert links level lvl by first CASing
+//     its *own* next[lvl] from the previously published value; the
+//     deleter's fetch_or on the same atomic totally orders the two, so no
+//     new link to a dying node's tower can be created after that level
+//     was marked.
+//   * Memory reclamation: epoch-based (mm/epoch.hpp); every operation
+//     runs under a guard, and pending completions are always drained
+//     before the guard is released.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "mm/epoch.hpp"
+#include "util/align.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class skiplist_pq_base {
+public:
+    static constexpr unsigned max_height = 24;
+
+    skiplist_pq_base() {
+        head_ = node::create(K{}, 0, V{}, max_height);
+        tail_ = node::create(K{}, 0, V{}, max_height);
+        for (unsigned lvl = 0; lvl < max_height; ++lvl)
+            head_->next[lvl].store(pack(tail_, false),
+                                   std::memory_order_relaxed);
+    }
+
+    ~skiplist_pq_base() {
+        node *n = head_;
+        while (n != nullptr) {
+            node *next = ptr(n->next[0].load(std::memory_order_relaxed));
+            node::destroy(n);
+            n = (n == tail_) ? nullptr : (next == nullptr ? tail_ : next);
+        }
+    }
+
+    skiplist_pq_base(const skiplist_pq_base &) = delete;
+    skiplist_pq_base &operator=(const skiplist_pq_base &) = delete;
+
+protected:
+    struct node {
+        K key;
+        std::uint64_t seq; ///< uniquifier; (key, seq) is totally ordered
+        V value;
+        std::uint8_t height;
+        std::atomic<std::uint8_t> retire_claimed{0};
+        std::atomic<std::uintptr_t> next[1]; // flexible tower
+
+        static node *create(const K &key, std::uint64_t seq, const V &value,
+                            unsigned height) {
+            const std::size_t bytes =
+                sizeof(node) +
+                (height - 1) * sizeof(std::atomic<std::uintptr_t>);
+            void *mem = ::operator new(bytes);
+            node *n = new (mem) node{};
+            n->key = key;
+            n->seq = seq;
+            n->value = value;
+            n->height = static_cast<std::uint8_t>(height);
+            for (unsigned lvl = 0; lvl < height; ++lvl)
+                new (&n->next[lvl]) std::atomic<std::uintptr_t>{0};
+            return n;
+        }
+
+        static void destroy(node *n) {
+            n->~node();
+            ::operator delete(n);
+        }
+    };
+
+    // ---- marked pointer helpers -------------------------------------------
+
+    static std::uintptr_t pack(node *n, bool mark) {
+        return reinterpret_cast<std::uintptr_t>(n) |
+               static_cast<std::uintptr_t>(mark);
+    }
+    static node *ptr(std::uintptr_t p) {
+        return reinterpret_cast<node *>(p & ~std::uintptr_t{1});
+    }
+    static bool marked(std::uintptr_t p) { return (p & 1) != 0; }
+
+    static bool is_logically_deleted(node *n) {
+        return marked(n->next[0].load(std::memory_order_acquire));
+    }
+
+    /// Strict (key, seq) order; head/tail are handled by pointer checks.
+    bool less(const node *a, const K &key, std::uint64_t seq) const {
+        if (a == head_)
+            return true;
+        if (a == tail_)
+            return false;
+        if (a->key < key)
+            return true;
+        if (key < a->key)
+            return false;
+        return a->seq < seq;
+    }
+
+    // ---- search ------------------------------------------------------------
+
+    /// Locate preds/succs for (key, seq) on all levels, splicing dead
+    /// nodes off the path (helping).  Level-0 splices are recorded in the
+    /// calling thread's pending list for completion.  Must run pinned;
+    /// callers must drain_pending() before unpinning.
+    void search(const K &key, std::uint64_t seq, node *preds[max_height],
+                node *succs[max_height]) {
+    retry:
+        node *pred = head_;
+        for (int lvl = max_height - 1; lvl >= 0; --lvl) {
+            std::uintptr_t curr_word =
+                pred->next[lvl].load(std::memory_order_acquire);
+            node *curr = ptr(curr_word);
+            for (;;) {
+                if (curr == tail_)
+                    break;
+                const std::uintptr_t succ_word =
+                    curr->next[lvl].load(std::memory_order_acquire);
+                if (is_logically_deleted(curr)) {
+                    // Splice the dead node out of this level.  The
+                    // expected value is unmarked: if pred died in the
+                    // meantime its pointer is marked, the CAS fails and
+                    // the retry walks a path without it.
+                    std::uintptr_t expected = pack(curr, false);
+                    if (!pred->next[lvl].compare_exchange_strong(
+                            expected, pack(ptr(succ_word), false),
+                            std::memory_order_acq_rel,
+                            std::memory_order_acquire))
+                        goto retry;
+                    if (lvl == 0)
+                        pending().push_back(curr);
+                    curr = ptr(succ_word);
+                    continue;
+                }
+                if (!less(curr, key, seq))
+                    break;
+                pred = curr;
+                curr = ptr(succ_word);
+            }
+            preds[lvl] = pred;
+            succs[lvl] = curr;
+        }
+    }
+
+    // ---- insert -------------------------------------------------------------
+
+    /// Insert a node with a fresh unique (key, seq).  Lock-free.  Caller
+    /// must be pinned and drain_pending() afterwards.
+    node *do_insert(const K &key, const V &value) {
+        const std::uint64_t seq = next_seq();
+        const unsigned height = random_height();
+        node *n = node::create(key, seq, value, height);
+
+        node *preds[max_height], *succs[max_height];
+        for (;;) {
+            search(key, seq, preds, succs);
+            n->next[0].store(pack(succs[0], false),
+                             std::memory_order_relaxed);
+            std::uintptr_t expected = pack(succs[0], false);
+            if (preds[0]->next[0].compare_exchange_strong(
+                    expected, pack(n, false), std::memory_order_acq_rel,
+                    std::memory_order_acquire))
+                break;
+        }
+        // Link upper levels.  The CAS on our *own* next[lvl] is the
+        // synchronization point with a concurrent deleter's fetch_or: if
+        // the level is already marked we must not link it anywhere.
+        for (unsigned lvl = 1; lvl < height; ++lvl) {
+            std::uintptr_t own = n->next[lvl].load(std::memory_order_acquire);
+            for (;;) {
+                if (marked(own))
+                    return n; // being deleted: abandon remaining levels
+                search(key, seq, preds, succs);
+                if (succs[lvl] == n)
+                    break; // already linked here
+                if (!n->next[lvl].compare_exchange_strong(
+                        own, pack(succs[lvl], false),
+                        std::memory_order_acq_rel,
+                        std::memory_order_acquire))
+                    continue; // own changed: re-check the mark
+                std::uintptr_t expected = pack(succs[lvl], false);
+                if (preds[lvl]->next[lvl].compare_exchange_strong(
+                        expected, pack(n, false), std::memory_order_acq_rel,
+                        std::memory_order_acquire))
+                    break;
+                own = n->next[lvl].load(std::memory_order_acquire);
+            }
+        }
+        return n;
+    }
+
+    // ---- delete -------------------------------------------------------------
+
+    /// Try to become the logical deleter of `n` (mark next[0]).
+    bool try_own(node *n) {
+        std::uintptr_t w = n->next[0].load(std::memory_order_acquire);
+        while (!marked(w)) {
+            if (n->next[0].compare_exchange_weak(w, w | 1,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire))
+                return true;
+        }
+        return false;
+    }
+
+    /// Complete the physical deletion of a logically deleted node: mark
+    /// every tower level, re-search until it is unlinked from all levels
+    /// (the searches themselves do the splicing), and retire exactly
+    /// once.  Idempotent; safe from any thread; must run pinned.
+    void complete_delete(node *n) {
+        for (unsigned lvl = 1; lvl < n->height; ++lvl)
+            n->next[lvl].fetch_or(1, std::memory_order_acq_rel);
+        node *preds[max_height], *succs[max_height];
+        for (;;) {
+            search(n->key, n->seq, preds, succs);
+            bool still_linked = false;
+            for (unsigned lvl = 0; lvl < n->height; ++lvl) {
+                if (succs[lvl] == n) {
+                    still_linked = true;
+                    break;
+                }
+            }
+            if (!still_linked)
+                break;
+        }
+        if (n->retire_claimed.exchange(1, std::memory_order_acq_rel) == 0)
+            mm_.retire_raw(n, [](void *p) {
+                node::destroy(static_cast<node *>(p));
+            });
+    }
+
+    /// Complete every node this thread spliced out of level 0.  New
+    /// splices triggered by the completions themselves are processed too.
+    /// Must run pinned, before the epoch guard is released.
+    void drain_pending() {
+        auto &list = pending();
+        while (!list.empty()) {
+            node *n = list.back();
+            list.pop_back();
+            complete_delete(n);
+        }
+    }
+
+    // ---- misc ---------------------------------------------------------------
+
+    unsigned random_height() {
+        const std::uint64_t r = thread_rng()();
+        unsigned h = 1;
+        while (h < max_height && (r >> h) % 2 == 1)
+            ++h;
+        return h;
+    }
+
+    /// Process-unique sequence numbers without a hot shared counter.
+    /// Dense thread ids are recycled when threads exit (and the
+    /// thread_local counter restarts), so the id itself cannot be the
+    /// uniquifier; instead every thread draws a process-unique 32-bit
+    /// prefix once and counts locally below it.
+    static std::uint64_t next_seq() {
+        static std::atomic<std::uint64_t> next_prefix{1};
+        thread_local const std::uint64_t prefix =
+            next_prefix.fetch_add(1, std::memory_order_relaxed);
+        thread_local std::uint64_t counter = 0;
+        return (prefix << 32) | ++counter;
+    }
+
+    std::vector<node *> &pending() {
+        return pending_[thread_index()].value;
+    }
+
+    /// Diagnostics: alive (unmarked) node count at level 0. O(n).
+    std::size_t count_alive() {
+        epoch_manager::guard g(mm_);
+        std::size_t n = 0;
+        node *curr = ptr(head_->next[0].load(std::memory_order_acquire));
+        while (curr != tail_) {
+            const std::uintptr_t w =
+                curr->next[0].load(std::memory_order_acquire);
+            if (!marked(w))
+                ++n;
+            curr = ptr(w);
+        }
+        return n;
+    }
+
+    node *head_;
+    node *tail_;
+    epoch_manager mm_;
+    cache_aligned<std::vector<node *>> pending_[max_registered_threads];
+};
+
+} // namespace klsm

@@ -1,0 +1,53 @@
+#pragma once
+
+// "Heap + Lock" baseline (paper Section 6.1): a sequential binary heap
+// protected by a single test-and-test-and-set spin lock.  The classic
+// strawman — excellent single-thread performance (the paper's Figure 3
+// shows it near the top at one thread), collapsing under contention as
+// every operation serializes on one cache line.
+
+#include "baselines/binary_heap.hpp"
+#include "util/align.hpp"
+#include "util/spin_lock.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class spin_heap {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    void insert(const K &key, const V &value) {
+        lock_->lock();
+        heap_.insert(key, value);
+        lock_->unlock();
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        lock_->lock();
+        const bool ok = heap_.try_delete_min(key, value);
+        lock_->unlock();
+        return ok;
+    }
+
+    bool try_find_min(K &key, V &value) {
+        lock_->lock();
+        const bool ok = heap_.try_find_min(key, value);
+        lock_->unlock();
+        return ok;
+    }
+
+    std::size_t size_hint() {
+        lock_->lock();
+        const std::size_t n = heap_.size();
+        lock_->unlock();
+        return n;
+    }
+
+private:
+    cache_aligned<spin_lock> lock_;
+    binary_heap<K, V> heap_;
+};
+
+} // namespace klsm

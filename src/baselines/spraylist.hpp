@@ -1,0 +1,173 @@
+#pragma once
+
+// SprayList (Alistarh, Kopinsky, Li, Shavit, PPoPP 2015) — the relaxed
+// lock-free priority queue the k-LSM paper compares against in Figure 3.
+//
+// delete-min performs a "spray": a random walk that starts near the head
+// at height ~log T and at each descending level jumps forward a uniform
+// random number of steps, landing on one of the first O(T log^3 T)
+// elements roughly uniformly.  The landed node is deleted with a CAS
+// (ownership mark); collisions walk forward.  With probability ~1/T the
+// caller instead becomes a *cleaner*, linearly deleting from the very
+// front like Lindén's queue, which bounds the garbage prefix.
+//
+// Relaxation: a spray returns one of the O(T log^3 T) smallest keys with
+// high probability, but — as the k-LSM paper points out — no worst-case
+// bound exists (concurrent modification can push the walk arbitrarily
+// far), and there are no local ordering semantics.  Parameters below use
+// the shapes published in the SprayList paper; exact constants were
+// tuned empirically there and are configurable here.
+
+#include <cmath>
+#include <cstdint>
+
+#include "baselines/skiplist_pq.hpp"
+#include "util/bits.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class spray_pq : private skiplist_pq_base<K, V> {
+    using base = skiplist_pq_base<K, V>;
+    using node = typename base::node;
+
+public:
+    using key_type = K;
+    using value_type = V;
+
+    /// `threads` = expected thread count T, which parameterizes the spray
+    /// dimensions (height ~ log T, per-level jump length ~ M * log T).
+    explicit spray_pq(unsigned threads, unsigned jump_mult = 1)
+        : threads_(threads < 1 ? 1 : threads),
+          spray_height_(spray_height(threads_)),
+          jump_len_(jump_length(threads_, jump_mult)) {}
+
+    void insert(const K &key, const V &value) {
+        epoch_manager::guard g(this->mm_);
+        this->do_insert(key, value);
+        this->drain_pending();
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        epoch_manager::guard g(this->mm_);
+        // With probability 1/T act as a cleaner: delete from the exact
+        // front and physically collect the garbage prefix.
+        if (thread_rng().bounded(threads_) == 0) {
+            const bool ok = delete_front(key, value);
+            this->drain_pending();
+            return ok;
+        }
+
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            node *n = spray();
+            // Walk forward from the landing point to the first node we
+            // manage to own.
+            unsigned steps = 0;
+            while (n != this->tail_ && steps < 2 * jump_len_) {
+                const std::uintptr_t w =
+                    n->next[0].load(std::memory_order_acquire);
+                if (!base::marked(w) && this->try_own(n)) {
+                    key = n->key;
+                    value = n->value;
+                    this->complete_delete(n);
+                    this->drain_pending();
+                    return true;
+                }
+                n = base::ptr(w);
+                ++steps;
+            }
+        }
+        // Contention or an almost-empty list: fall back to exact front
+        // deletion so the operation only fails when the list is empty.
+        const bool ok = delete_front(key, value);
+        this->drain_pending();
+        return ok;
+    }
+
+    bool try_find_min(K &key, V &value) {
+        epoch_manager::guard g(this->mm_);
+        node *curr =
+            base::ptr(this->head_->next[0].load(std::memory_order_acquire));
+        while (curr != this->tail_) {
+            const std::uintptr_t w =
+                curr->next[0].load(std::memory_order_acquire);
+            if (!base::marked(w)) {
+                key = curr->key;
+                value = curr->value;
+                return true;
+            }
+            curr = base::ptr(w);
+        }
+        return false;
+    }
+
+    std::size_t size_hint() { return this->count_alive(); }
+
+    unsigned spray_height_param() const { return spray_height_; }
+    unsigned jump_length_param() const { return jump_len_; }
+
+private:
+    static unsigned spray_height(unsigned threads) {
+        const unsigned h = log2_floor(threads) + 1;
+        return h < base::max_height ? h : base::max_height - 1;
+    }
+
+    /// Per-level jump bound; the total spray range is roughly
+    /// jump_len^(height+1) / ... ~ O(T log^3 T) as published.
+    static unsigned jump_length(unsigned threads, unsigned mult) {
+        const double logt = std::log2(static_cast<double>(threads)) + 1.0;
+        return static_cast<unsigned>(mult * logt) + 1;
+    }
+
+    /// The spray walk: from the head, descend from spray_height_ to 0,
+    /// jumping uniform[0, jump_len_] nodes at each level.
+    node *spray() {
+        node *curr = this->head_;
+        for (int lvl = static_cast<int>(spray_height_); lvl >= 0; --lvl) {
+            std::uint64_t jump = thread_rng().bounded(jump_len_ + 1);
+            while (jump-- > 0) {
+                const std::uintptr_t w =
+                    curr->next[lvl].load(std::memory_order_acquire);
+                node *next = base::ptr(w);
+                if (next == this->tail_ || next == nullptr)
+                    break;
+                curr = next;
+            }
+        }
+        if (curr == this->head_)
+            curr = base::ptr(
+                this->head_->next[0].load(std::memory_order_acquire));
+        return curr;
+    }
+
+    /// Lindén-style exact front deletion with physical cleanup; used by
+    /// the cleaner role and as the fallback path.
+    bool delete_front(K &key, V &value) {
+        node *curr =
+            base::ptr(this->head_->next[0].load(std::memory_order_acquire));
+        while (curr != this->tail_) {
+            std::uintptr_t w = curr->next[0].load(std::memory_order_acquire);
+            if (base::marked(w)) {
+                this->complete_delete(curr);
+                curr = base::ptr(
+                    this->head_->next[0].load(std::memory_order_acquire));
+                continue;
+            }
+            if (curr->next[0].compare_exchange_weak(
+                    w, w | 1, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                key = curr->key;
+                value = curr->value;
+                this->complete_delete(curr);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const unsigned threads_;
+    const unsigned spray_height_;
+    const unsigned jump_len_;
+};
+
+} // namespace klsm

@@ -1,0 +1,88 @@
+#pragma once
+
+// Erdős–Rényi G(n, p) generator with uniform random edge weights — the
+// paper's SSSP workload: "Erdős–Rényi random graphs with 10000 nodes and
+// edge probability 50%; edge weights are randomly chosen integers in the
+// range [1, 100000000]" (Section 6).
+//
+// Each undirected pair {u, v} is present with probability p and stored as
+// two directed arcs.  Pairs are sampled with geometric skips, so sparse
+// graphs cost O(#edges) rather than O(n^2).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace klsm {
+
+struct erdos_renyi_params {
+    std::uint32_t nodes = 10000;
+    double edge_probability = 0.5;
+    std::uint32_t max_weight = 100000000;
+    std::uint64_t seed = 42;
+};
+
+inline graph make_erdos_renyi(const erdos_renyi_params &params) {
+    xoroshiro128 rng{params.seed};
+    std::vector<edge> edges;
+    const double p = params.edge_probability;
+    const std::uint32_t n = params.nodes;
+    if (n == 0 || p <= 0.0)
+        return graph{n, edges};
+
+    const double expected =
+        p * static_cast<double>(n) * (static_cast<double>(n) - 1.0);
+    edges.reserve(static_cast<std::size_t>(expected) + 16);
+
+    auto weight = [&] {
+        return static_cast<std::uint32_t>(rng.range(1, params.max_weight));
+    };
+
+    if (p >= 1.0) {
+        for (std::uint32_t u = 0; u < n; ++u)
+            for (std::uint32_t v = u + 1; v < n; ++v) {
+                const std::uint32_t w = weight();
+                edges.push_back({u, v, w});
+                edges.push_back({v, u, w});
+            }
+        return graph{n, edges};
+    }
+
+    // Geometric-skip sampling over the n*(n-1)/2 unordered pairs,
+    // linearized row-wise as (u, v) with u < v.  The cursor (u, vofs)
+    // advances incrementally, so generation is O(#edges + n) in total.
+    const double log1mp = std::log(1.0 - p);
+    std::uint32_t u = 0;
+    std::uint64_t vofs = 0; // v = u + 1 + vofs; vofs in [0, n-2-u]
+    for (;;) {
+        // Draw skip ~ Geometric(p): number of absent pairs before the
+        // next present one; advance the cursor by skip + 1.
+        const double u01 =
+            (static_cast<double>(rng()) + 1.0) / 18446744073709551616.0;
+        std::uint64_t advance =
+            static_cast<std::uint64_t>(std::log(u01) / log1mp) + 1;
+        while (advance > 0 && u + 1 < n) {
+            const std::uint64_t row_left = (n - 1 - u) - vofs;
+            if (advance <= row_left) {
+                vofs += advance;
+                advance = 0;
+            } else {
+                advance -= row_left;
+                ++u;
+                vofs = 0;
+            }
+        }
+        if (u + 1 >= n)
+            break;
+        const auto v = static_cast<std::uint32_t>(u + vofs);
+        const std::uint32_t w = weight();
+        edges.push_back({u, v, w});
+        edges.push_back({v, u, w});
+    }
+    return graph{n, edges};
+}
+
+} // namespace klsm

@@ -1,0 +1,72 @@
+#pragma once
+
+// Compressed-sparse-row directed graph — the substrate for the SSSP
+// benchmark (paper Section 6, Figure 4).  Immutable after construction;
+// concurrent readers need no synchronization.
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace klsm {
+
+struct edge {
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint32_t weight;
+};
+
+class graph {
+public:
+    using node_id = std::uint32_t;
+
+    graph() = default;
+
+    /// Build from an edge list (directed arcs as given).
+    graph(node_id num_nodes, const std::vector<edge> &edges)
+        : offsets_(num_nodes + 1, 0) {
+        for (const edge &e : edges) {
+            assert(e.from < num_nodes && e.to < num_nodes);
+            ++offsets_[e.from + 1];
+        }
+        for (node_id u = 0; u < num_nodes; ++u)
+            offsets_[u + 1] += offsets_[u];
+        targets_.resize(edges.size());
+        weights_.resize(edges.size());
+        std::vector<std::size_t> cursor(offsets_.begin(),
+                                        offsets_.end() - 1);
+        for (const edge &e : edges) {
+            const std::size_t pos = cursor[e.from]++;
+            targets_[pos] = e.to;
+            weights_[pos] = e.weight;
+        }
+    }
+
+    node_id num_nodes() const {
+        return offsets_.empty()
+                   ? 0
+                   : static_cast<node_id>(offsets_.size() - 1);
+    }
+
+    std::size_t num_edges() const { return targets_.size(); }
+
+    std::size_t degree(node_id u) const {
+        return offsets_[u + 1] - offsets_[u];
+    }
+
+    std::span<const node_id> neighbors(node_id u) const {
+        return {targets_.data() + offsets_[u], degree(u)};
+    }
+
+    std::span<const std::uint32_t> weights(node_id u) const {
+        return {weights_.data() + offsets_[u], degree(u)};
+    }
+
+private:
+    std::vector<std::size_t> offsets_;
+    std::vector<node_id> targets_;
+    std::vector<std::uint32_t> weights_;
+};
+
+} // namespace klsm

@@ -1,0 +1,110 @@
+#pragma once
+
+// Relaxation-quality measurement: rank error of delete-min.
+//
+// The paper's central semantic claim (Lemma 2) is the worst-case bound
+// rho = T*k on how many smaller keys a delete-min may skip.  This harness
+// measures the *observed* rank-error distribution: every queue operation
+// is mirrored into an exact multiset under a global lock, and each
+// delete's key is ranked against the mirror.  Serializing operations
+// perturbs timing (quality under full concurrency can only be better
+// bounded than measured here for lock-based comparators), but it makes
+// every individual measurement exact — the standard methodology for
+// relaxed-queue quality plots.
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace klsm {
+
+struct quality_result {
+    std::uint64_t deletes = 0;
+    std::uint64_t rank_sum = 0;
+    std::uint64_t rank_max = 0;
+    /// rank histogram, bucketed by powers of two: bucket i counts ranks
+    /// in [2^i - 1, 2^(i+1) - 1).
+    std::uint64_t histogram[24] = {};
+
+    double mean_rank() const {
+        return deletes ? static_cast<double>(rank_sum) / deletes : 0.0;
+    }
+
+    void record(std::uint64_t rank) {
+        ++deletes;
+        rank_sum += rank;
+        if (rank > rank_max)
+            rank_max = rank;
+        unsigned bucket = 0;
+        while (bucket + 1 < 24 &&
+               rank + 1 >= (std::uint64_t{1} << (bucket + 1)))
+            ++bucket;
+        ++histogram[bucket];
+    }
+};
+
+struct quality_params {
+    std::size_t prefill = 10000;
+    std::uint64_t ops_per_thread = 20000;
+    unsigned threads = 4;
+    std::uint64_t seed = 17;
+    std::uint32_t key_range = 1 << 20;
+};
+
+/// Drive `q` with a serialized 50/50 workload and measure delete-min
+/// rank errors against an exact mirror.
+template <typename PQ>
+quality_result measure_rank_error(PQ &q, const quality_params &params) {
+    std::multiset<std::uint64_t> mirror;
+    std::mutex mtx;
+    quality_result result;
+
+    {
+        // Serialized prefill, mirrored.
+        xoroshiro128 rng{params.seed};
+        for (std::size_t i = 0; i < params.prefill; ++i) {
+            const auto key = static_cast<typename PQ::key_type>(
+                rng.bounded(params.key_range));
+            q.insert(key, typename PQ::value_type{});
+            mirror.insert(key);
+        }
+    }
+
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < params.threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{params.seed + 31 * (t + 1)};
+            typename PQ::key_type key;
+            typename PQ::value_type value{};
+            for (std::uint64_t i = 0; i < params.ops_per_thread; ++i) {
+                if (rng.bounded(2) == 0) {
+                    const auto k = static_cast<typename PQ::key_type>(
+                        rng.bounded(params.key_range));
+                    std::lock_guard<std::mutex> g(mtx);
+                    q.insert(k, value);
+                    mirror.insert(k);
+                } else {
+                    std::lock_guard<std::mutex> g(mtx);
+                    if (!q.try_delete_min(key, value))
+                        continue;
+                    auto it = mirror.find(key);
+                    if (it == mirror.end())
+                        continue; // should not happen; be safe
+                    const auto rank = static_cast<std::uint64_t>(
+                        std::distance(mirror.begin(), it));
+                    result.record(rank);
+                    mirror.erase(it);
+                }
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    return result;
+}
+
+} // namespace klsm

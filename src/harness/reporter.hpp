@@ -1,0 +1,69 @@
+#pragma once
+
+// Fixed-width table / CSV output for the benchmark binaries, so every
+// figure's data can be read off the terminal or piped into a plotting
+// script.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace klsm {
+
+class table_reporter {
+public:
+    explicit table_reporter(std::vector<std::string> columns,
+                            bool csv = false)
+        : columns_(std::move(columns)), csv_(csv) {
+        print_row_impl(columns_, true);
+    }
+
+    template <typename... Cells>
+    void row(Cells &&...cells) {
+        std::vector<std::string> out;
+        (out.push_back(to_cell(std::forward<Cells>(cells))), ...);
+        print_row_impl(out, false);
+    }
+
+private:
+    static std::string to_cell(const std::string &s) { return s; }
+    static std::string to_cell(const char *s) { return s; }
+    static std::string to_cell(double v) {
+        std::ostringstream os;
+        if (v != 0 && (v >= 1e6 || v < 1e-2))
+            os << std::scientific << std::setprecision(3) << v;
+        else
+            os << std::fixed << std::setprecision(3) << v;
+        return os.str();
+    }
+    template <typename T>
+    static std::string to_cell(T v) {
+        return std::to_string(v);
+    }
+
+    void print_row_impl(const std::vector<std::string> &cells, bool header) {
+        if (csv_) {
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                std::cout << (i ? "," : "") << cells[i];
+            std::cout << "\n";
+            return;
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::cout << std::left << std::setw(i == 0 ? 16 : 14)
+                      << cells[i];
+        std::cout << "\n";
+        if (header) {
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                std::cout << std::string(i == 0 ? 15 : 13, '-') << " ";
+            std::cout << "\n";
+        }
+        std::cout.flush();
+    }
+
+    std::vector<std::string> columns_;
+    bool csv_;
+};
+
+} // namespace klsm

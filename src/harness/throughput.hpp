@@ -1,0 +1,98 @@
+#pragma once
+
+// The paper's throughput benchmark (Section 6, Figure 3):
+//
+//   "a throughput benchmark, which lets all threads randomly insert and
+//    delete keys from a priority queue that is prefilled with a given
+//    number of keys. ... the ratio between insertions and deletions is
+//    50-50. ... run for 10 seconds for each experiment, and the average
+//    throughput per second is shown."
+//
+// Figure 3 plots throughput *per thread* per second, so a flat line is
+// linear speedup.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace klsm {
+
+struct throughput_result {
+    std::uint64_t total_ops = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t failed_deletes = 0;
+    double elapsed_s = 0;
+
+    double ops_per_sec() const {
+        return elapsed_s > 0 ? static_cast<double>(total_ops) / elapsed_s
+                             : 0;
+    }
+    double ops_per_thread_per_sec(unsigned threads) const {
+        return threads > 0 ? ops_per_sec() / threads : 0;
+    }
+};
+
+/// Run the 50/50 benchmark on an already-prefilled queue.
+template <typename PQ>
+throughput_result run_throughput(PQ &q, const throughput_params &params) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> inserts{0}, deletes{0}, failed{0};
+    std::barrier sync{static_cast<std::ptrdiff_t>(params.threads) + 1};
+
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < params.threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{params.seed + 104729 * (t + 1)};
+            const std::uint64_t mask =
+                params.key_range_bits >= 64
+                    ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << params.key_range_bits) - 1);
+            std::uint64_t my_inserts = 0, my_deletes = 0, my_failed = 0;
+            typename PQ::key_type key;
+            typename PQ::value_type value{};
+            sync.arrive_and_wait();
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (rng.bounded(100) < params.insert_percent) {
+                    q.insert(
+                        static_cast<typename PQ::key_type>(rng() & mask),
+                        value);
+                    ++my_inserts;
+                } else {
+                    if (q.try_delete_min(key, value))
+                        ++my_deletes;
+                    else
+                        ++my_failed;
+                }
+            }
+            inserts.fetch_add(my_inserts);
+            deletes.fetch_add(my_deletes);
+            failed.fetch_add(my_failed);
+        });
+    }
+
+    sync.arrive_and_wait(); // release the workers
+    wall_timer timer;
+    while (timer.elapsed_s() < params.duration_s)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &t : ts)
+        t.join();
+    const double elapsed = timer.elapsed_s();
+
+    throughput_result out;
+    out.inserts = inserts.load();
+    out.deletes = deletes.load();
+    out.failed_deletes = failed.load();
+    out.total_ops = out.inserts + out.deletes + out.failed_deletes;
+    out.elapsed_s = elapsed;
+    return out;
+}
+
+} // namespace klsm

@@ -1,0 +1,61 @@
+#pragma once
+
+// Workload generation for the throughput benchmark (paper Section 6):
+// uniform random 32-bit keys, 50/50 insert/delete-min mix, queues
+// prefilled with a given number of keys before timing starts.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace klsm {
+
+struct throughput_params {
+    std::size_t prefill = 1000000; ///< keys inserted before timing
+    double duration_s = 1.0;       ///< timed benchmark window
+    unsigned threads = 1;
+    /// Percentage of operations that are inserts (the paper uses 50).
+    unsigned insert_percent = 50;
+    std::uint64_t seed = 1;
+    std::uint32_t key_range_bits = 32;
+};
+
+/// Prefill `q` with uniformly random keys using several helper threads
+/// (bounded, so the prefill itself doesn't exhaust thread slots).
+template <typename PQ>
+void prefill_queue(PQ &q, std::size_t n, std::uint64_t seed,
+                   std::uint32_t key_bits = 32, unsigned threads = 4) {
+    if (n == 0)
+        return;
+    if (threads <= 1) {
+        xoroshiro128 rng{seed};
+        const std::uint64_t mask =
+            key_bits >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << key_bits) - 1);
+        for (std::size_t i = 0; i < n; ++i)
+            q.insert(static_cast<typename PQ::key_type>(rng() & mask),
+                     typename PQ::value_type{});
+        return;
+    }
+    std::vector<std::thread> ts;
+    const std::size_t share = n / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::size_t count =
+            t + 1 == threads ? n - share * (threads - 1) : share;
+        ts.emplace_back([&q, count, seed, t, key_bits] {
+            xoroshiro128 rng{seed + t * 7919};
+            const std::uint64_t mask =
+                key_bits >= 64 ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << key_bits) - 1);
+            for (std::size_t i = 0; i < count; ++i)
+                q.insert(static_cast<typename PQ::key_type>(rng() & mask),
+                         typename PQ::value_type{});
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+}
+
+} // namespace klsm

@@ -1,0 +1,126 @@
+#pragma once
+
+// Per-thread, type-stable block recycling pools (paper Section 4.4):
+//
+//   "It is guaranteed that no thread will need more than four instances
+//    of Block per level at any point in time, which will be allocated on
+//    first access."
+//
+// Each thread owns one pool per queue.  Blocks are never freed while the
+// queue lives; they cycle through the states free -> held -> (published ->)
+// free.  Whether a published block may be recycled is decided by a caller-
+// supplied predicate:
+//
+//   * DistLSM blocks: the owner knows exactly when a block leaves its
+//     block array, so it releases blocks explicitly (state goes free).
+//   * Shared-LSM blocks: other threads' consolidations drop blocks from
+//     the published array, so the owner cannot observe unpublication.
+//     Instead, `acquire` re-checks candidates against the *current*
+//     shared BlockArray: once a block is absent from the current array it
+//     can never be re-published (a snapshot containing it could only be
+//     pushed by a CAS whose expected value is an array that still
+//     references it), so absence is a stable reclamation criterion.
+//
+// We allocate four blocks per level eagerly on first use of a level, per
+// the paper's bound, but allow the pool to grow as a safety valve — an
+// extra allocation is strictly better than an unbounded search or a
+// corruption if the bound were ever exceeded by a code path we reasoned
+// about incorrectly.  Growth is counted so tests can assert the paper's
+// bound actually holds.
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "klsm/block.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class block_pool {
+public:
+    static constexpr std::uint32_t max_levels = 32;
+    static constexpr std::size_t blocks_per_level = 4;
+
+    block_pool() = default;
+    block_pool(const block_pool &) = delete;
+    block_pool &operator=(const block_pool &) = delete;
+
+    /// Acquire a block with capacity 2^capacity_pow, begin its mutation
+    /// window at logical level `level` (<= capacity_pow).
+    /// `may_recycle(b)` decides whether a block in `published` state has
+    /// become reclaimable; pass `always_recyclable` for DistLSM pools.
+    template <typename Pred>
+    block<K, V> *acquire(std::uint32_t capacity_pow, std::uint32_t level,
+                         Pred &&may_recycle) {
+        assert(capacity_pow < max_levels);
+        auto &bucket = buckets_[capacity_pow];
+        if (bucket.empty()) {
+            bucket.reserve(blocks_per_level);
+            for (std::size_t i = 0; i < blocks_per_level; ++i)
+                bucket.push_back(std::make_unique<block<K, V>>(capacity_pow));
+        }
+        block<K, V> *found = nullptr;
+        for (auto &b : bucket) {
+            switch (b->pool_state()) {
+            case block_state::free:
+                found = b.get();
+                break;
+            case block_state::published:
+                if (may_recycle(b.get()))
+                    found = b.get();
+                break;
+            case block_state::held:
+                break;
+            }
+            if (found)
+                break;
+        }
+        if (!found) {
+            // Safety valve; see header comment.
+            bucket.push_back(std::make_unique<block<K, V>>(capacity_pow));
+            found = bucket.back().get();
+            ++overflow_allocations_;
+        }
+        found->set_pool_state(block_state::held);
+        found->reuse_begin(level);
+        return found;
+    }
+
+    /// Predicate for pools whose published blocks are tracked explicitly
+    /// by the owner (never used in `published` state).
+    static bool always_recyclable(block<K, V> *) { return true; }
+
+    /// Owner finished building and did NOT publish the block (or removed
+    /// it from its own DistLSM): recycle immediately.
+    void release(block<K, V> *b) {
+        if ((b->generation() & 1) != 0)
+            b->seal();
+        b->set_pool_state(block_state::free);
+    }
+
+    /// Owner published the block into the shared LSM; it becomes
+    /// reclaimable only via the `may_recycle` predicate.
+    void mark_published(block<K, V> *b) {
+        b->set_pool_state(block_state::published);
+    }
+
+    /// Number of allocations beyond the paper's four-per-level bound
+    /// (tests assert this stays 0 for DistLSM usage).
+    std::size_t overflow_allocations() const { return overflow_allocations_; }
+
+    /// Total blocks currently allocated (test/diagnostic helper).
+    std::size_t total_blocks() const {
+        std::size_t n = 0;
+        for (const auto &bucket : buckets_)
+            n += bucket.size();
+        return n;
+    }
+
+private:
+    std::vector<std::unique_ptr<block<K, V>>> buckets_[max_levels];
+    std::size_t overflow_allocations_ = 0;
+};
+
+} // namespace klsm

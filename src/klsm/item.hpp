@@ -1,0 +1,110 @@
+#pragma once
+
+// Versioned items — the heart of the k-LSM's ABA-safe manual memory
+// management (paper Section 4.4):
+//
+//   "Since the scheme is not ABA safe, we change the flag variable in Item
+//    to an integer, which allows items to be marked as deleted in an
+//    ABA-safe manner by incrementing flag with an atomic compare-and-swap.
+//    Blocks store the expected flag value together with each pointer to
+//    Item."
+//
+// An item's `version` is a monotonically increasing counter:
+//   * odd  = alive (inserted, not yet deleted),
+//   * even = free (never used, logically deleted, or awaiting reuse).
+//
+// Logical deletion ("take") is CAS(version, expected_odd, expected_odd+1).
+// Reuse republishes payload and bumps the version to the next odd value.
+// Because the counter never repeats, a stale (pointer, expected_version)
+// pair held by any block anywhere in the system can never successfully
+// take a reused item: the CAS simply fails.  Combined with type-stable
+// item storage (items are never freed while the queue lives, see
+// mm/item_pool.hpp), this makes every dereference safe and every stale
+// reference harmless.
+//
+// Payload reads are validated seqlock-style *by the take CAS itself*: a
+// reader loads the version (acquire), reads key/value, and then tries the
+// CAS.  CAS success proves the version was still `expected` at that point,
+// hence no reuse intervened, hence the payload read was the one published
+// together with `expected`.
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace klsm {
+
+template <typename K, typename V>
+class item {
+    static_assert(std::is_trivially_copyable_v<K> &&
+                      std::is_trivially_copyable_v<V>,
+                  "items hold their payload in relaxed atomics; keys and "
+                  "values must be trivially copyable");
+
+public:
+    using key_type = K;
+    using value_type = V;
+
+    item() = default;
+    item(const item &) = delete;
+    item &operator=(const item &) = delete;
+
+    /// Publish a new payload in a free item and return the new (odd)
+    /// version.  May only be called by the pool that owns the item, on an
+    /// item whose version is even.
+    std::uint64_t publish(const K &key, const V &value) {
+        key_.store(key, std::memory_order_relaxed);
+        value_.store(value, std::memory_order_relaxed);
+        const std::uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+        version_.store(v, std::memory_order_release);
+        return v;
+    }
+
+    /// Logically delete: succeeds iff the version still equals `expected`.
+    /// This is the linearization point of a successful delete-min.
+    bool take(std::uint64_t expected) {
+        return version_.compare_exchange_strong(expected, expected + 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed);
+    }
+
+    /// True if the item still carries version `expected` (i.e. the payload
+    /// observed under that version is still live).
+    bool is_alive(std::uint64_t expected) const {
+        return version_.load(std::memory_order_acquire) == expected;
+    }
+
+    std::uint64_t version() const {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /// An item is reusable by its pool iff its version is even.
+    bool reusable() const {
+        return (version_.load(std::memory_order_relaxed) & 1) == 0;
+    }
+
+    K key() const { return key_.load(std::memory_order_relaxed); }
+    V value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> version_{0};
+    std::atomic<K> key_{};
+    std::atomic<V> value_{};
+};
+
+/// A (pointer, expected-version) pair — what blocks actually store.  The
+/// key is cached alongside so ordering decisions never chase the item
+/// pointer; a stale cached key can only misdirect a take that the version
+/// check then rejects.
+template <typename K, typename V>
+struct item_ref {
+    item<K, V> *it = nullptr;
+    std::uint64_t version = 0;
+    K key{};
+
+    bool empty() const { return it == nullptr; }
+    bool alive() const { return it != nullptr && it->is_alive(version); }
+    bool take() const { return it->take(version); }
+};
+
+} // namespace klsm

@@ -1,0 +1,235 @@
+#pragma once
+
+// The combined k-LSM relaxed priority queue (paper Section 4.3, Listing 5)
+// — the paper's primary contribution.
+//
+// Composition:
+//   * one DistLSM per thread slot, bounded to k items; inserts batch
+//     locally and spill whole sorted blocks into the shared k-LSM when
+//     the bound is exceeded, cutting the shared structure's sequential
+//     update frequency by a factor of roughly k;
+//   * one shared k-LSM, whose delete-min draws uniformly from the <= k+1
+//     smallest keys;
+//   * spying: a thread whose local and shared views are both empty copies
+//     item references from a random victim's DistLSM.
+//
+// Guarantees (Section 5): insert and try_delete_min are lock-free;
+// try_delete_min is linearizable under structural rho-relaxation with
+// rho = T*k (T = number of participating threads), and local ordering
+// semantics hold — a thread never skips keys it inserted itself, because
+// its own DistLSM is always consulted and the shared find_min prefers the
+// thread's own minimum (Bloom filter check).
+//
+// The Lazy template parameter implements Section 4.5's lazy deletion: a
+// stateful predicate consulted whenever items are copied between blocks
+// (see lazy.hpp); the default never deletes.
+
+#include <cstdint>
+
+#include "klsm/dist_lsm.hpp"
+#include "klsm/item.hpp"
+#include "klsm/lazy.hpp"
+#include "klsm/shared_lsm.hpp"
+#include "util/slot_directory.hpp"
+#include "util/thread_id.hpp"
+
+namespace klsm {
+
+template <typename K, typename V, typename Lazy = no_lazy>
+class k_lsm {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    /// `k` is the relaxation parameter: try_delete_min may return any of
+    /// the rho + 1 smallest keys, rho = T*k.  k == 0 degenerates to the
+    /// shared LSM alone (every insert publishes immediately).
+    explicit k_lsm(std::size_t k, Lazy lazy = {})
+        : k_(k), lazy_(lazy), shared_(k) {
+        for (auto &d : dist_)
+            d = std::make_unique<dist_lsm_local<K, V>>();
+    }
+
+    k_lsm(const k_lsm &) = delete;
+    k_lsm &operator=(const k_lsm &) = delete;
+
+    std::size_t relaxation() const { return k_; }
+
+    void insert(const K &key, const V &value) {
+        const std::uint32_t slot = dir_.register_self();
+        dist_[slot]->insert(
+            key, value, slot, k_, lazy_,
+            [this](block<K, V> *b, std::uint32_t filled) {
+                shared_.insert(b, filled, lazy_);
+            });
+    }
+
+    /// Attempt to delete a minimal key under the relaxed semantics.
+    /// Returns false if the queue appears empty (may fail spuriously; the
+    /// paper's interface explicitly permits this as long as a key is
+    /// eventually returned given enough attempts).
+    bool try_delete_min(K &key, V &value) {
+        const std::uint32_t slot = dir_.register_self();
+        dist_lsm_local<K, V> &mine = *dist_[slot];
+        do {
+            for (;;) {
+                // Listing 5: consult both components, prefer the smaller.
+                item_ref<K, V> cand = mine.find_min(lazy_);
+                item_ref<K, V> shared_cand = shared_.find_min(slot, lazy_);
+                if (!shared_cand.empty() &&
+                    (cand.empty() || shared_cand.key < cand.key))
+                    cand = shared_cand;
+                if (cand.empty())
+                    break; // both empty: try spying
+                // Read the payload before the take; CAS success certifies
+                // the payload read (see item.hpp).
+                const V v = cand.it->value();
+                if (cand.take()) {
+                    key = cand.key;
+                    value = v;
+                    return true;
+                }
+                // Someone else deleted it first; that thread made
+                // progress, so retrying keeps us lock-free.
+            }
+        } while (spy(slot));
+        return false;
+    }
+
+    /// Best-effort find-min (Section 4's try_find_min extension): returns
+    /// a key/value that was among the relaxed minima at some recent
+    /// point; false if the queue appears empty.
+    bool try_find_min(K &key, V &value) {
+        const std::uint32_t slot = dir_.register_self();
+        item_ref<K, V> cand = dist_[slot]->find_min(lazy_);
+        item_ref<K, V> shared_cand = shared_.find_min(slot, lazy_);
+        if (!shared_cand.empty() &&
+            (cand.empty() || shared_cand.key < cand.key))
+            cand = shared_cand;
+        if (cand.empty())
+            return false;
+        key = cand.key;
+        value = cand.it->value();
+        return cand.it->is_alive(cand.version);
+    }
+
+    /// Approximate size; the paper's size() is allowed to be off by up to
+    /// rho, and this estimate additionally counts not-yet-compacted
+    /// logically deleted entries.
+    std::size_t size_hint() const {
+        std::size_t total = shared_.item_count_estimate();
+        dir_.for_each([&](std::uint32_t slot) {
+            total += dist_[slot]->item_count_estimate();
+        });
+        return total;
+    }
+
+    /// Expose components for white-box tests and diagnostics.
+    shared_lsm<K, V> &shared_component() { return shared_; }
+    dist_lsm_local<K, V> &dist_component(std::uint32_t slot) {
+        return *dist_[slot];
+    }
+
+private:
+    bool spy(std::uint32_t slot) {
+        // Bound the copy to k items (Section 4.2's space bound); always
+        // allow at least one so spying makes progress for k == 0.
+        const std::size_t cap = k_ > 0 ? k_ : 1;
+        // Random victim first (the paper's scheme), then one sweep over
+        // all registered slots so a false return means every DistLSM was
+        // observed empty — spurious failures stay possible but rare.
+        const std::uint32_t victim = dir_.random_victim(slot);
+        if (victim < max_registered_threads && victim != slot &&
+            dist_[slot]->spy_from(*dist_[victim], cap))
+            return true;
+        const std::uint32_t n = dir_.size();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t s = dir_.at(i);
+            if (s != slot && s != victim &&
+                dist_[slot]->spy_from(*dist_[s], cap))
+                return true;
+        }
+        return false;
+    }
+
+    const std::size_t k_;
+    Lazy lazy_;
+    shared_lsm<K, V> shared_;
+    std::unique_ptr<dist_lsm_local<K, V>> dist_[max_registered_threads];
+    slot_directory dir_;
+};
+
+/// The standalone distributed LSM priority queue ("DLSM" in Figure 3):
+/// the k-LSM without the shared component and without relaxation bounds —
+/// purely local ordering semantics, maximal scalability.
+template <typename K, typename V>
+class dist_pq {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    dist_pq() {
+        for (auto &d : dist_)
+            d = std::make_unique<dist_lsm_local<K, V>>();
+    }
+
+    dist_pq(const dist_pq &) = delete;
+    dist_pq &operator=(const dist_pq &) = delete;
+
+    void insert(const K &key, const V &value) {
+        const std::uint32_t slot = dir_.register_self();
+        dist_[slot]->insert(key, value, slot,
+                            dist_lsm_local<K, V>::unbounded, no_lazy{},
+                            [](block<K, V> *, std::uint32_t) {});
+    }
+
+    bool try_delete_min(K &key, V &value) {
+        const std::uint32_t slot = dir_.register_self();
+        dist_lsm_local<K, V> &mine = *dist_[slot];
+        do {
+            for (;;) {
+                item_ref<K, V> cand = mine.find_min();
+                if (cand.empty())
+                    break;
+                const V v = cand.it->value();
+                if (cand.take()) {
+                    key = cand.key;
+                    value = v;
+                    return true;
+                }
+            }
+        } while (spy(slot));
+        return false;
+    }
+
+    std::size_t size_hint() const {
+        std::size_t total = 0;
+        dir_.for_each([&](std::uint32_t slot) {
+            total += dist_[slot]->item_count_estimate();
+        });
+        return total;
+    }
+
+private:
+    bool spy(std::uint32_t slot) {
+        const std::uint32_t victim = dir_.random_victim(slot);
+        if (victim < max_registered_threads && victim != slot &&
+            dist_[slot]->spy_from(*dist_[victim],
+                                  dist_lsm_local<K, V>::unbounded))
+            return true;
+        const std::uint32_t n = dir_.size();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t s = dir_.at(i);
+            if (s != slot && s != victim &&
+                dist_[slot]->spy_from(*dist_[s],
+                                      dist_lsm_local<K, V>::unbounded))
+                return true;
+        }
+        return false;
+    }
+
+    std::unique_ptr<dist_lsm_local<K, V>> dist_[max_registered_threads];
+    slot_directory dir_;
+};
+
+} // namespace klsm

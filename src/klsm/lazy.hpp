@@ -1,0 +1,40 @@
+#pragma once
+
+// Lazy deletion (paper Section 4.5).
+//
+//   "the priority queue can query whether an item needs to be deleted.
+//    This can be performed whenever it is convenient for the priority
+//    queue, which for the LSM is whenever items are copied into a new
+//    block (deleted items do not need to be copied)"
+//
+// A lazy-deletion policy is a callable
+//
+//     bool operator()(const K &key, const item<K, V> *it) const
+//
+// returning true if the item is semantically dead and should be dropped
+// the next time a block is rebuilt.  The queue then *takes* the item (so
+// other references see it as logically deleted) and skips the copy.  The
+// SSSP benchmark uses this to drop (distance, node) entries that have
+// been superseded by a shorter distance, replacing an explicit
+// decrease-key operation.
+//
+// A policy may additionally define `void dropped() const`, which the
+// queue calls exactly once per item it lazily deletes (i.e. whenever its
+// take CAS on the expired item succeeds).  Applications that count
+// in-flight queue entries — like the SSSP driver's termination counter —
+// need this notification to stay balanced.
+
+#include "klsm/item.hpp"
+
+namespace klsm {
+
+/// Default policy: nothing is ever lazily deleted.  Stateless and
+/// trivially inlined away.
+struct no_lazy {
+    template <typename K, typename V>
+    constexpr bool operator()(const K &, const item<K, V> *) const {
+        return false;
+    }
+};
+
+} // namespace klsm

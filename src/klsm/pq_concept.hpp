@@ -1,0 +1,19 @@
+#pragma once
+
+// The common interface every priority queue in this library satisfies —
+// the paper's external interface (Section 4): insert always succeeds;
+// try_delete_min returns a flag and may fail spuriously on non-empty
+// queues as long as a key is eventually returned given enough attempts.
+
+#include <concepts>
+
+namespace klsm {
+
+template <typename PQ>
+concept relaxed_priority_queue = requires(PQ q, typename PQ::key_type k,
+                                          typename PQ::value_type v) {
+    q.insert(k, v);
+    { q.try_delete_min(k, v) } -> std::same_as<bool>;
+};
+
+} // namespace klsm

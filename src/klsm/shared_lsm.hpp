@@ -1,0 +1,611 @@
+#pragma once
+
+// Shared k-LSM priority queue component (paper Section 4.1, Listings 2-3).
+//
+// One global version-stamped pointer (`shared_`) to the current immutable
+// BlockArray.  Every thread keeps:
+//   * two BlockArray instances it alternates between (Section 4.4), used
+//     both as private snapshots of `shared_` and as the staging area for
+//     updates, plus a growable safety valve;
+//   * a block pool whose published blocks are reclaimed once they are no
+//     longer referenced by the *current* shared array (see block_pool.hpp
+//     for why absence from the current array is a stable criterion);
+//   * the stamped pointer (`observed`) and full version under which its
+//     snapshot was copied.
+//
+// delete-min relaxation: find_min picks uniformly at random one of the
+// <= k+1 smallest entries, delimited per block by the pivot indices
+// (Listing 2), falling back to the block minimum when the pick is
+// logically deleted.  A per-block Bloom filter over contributing thread
+// ids lets a thread find its own minimal key first, preserving local
+// ordering semantics.
+//
+// Progress: operations retry only when another thread successfully
+// replaced the shared array or recycled an array/block we were reading —
+// i.e. when someone else made progress — so insert and find_min are
+// lock-free (Lemmas 3-4).
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "klsm/block.hpp"
+#include "klsm/block_array.hpp"
+#include "klsm/block_pool.hpp"
+#include "klsm/item.hpp"
+#include "klsm/lazy.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+#include "util/stamped_ptr.hpp"
+#include "util/thread_id.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class shared_lsm {
+public:
+    using arr = block_array<K, V>;
+    static constexpr std::uint32_t max_blocks = arr::max_blocks;
+
+    explicit shared_lsm(std::size_t k) : k_(k) {
+        for (auto &s : threads_)
+            s = std::make_unique<thread_state>();
+    }
+
+    shared_lsm(const shared_lsm &) = delete;
+    shared_lsm &operator=(const shared_lsm &) = delete;
+
+    std::size_t relaxation() const { return k_; }
+
+    /// Insert the contents of `src[0, src_filled)` (a sealed block owned
+    /// by the calling thread's DistLSM) as a new block (Listing 3's
+    /// insert: build on the private snapshot, then CAS-publish, retrying
+    /// on a fresh snapshot until the CAS succeeds).
+    template <typename Lazy = no_lazy>
+    void insert(const block<K, V> *src, std::uint32_t src_filled,
+                const Lazy &lazy = {}) {
+        thread_state &ts = self();
+        exp_backoff backoff;
+        for (;;) {
+            assert(ts.created.empty());
+            arr *snap;
+            if (refresh_if_needed(ts)) {
+                snap = ts.snapshot;
+                snap->begin_mutate();
+            } else {
+                snap = acquire_scratch(ts, nullptr);
+                snap->begin_mutate();
+                snap->size.store(0, std::memory_order_relaxed);
+            }
+
+            // Copy the source into a shared-pool block so DistLSM blocks
+            // never escape into the shared structure.
+            block<K, V> *nb = acquire_block(
+                ts, block<K, V>::level_for(src_filled));
+            nb->copy_from(*src, src_filled, lazy);
+            nb->seal();
+            if (nb->filled() == 0) {
+                // Everything was already deleted or lazily expired;
+                // nothing to publish.
+                ts.pool.release(nb);
+                snap->seal();
+                return;
+            }
+            ts.created.push_back(nb);
+
+            insert_block_slot(ts, snap, nb, lazy);
+            calculate_pivots(snap);
+            const std::uint64_t v = snap->seal();
+
+            if (snap->count() == 0) {
+                // Cannot happen after inserting a non-empty block.
+                assert(false);
+            }
+            if (push_snapshot(ts, snap, v)) {
+                commit_created(ts);
+                return;
+            }
+            rollback_created(ts);
+            ts.snapshot = nullptr;
+            backoff();
+        }
+    }
+
+    /// Find a candidate among the <= k+1 smallest entries (Listing 3's
+    /// find_min).  Returns an empty ref iff the shared LSM is empty.  The
+    /// caller attempts item_ref::take and calls again on failure.
+    template <typename Lazy = no_lazy>
+    item_ref<K, V> find_min(std::uint32_t tid, const Lazy &lazy = {}) {
+        thread_state &ts = self();
+        for (;;) {
+            assert(ts.created.empty());
+            if (!refresh_if_needed(ts))
+                return {}; // shared is null: empty
+            arr *snap = ts.snapshot;
+            if (snap->count() == 0) {
+                // A published empty array; replace it with null.
+                push_null(ts);
+                ts.snapshot = nullptr;
+                continue;
+            }
+
+            item_ref<K, V> cand = select_candidate(snap, tid);
+            if (!cand.empty() && cand.alive()) {
+                // Lemma 2 linearizes a successful delete at the *last*
+                // comparison of shared with observed; re-verify here so
+                // the window between verification and the caller's take
+                // CAS is as small as the paper's.
+                if (shared_.load() != ts.observed) {
+                    ts.snapshot = nullptr;
+                    continue;
+                }
+                return cand;
+            }
+
+            // The selected candidate (and the block-minimum fallback) was
+            // logically deleted: consolidate, and publish if the shape
+            // changed (Listing 3).
+            snap->begin_mutate();
+            const bool merged = consolidate(ts, snap, lazy);
+            calculate_pivots(snap);
+            const std::uint64_t v = snap->seal();
+
+            if (snap->count() == 0) {
+                rollback_created(ts);
+                push_null(ts);
+                ts.snapshot = nullptr;
+                continue;
+            }
+            if (merged) {
+                if (push_snapshot(ts, snap, v)) {
+                    commit_created(ts);
+                    ts.snapshot = nullptr;
+                } else {
+                    rollback_created(ts);
+                    ts.snapshot = nullptr;
+                }
+            }
+            // Not merged: keep using the locally trimmed snapshot.
+        }
+    }
+
+    /// Approximate number of entries (including not-yet-trimmed logically
+    /// deleted ones) in the current shared array.  May be off by the
+    /// relaxation bound, as the paper's size() permits.
+    std::size_t item_count_estimate() const {
+        for (;;) {
+            const auto cur = shared_.load();
+            arr *a = cur.ptr();
+            if (a == nullptr)
+                return 0;
+            const std::uint64_t v1 =
+                a->version.load(std::memory_order_acquire);
+            if ((v1 & 1) != 0 || !cur.matches(v1)) {
+                if (shared_.load() == cur)
+                    return 0;
+                continue;
+            }
+            std::size_t total = 0;
+            std::uint32_t n = a->size.load(std::memory_order_relaxed);
+            if (n > max_blocks)
+                continue;
+            for (std::uint32_t i = 0; i < n; ++i)
+                total += a->slots[i].filled.load(std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (a->version.load(std::memory_order_relaxed) != v1)
+                continue;
+            return total;
+        }
+    }
+
+    /// Diagnostic: number of BlockArray instances allocated beyond the
+    /// paper's two-per-thread bound.
+    std::size_t extra_array_allocations() const {
+        std::size_t n = 0;
+        for (const auto &s : threads_)
+            n += s->extra_arrays.size();
+        return n;
+    }
+
+private:
+    struct thread_state {
+        std::unique_ptr<arr> arrays[2];
+        std::vector<std::unique_ptr<arr>> extra_arrays; // safety valve
+        arr *snapshot = nullptr;
+        stamped_ptr<arr> observed{};
+        std::uint64_t observed_version = 0;
+        block_pool<K, V> pool;
+        std::vector<block<K, V> *> created;
+    };
+
+    thread_state &self() { return *threads_[thread_index()]; }
+
+    // ---- snapshot management ----------------------------------------------
+
+    /// Ensure ts.snapshot is a valid private copy of the current shared
+    /// array.  Returns false iff shared is null (empty shared LSM).
+    bool refresh_if_needed(thread_state &ts) {
+        if (ts.snapshot != nullptr && shared_.load() == ts.observed)
+            return true;
+        exp_backoff backoff;
+        for (;;) {
+            const auto cur = shared_.load();
+            arr *src = cur.ptr();
+            if (src == nullptr) {
+                ts.snapshot = nullptr;
+                ts.observed = cur;
+                return false;
+            }
+            const std::uint64_t v1 =
+                src->version.load(std::memory_order_acquire);
+            if ((v1 & 1) != 0 || !cur.matches(v1)) {
+                // Array being recycled: its publication must already have
+                // been superseded; retry on the fresh pointer.
+                backoff();
+                continue;
+            }
+            arr *dst = acquire_scratch(ts, src);
+            dst->begin_mutate();
+            const bool ok = dst->copy_from(*src, v1);
+            dst->seal();
+            if (!ok) {
+                backoff();
+                continue;
+            }
+            ts.snapshot = dst;
+            ts.observed = cur;
+            ts.observed_version = v1;
+            return true;
+        }
+    }
+
+    /// One of my arrays that is neither `avoid` nor the currently
+    /// published array.  Such an array always exists (only I can publish
+    /// my own arrays, and at most one of them can be the current shared
+    /// array); the safety-valve allocation keeps us robust if that
+    /// reasoning is ever violated.
+    arr *acquire_scratch(thread_state &ts, arr *avoid) {
+        arr *shared_now = shared_.load().ptr();
+        for (auto &a : ts.arrays) {
+            if (a == nullptr)
+                a = std::make_unique<arr>();
+            if (a.get() != avoid && a.get() != shared_now)
+                return a.get();
+        }
+        for (auto &a : ts.extra_arrays)
+            if (a.get() != avoid && a.get() != shared_now)
+                return a.get();
+        assert(false && "both thread-local BlockArrays unavailable");
+        ts.extra_arrays.push_back(std::make_unique<arr>());
+        return ts.extra_arrays.back().get();
+    }
+
+    /// CAS-publish the sealed snapshot (Listing 3's push_snapshot), with
+    /// the paper's pre-CAS full-version verification of `observed` to
+    /// minimize the 10-bit stamp wraparound window (Section 4.4).
+    bool push_snapshot(thread_state &ts, arr *snap, std::uint64_t version) {
+        arr *obs = ts.observed.ptr();
+        if (obs != nullptr &&
+            obs->version.load(std::memory_order_acquire) !=
+                ts.observed_version)
+            return false;
+        const stamped_ptr<arr> desired(snap, version);
+        return shared_.compare_exchange(ts.observed, desired);
+    }
+
+    /// Replace a fully empty published array with null.
+    void push_null(thread_state &ts) {
+        arr *obs = ts.observed.ptr();
+        if (obs == nullptr)
+            return;
+        if (obs->version.load(std::memory_order_acquire) !=
+            ts.observed_version)
+            return;
+        shared_.compare_exchange(ts.observed, stamped_ptr<arr>{});
+    }
+
+    void commit_created(thread_state &ts) {
+        for (block<K, V> *b : ts.created)
+            ts.pool.mark_published(b);
+        ts.created.clear();
+    }
+
+    void rollback_created(thread_state &ts) {
+        for (block<K, V> *b : ts.created)
+            ts.pool.release(b);
+        ts.created.clear();
+    }
+
+    // ---- block recycling --------------------------------------------------
+
+    block<K, V> *acquire_block(thread_state &ts, std::uint32_t level) {
+        return ts.pool.acquire(level, level, [this](block<K, V> *b) {
+            return unreferenced_by_current(b);
+        });
+    }
+
+    /// True iff `b` is not referenced by the current shared array — a
+    /// stable reclamation criterion: a block absent from the current
+    /// array can never be re-published, because any snapshot still
+    /// referencing it was copied from a superseded array and its push CAS
+    /// must fail.
+    bool unreferenced_by_current(block<K, V> *b) const {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const auto cur = shared_.load();
+            arr *a = cur.ptr();
+            if (a == nullptr)
+                return true;
+            const std::uint64_t v1 =
+                a->version.load(std::memory_order_acquire);
+            if ((v1 & 1) != 0 || !cur.matches(v1))
+                continue; // stale pointer; retry with a fresh one
+            const std::uint32_t n = a->size.load(std::memory_order_relaxed);
+            if (n > max_blocks)
+                continue;
+            bool found = false;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (a->slots[i].blk.load(std::memory_order_relaxed) == b) {
+                    found = true;
+                    break;
+                }
+            }
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (a->version.load(std::memory_order_relaxed) != v1)
+                continue; // torn scan
+            return !found;
+        }
+        return false; // conservatively treat as still referenced
+    }
+
+    // ---- snapshot structure maintenance (private arrays) -------------------
+
+    /// Insert block `nb` into the (mutating) snapshot at its level
+    /// position, then restore strictly decreasing levels by merging.
+    template <typename Lazy>
+    void insert_block_slot(thread_state &ts, arr *snap, block<K, V> *nb,
+                           const Lazy &lazy) {
+        const std::uint32_t filled = nb->filled();
+        const std::uint32_t level = block<K, V>::level_for(filled);
+        std::uint32_t pos = snap->count();
+        while (pos > 0 &&
+               snap->slots[pos - 1].level.load(std::memory_order_relaxed) <=
+                   level)
+            --pos;
+        snap->insert_slot(pos, nb, filled, level);
+        normalize(ts, snap, lazy);
+    }
+
+    /// Trim logically deleted suffixes (against the array-local fill
+    /// views), drop empty slots, lower levels, and merge level-order
+    /// violations.  Returns true if any blocks were merged (Listing 2's
+    /// consolidate return value).
+    template <typename Lazy>
+    bool consolidate(thread_state &ts, arr *snap, const Lazy &lazy) {
+        for (std::uint32_t i = snap->count(); i-- > 0;) {
+            trim_slot(snap, i);
+            if (snap->slots[i].filled.load(std::memory_order_relaxed) == 0)
+                snap->remove_slot(i);
+        }
+        return normalize(ts, snap, lazy);
+    }
+
+    /// Lower a slot's fill view past logically deleted entries and adjust
+    /// the slot level.  Purely local: the underlying block is immutable.
+    void trim_slot(arr *snap, std::uint32_t i) {
+        auto &s = snap->slots[i];
+        block<K, V> *b = s.blk.load(std::memory_order_relaxed);
+        std::uint32_t f = s.filled.load(std::memory_order_relaxed);
+        if (f > b->capacity())
+            f = static_cast<std::uint32_t>(b->capacity());
+        while (f > 0) {
+            item_ref<K, V> ref = b->load_entry(f - 1);
+            if (ref.it != nullptr && ref.it->is_alive(ref.version))
+                break;
+            --f;
+        }
+        s.filled.store(f, std::memory_order_relaxed);
+        s.level.store(block<K, V>::level_for(f), std::memory_order_relaxed);
+        if (s.pivot.load(std::memory_order_relaxed) > f)
+            s.pivot.store(f, std::memory_order_relaxed);
+    }
+
+    /// Merge adjacent slots violating strictly-decreasing levels.
+    template <typename Lazy>
+    bool normalize(thread_state &ts, arr *snap, const Lazy &lazy) {
+        bool merged_any = false;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            const std::uint32_t n = snap->count();
+            for (std::uint32_t j = 0; j + 1 < n; ++j) {
+                const std::uint32_t la =
+                    snap->slots[j].level.load(std::memory_order_relaxed);
+                const std::uint32_t lb =
+                    snap->slots[j + 1].level.load(std::memory_order_relaxed);
+                if (la > lb)
+                    continue;
+                merge_slots(ts, snap, j, lazy);
+                merged_any = true;
+                changed = true;
+                break;
+            }
+        }
+        return merged_any;
+    }
+
+    template <typename Lazy>
+    void merge_slots(thread_state &ts, arr *snap, std::uint32_t j,
+                     const Lazy &lazy) {
+        block<K, V> *a = snap->slots[j].blk.load(std::memory_order_relaxed);
+        block<K, V> *c =
+            snap->slots[j + 1].blk.load(std::memory_order_relaxed);
+        const std::uint32_t fa =
+            snap->slots[j].filled.load(std::memory_order_relaxed);
+        const std::uint32_t fc =
+            snap->slots[j + 1].filled.load(std::memory_order_relaxed);
+        const std::uint32_t la =
+            snap->slots[j].level.load(std::memory_order_relaxed);
+        const std::uint32_t lc =
+            snap->slots[j + 1].level.load(std::memory_order_relaxed);
+        const std::uint32_t cap = (la > lc ? la : lc) + 1;
+
+        block<K, V> *nb = acquire_block_cap(ts, cap);
+        nb->merge_from(*a, fa, *c, fc, lazy);
+        nb->seal();
+
+        // Inputs created this attempt (never published) recycle at once.
+        release_if_created(ts, a);
+        release_if_created(ts, c);
+
+        const std::uint32_t filled = nb->filled();
+        if (filled == 0) {
+            ts.pool.release(nb);
+            snap->remove_slot(j + 1);
+            snap->remove_slot(j);
+            return;
+        }
+        ts.created.push_back(nb);
+        snap->set_slot(j, nb, filled, block<K, V>::level_for(filled));
+        snap->remove_slot(j + 1);
+    }
+
+    block<K, V> *acquire_block_cap(thread_state &ts, std::uint32_t cap) {
+        block<K, V> *b = ts.pool.acquire(cap, cap, [this](block<K, V> *x) {
+            return unreferenced_by_current(x);
+        });
+        return b;
+    }
+
+    void release_if_created(thread_state &ts, block<K, V> *b) {
+        for (std::size_t i = 0; i < ts.created.size(); ++i) {
+            if (ts.created[i] == b) {
+                ts.created.erase(ts.created.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                ts.pool.release(b);
+                return;
+            }
+        }
+        // Published block dropped from the snapshot: its owner reclaims
+        // it once this snapshot is published (absence from the current
+        // array) — nothing to do here.
+    }
+
+    // ---- pivots and candidate selection (Listing 2) ------------------------
+
+    /// Compute per-slot pivot indices delimiting the <= k+1 smallest
+    /// entries, by a multiway suffix walk over the sorted blocks.
+    void calculate_pivots(arr *snap) {
+        const std::uint32_t n = snap->count();
+        std::uint32_t cur[max_blocks];
+        K next_key[max_blocks];
+        bool has_next[max_blocks];
+        for (std::uint32_t i = 0; i < n; ++i) {
+            cur[i] = snap->slots[i].filled.load(std::memory_order_relaxed);
+            block<K, V> *b = snap->slots[i].blk.load(std::memory_order_relaxed);
+            has_next[i] = cur[i] > 0;
+            if (has_next[i])
+                next_key[i] = b->load_entry(cur[i] - 1).key;
+        }
+        std::size_t remaining = k_ + 1;
+        while (remaining > 0) {
+            std::uint32_t best = max_blocks;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (!has_next[i])
+                    continue;
+                if (best == max_blocks || next_key[i] < next_key[best])
+                    best = i;
+            }
+            if (best == max_blocks)
+                break;
+            --cur[best];
+            --remaining;
+            block<K, V> *b =
+                snap->slots[best].blk.load(std::memory_order_relaxed);
+            has_next[best] = cur[best] > 0;
+            if (has_next[best])
+                next_key[best] = b->load_entry(cur[best] - 1).key;
+        }
+        for (std::uint32_t i = 0; i < n; ++i)
+            snap->slots[i].pivot.store(cur[i], std::memory_order_relaxed);
+    }
+
+    /// Listing 2's find_min: draw uniformly from the candidate ranges,
+    /// fall back to the block minimum if the pick is deleted, and prefer
+    /// the calling thread's own minimal key (Bloom filter check) when it
+    /// is at least as small (local ordering semantics).
+    item_ref<K, V> select_candidate(arr *snap, std::uint32_t tid) {
+        const std::uint32_t n = snap->count();
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t f =
+                snap->slots[i].filled.load(std::memory_order_relaxed);
+            const std::uint32_t p =
+                snap->slots[i].pivot.load(std::memory_order_relaxed);
+            if (f > p)
+                total += f - p;
+        }
+
+        item_ref<K, V> chosen{};
+        if (total > 0) {
+            std::uint64_t r = thread_rng().bounded(total);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::uint32_t f =
+                    snap->slots[i].filled.load(std::memory_order_relaxed);
+                const std::uint32_t p =
+                    snap->slots[i].pivot.load(std::memory_order_relaxed);
+                const std::uint64_t range = f > p ? f - p : 0;
+                if (range <= r) {
+                    r -= range;
+                    continue;
+                }
+                block<K, V> *b =
+                    snap->slots[i].blk.load(std::memory_order_relaxed);
+                if (r != range - 1) {
+                    item_ref<K, V> ref =
+                        b->load_entry(p + static_cast<std::uint32_t>(r));
+                    if (ref.it != nullptr && ref.it->is_alive(ref.version)) {
+                        chosen = ref;
+                        break;
+                    }
+                }
+                // Fall back to the block minimum (possibly deleted; the
+                // caller consolidates in that case).
+                chosen = b->load_entry(f - 1);
+                break;
+            }
+        }
+
+        // Local ordering: the minimal key among blocks this thread may
+        // have contributed to wins — but only when it is at least as
+        // small as a *valid* random candidate.  When the candidate is
+        // empty or already deleted, the caller must consolidate and
+        // retry instead: the own minimum alone carries no rank bound (it
+        // may be far from the global minimum when the smallest blocks
+        // hold only other threads' items).
+        if (chosen.empty() || !chosen.it->is_alive(chosen.version))
+            return chosen;
+        item_ref<K, V> own{};
+        for (std::uint32_t i = 0; i < n; ++i) {
+            block<K, V> *b =
+                snap->slots[i].blk.load(std::memory_order_relaxed);
+            if (!b->bloom_may_contain(tid))
+                continue;
+            const std::uint32_t f =
+                snap->slots[i].filled.load(std::memory_order_relaxed);
+            item_ref<K, V> m = b->peek_min(f);
+            if (!m.empty() && (own.empty() || m.key < own.key))
+                own = m;
+        }
+        if (!own.empty() && own.key <= chosen.key)
+            return own;
+        return chosen;
+    }
+
+    const std::size_t k_;
+    atomic_stamped_ptr<arr> shared_;
+    std::unique_ptr<thread_state> threads_[max_registered_threads];
+};
+
+} // namespace klsm

@@ -1,0 +1,389 @@
+#pragma once
+
+// Sequential log-structured-merge-tree priority queue (paper Section 3).
+//
+// The LSM priority queue keeps a logarithmic number of sorted arrays
+// ("blocks"), at most one per level; a block of level l holds n keys with
+// 2^(l-1) < n <= 2^l.  Keys within a block are sorted in *decreasing*
+// order so the block minimum is a pop_back away.
+//
+//   * insert: append a level-0 block, then merge equal-level blocks
+//     upwards until levels are strictly decreasing again.
+//   * find-min: minimum over the block minima (O(log n) blocks).
+//   * delete-min: remove that minimum; if the block now has too few
+//     elements for its level it drops to a smaller level and is merged
+//     with a neighbour if the level invariant broke.
+//
+// All operations are amortized O(log n), and the sequential layout is
+// very cache friendly — in the paper's Figure 3 this structure (as the
+// one-thread DLSM) matches a binary heap.
+//
+// This implementation additionally supports *tombstoned* (lazy) deletion
+// and a relaxed delete-min ("delete one of the k+1 smallest, uniformly at
+// random"), which the centralized k-priority-queue baseline (Wimmer et
+// al. [29]) wraps under a lock.  Tombstones are physically dropped when
+// blocks merge, exactly like logically deleted items in the concurrent
+// k-LSM.
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class lsm_pq {
+public:
+    using key_type = K;
+    using value_type = V;
+
+    lsm_pq() = default;
+
+    bool empty() const { return alive_ == 0; }
+    std::size_t size() const { return alive_; }
+
+    void insert(const K &key, const V &value) {
+        blk nb;
+        nb.level = 0;
+        nb.alive = 1;
+        nb.data.push_back(node{key, value, false});
+        const bool merged = merge_up(std::move(nb));
+        ++alive_;
+        // Merging moves entries between blocks, invalidating cached
+        // candidate positions; a key below the candidate ceiling changes
+        // the k+1-smallest set itself.
+        if (merged || (!candidates_.empty() && key < candidate_max_key_))
+            candidates_.clear();
+    }
+
+    /// Exact find-min.  Returns false iff empty.
+    bool try_find_min(K &key, V &value) {
+        const auto [bi, pos] = locate_min();
+        if (bi == npos)
+            return false;
+        key = blocks_[bi].data[pos].key;
+        value = blocks_[bi].data[pos].value;
+        return true;
+    }
+
+    /// Exact delete-min.  Returns false iff empty.
+    bool try_delete_min(K &key, V &value) {
+        const auto [bi, pos] = locate_min();
+        if (bi == npos)
+            return false;
+        key = blocks_[bi].data[pos].key;
+        value = blocks_[bi].data[pos].value;
+        erase_at(bi, pos);
+        return true;
+    }
+
+    /// Relaxed delete-min: removes one of the min(k+1, size) smallest
+    /// keys, chosen uniformly at random.  Returns false iff empty.
+    bool try_delete_relaxed(K &key, V &value, std::size_t k,
+                            xoroshiro128 &rng) {
+        if (alive_ == 0)
+            return false;
+        if (candidates_.empty() || candidate_k_ != k)
+            rebuild_candidates(k);
+        // Pick live candidates until one is found; tombstoned entries are
+        // swapped out of the cache.
+        while (!candidates_.empty()) {
+            const std::size_t r = rng.bounded(candidates_.size());
+            const auto [bi, pos] = candidates_[r];
+            // Dead suffixes may have been popped since the cache was
+            // built; an out-of-range position can only have been dead.
+            if (bi >= blocks_.size() || pos >= blocks_[bi].data.size()) {
+                candidates_[r] = candidates_.back();
+                candidates_.pop_back();
+                continue;
+            }
+            node &n = blocks_[bi].data[pos];
+            if (!n.dead) {
+                key = n.key;
+                value = n.value;
+                // Remove the cache entry *before* tombstoning: tombstone
+                // may trigger structural repair that clears the cache.
+                candidates_[r] = candidates_.back();
+                candidates_.pop_back();
+                tombstone(bi, pos);
+                return true;
+            }
+            candidates_[r] = candidates_.back();
+            candidates_.pop_back();
+        }
+        // Cache went stale (all entries tombstoned by structural churn);
+        // rebuild once and fall back to the exact minimum.
+        rebuild_candidates(k);
+        if (candidates_.empty())
+            return try_delete_min(key, value);
+        const std::size_t r = rng.bounded(candidates_.size());
+        const auto [bi, pos] = candidates_[r];
+        key = blocks_[bi].data[pos].key;
+        value = blocks_[bi].data[pos].value;
+        tombstone(bi, pos);
+        candidates_.clear();
+        return true;
+    }
+
+    /// Number of blocks (test/diagnostic helper).
+    std::size_t block_count() const { return blocks_.size(); }
+
+    /// Verify all structural invariants; used by property tests.
+    bool check_invariants() const {
+        std::size_t alive = 0;
+        for (std::size_t i = 0; i < blocks_.size(); ++i) {
+            const blk &b = blocks_[i];
+            if (b.data.empty() || b.alive == 0)
+                return false;
+            if (b.data.size() > (std::size_t{1} << b.level))
+                return false;
+            if (b.level > 0 && b.alive <= (std::size_t{1} << (b.level - 1)))
+                return false; // level should have been lowered
+            if (i > 0 && blocks_[i - 1].level <= b.level)
+                return false; // strictly decreasing levels
+            for (std::size_t j = 1; j < b.data.size(); ++j)
+                if (b.data[j - 1].key < b.data[j].key)
+                    return false; // decreasing key order
+            std::size_t a = 0;
+            for (const node &n : b.data)
+                a += n.dead ? 0 : 1;
+            if (a != b.alive)
+                return false;
+            alive += a;
+        }
+        return alive == alive_;
+    }
+
+private:
+    struct node {
+        K key;
+        V value;
+        bool dead;
+    };
+
+    struct blk {
+        std::vector<node> data; // decreasing key order
+        std::uint32_t level = 0;
+        std::size_t alive = 0;
+    };
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Block index and position of the exact minimum alive entry, after
+    /// trimming dead tails.  (npos, npos) iff empty.
+    std::pair<std::size_t, std::size_t> locate_min() {
+        trim_all();
+        std::size_t best = npos;
+        for (std::size_t i = 0; i < blocks_.size(); ++i) {
+            if (blocks_[i].data.empty())
+                continue;
+            const K &tail = blocks_[i].data.back().key;
+            if (best == npos || tail < blocks_[best].data.back().key)
+                best = i;
+        }
+        if (best == npos)
+            return {npos, npos};
+        return {best, blocks_[best].data.size() - 1};
+    }
+
+    void erase_at(std::size_t bi, std::size_t pos) {
+        blk &b = blocks_[bi];
+        assert(!b.data[pos].dead);
+        if (pos + 1 == b.data.size()) {
+            b.data.pop_back();
+        } else {
+            b.data[pos].dead = true;
+        }
+        --b.alive;
+        --alive_;
+        restore_block(bi);
+        candidates_.clear();
+    }
+
+    void tombstone(std::size_t bi, std::size_t pos) {
+        blk &b = blocks_[bi];
+        assert(!b.data[pos].dead);
+        b.data[pos].dead = true;
+        --b.alive;
+        --alive_;
+        // Keep the candidate cache: restore_block may merge/move entries,
+        // in which case it clears the cache itself.
+        const bool structural = needs_restore(bi);
+        restore_block(bi);
+        if (structural)
+            candidates_.clear();
+    }
+
+    bool needs_restore(std::size_t bi) const {
+        const blk &b = blocks_[bi];
+        if (b.alive == 0)
+            return true;
+        if (b.level > 0 && b.alive <= (std::size_t{1} << (b.level - 1)))
+            return true;
+        return false;
+    }
+
+    void trim_all() {
+        for (std::size_t i = 0; i < blocks_.size();) {
+            blk &b = blocks_[i];
+            while (!b.data.empty() && b.data.back().dead)
+                b.data.pop_back();
+            if (b.data.empty()) {
+                blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+                candidates_.clear();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    /// Re-establish level/ordering invariants around block bi after a
+    /// removal (paper: shrink to next-smaller level and merge if needed).
+    void restore_block(std::size_t bi) {
+        blk &b = blocks_[bi];
+        while (!b.data.empty() && b.data.back().dead) {
+            b.data.pop_back();
+        }
+        if (b.alive == 0) {
+            // Fully dead: drop the block.
+            blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(bi));
+            candidates_.clear();
+            normalize();
+            return;
+        }
+        std::uint32_t lvl = b.level;
+        while (lvl > 0 && b.alive <= (std::size_t{1} << (lvl - 1)))
+            --lvl;
+        if (lvl != b.level) {
+            // Shrinking compacts tombstones away (the lazy cleanup point).
+            if (b.data.size() > b.alive)
+                compact(b);
+            b.level = lvl;
+            candidates_.clear();
+            normalize();
+        }
+    }
+
+    static void compact(blk &b) {
+        std::vector<node> keep;
+        keep.reserve(b.alive);
+        for (node &n : b.data)
+            if (!n.dead)
+                keep.push_back(n);
+        b.data = std::move(keep);
+    }
+
+    /// Append a new block with level <= every existing level, merging
+    /// upwards until levels are strictly decreasing (paper Figure 2).
+    /// Returns true if any merge happened.
+    bool merge_up(blk &&nb) {
+        bool merged = false;
+        while (!blocks_.empty() && blocks_.back().level <= nb.level) {
+            nb = merge_blocks(std::move(blocks_.back()), std::move(nb));
+            blocks_.pop_back();
+            merged = true;
+        }
+        blocks_.push_back(std::move(nb));
+        return merged;
+    }
+
+    /// Restore strictly-decreasing levels anywhere in the array.
+    void normalize() {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 1; i < blocks_.size(); ++i) {
+                if (blocks_[i - 1].level <= blocks_[i].level) {
+                    blk merged = merge_blocks(std::move(blocks_[i - 1]),
+                                              std::move(blocks_[i]));
+                    blocks_[i - 1] = std::move(merged);
+                    blocks_.erase(blocks_.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        candidates_.clear();
+    }
+
+    static blk merge_blocks(blk &&a, blk &&c) {
+        blk out;
+        out.data.reserve(a.alive + c.alive);
+        std::size_t i = 0, j = 0;
+        while (i < a.data.size() && j < c.data.size()) {
+            if (a.data[i].dead) {
+                ++i;
+                continue;
+            }
+            if (c.data[j].dead) {
+                ++j;
+                continue;
+            }
+            if (c.data[j].key < a.data[i].key)
+                out.data.push_back(a.data[i++]);
+            else
+                out.data.push_back(c.data[j++]);
+        }
+        for (; i < a.data.size(); ++i)
+            if (!a.data[i].dead)
+                out.data.push_back(a.data[i]);
+        for (; j < c.data.size(); ++j)
+            if (!c.data[j].dead)
+                out.data.push_back(c.data[j]);
+        out.alive = out.data.size();
+        out.level = out.alive <= 1
+                        ? 0
+                        : static_cast<std::uint32_t>(log2_ceil(out.alive));
+        return out;
+    }
+
+    /// Collect positions of the min(k+1, alive) smallest alive entries
+    /// via a multiway walk over the block tails.
+    void rebuild_candidates(std::size_t k) {
+        trim_all();
+        candidates_.clear();
+        candidate_k_ = k;
+        const std::size_t want = alive_ < k + 1 ? alive_ : k + 1;
+        // cursors[i]: next position to consider in block i, moving from
+        // the tail (minimum) towards the head (maximum).
+        std::vector<std::size_t> cursors(blocks_.size());
+        for (std::size_t i = 0; i < blocks_.size(); ++i)
+            cursors[i] = blocks_[i].data.size();
+        while (candidates_.size() < want) {
+            std::size_t best = npos;
+            for (std::size_t i = 0; i < blocks_.size(); ++i) {
+                // Skip dead entries below the cursor.
+                std::size_t c = cursors[i];
+                while (c > 0 && blocks_[i].data[c - 1].dead)
+                    --c;
+                cursors[i] = c;
+                if (c == 0)
+                    continue;
+                if (best == npos ||
+                    blocks_[i].data[c - 1].key <
+                        blocks_[best].data[cursors[best] - 1].key)
+                    best = i;
+            }
+            if (best == npos)
+                break;
+            candidates_.emplace_back(best, cursors[best] - 1);
+            candidate_max_key_ = blocks_[best].data[cursors[best] - 1].key;
+            --cursors[best];
+        }
+    }
+
+    std::vector<blk> blocks_; // strictly decreasing levels
+    std::size_t alive_ = 0;
+
+    // Cache of candidate positions for relaxed deletion.
+    std::vector<std::pair<std::size_t, std::size_t>> candidates_;
+    std::size_t candidate_k_ = 0;
+    K candidate_max_key_{};
+};
+
+} // namespace klsm

@@ -1,0 +1,86 @@
+#pragma once
+
+// Chunked, type-stable arena.
+//
+// The k-LSM's manual memory management (paper Section 4.4) hinges on
+// *type-stable* storage: once an Item or Block has been allocated, its
+// address must stay dereferenceable for the lifetime of the queue, because
+// stale pointers to it may be read (and then rejected via version checks)
+// at any time.  This arena allocates objects in geometrically growing
+// chunks that are never freed or moved until the arena is destroyed, and
+// supports iteration over all allocated objects (used by the item pool's
+// reuse sweep).
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace klsm {
+
+template <typename T>
+class arena {
+public:
+    explicit arena(std::size_t first_chunk = 64)
+        : next_chunk_size_(first_chunk < 1 ? 1 : first_chunk) {}
+
+    arena(const arena &) = delete;
+    arena &operator=(const arena &) = delete;
+
+    /// Allocate (default-construct) one more T; never invalidates
+    /// previously returned pointers.
+    T *allocate() {
+        if (chunks_.empty() || used_in_last_ == chunks_.back().size) {
+            chunks_.push_back(
+                chunk{std::make_unique<T[]>(next_chunk_size_),
+                      next_chunk_size_});
+            used_in_last_ = 0;
+            next_chunk_size_ *= 2;
+        }
+        return &chunks_.back().data[used_in_last_++];
+    }
+
+    std::size_t size() const {
+        if (chunks_.empty())
+            return 0;
+        std::size_t total = 0;
+        for (std::size_t i = 0; i + 1 < chunks_.size(); ++i)
+            total += chunks_[i].size;
+        return total + used_in_last_;
+    }
+
+    /// Visit every allocated object.  Order is allocation order.
+    template <typename F>
+    void for_each(F &&f) {
+        for (std::size_t c = 0; c < chunks_.size(); ++c) {
+            const std::size_t n =
+                (c + 1 == chunks_.size()) ? used_in_last_ : chunks_[c].size;
+            for (std::size_t i = 0; i < n; ++i)
+                f(chunks_[c].data[i]);
+        }
+    }
+
+    /// Random access by allocation index (test helper; O(#chunks)).
+    T &at(std::size_t index) {
+        for (std::size_t c = 0; c < chunks_.size(); ++c) {
+            const std::size_t n =
+                (c + 1 == chunks_.size()) ? used_in_last_ : chunks_[c].size;
+            if (index < n)
+                return chunks_[c].data[index];
+            index -= n;
+        }
+        throw std::out_of_range("arena::at");
+    }
+
+private:
+    struct chunk {
+        std::unique_ptr<T[]> data;
+        std::size_t size;
+    };
+
+    std::vector<chunk> chunks_;
+    std::size_t used_in_last_ = 0;
+    std::size_t next_chunk_size_;
+};
+
+} // namespace klsm

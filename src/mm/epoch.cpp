@@ -1,0 +1,93 @@
+#include "mm/epoch.hpp"
+
+namespace klsm {
+
+epoch_manager::epoch_manager() = default;
+
+epoch_manager::~epoch_manager() {
+    // No concurrent users may remain; free everything unconditionally.
+    for (auto &s : slots_) {
+        for (const retired_node &n : s->limbo) {
+            n.deleter(n.ptr);
+            freed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        s->limbo.clear();
+    }
+}
+
+void epoch_manager::pin() {
+    slot_state &s = *slots_[thread_index()];
+    if (s.depth++ > 0)
+        return;
+    // The pinned-epoch store must be visible before any subsequent shared
+    // read; seq_cst gives us the needed store-load ordering against the
+    // advance scan.
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    s.pinned.store(e, std::memory_order_seq_cst);
+}
+
+void epoch_manager::unpin() {
+    slot_state &s = *slots_[thread_index()];
+    if (--s.depth > 0)
+        return;
+    s.pinned.store(0, std::memory_order_release);
+}
+
+void epoch_manager::retire_raw(void *p, void (*deleter)(void *)) {
+    const std::uint32_t slot = thread_index();
+    slot_state &s = *slots_[slot];
+    s.limbo.push_back(
+        retired_node{p, deleter,
+                     global_epoch_.load(std::memory_order_acquire)});
+    if (s.limbo.size() >= reclaim_threshold) {
+        try_advance();
+        reclaim_slot(slot);
+    }
+}
+
+bool epoch_manager::try_advance() {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (const auto &s : slots_) {
+        const std::uint64_t pinned =
+            s->pinned.load(std::memory_order_seq_cst);
+        if (pinned != 0 && pinned < e)
+            return false; // a thread is still reading in an older epoch
+    }
+    std::uint64_t expected = e;
+    return global_epoch_.compare_exchange_strong(
+        expected, e + 1, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+}
+
+void epoch_manager::reclaim_slot(std::uint32_t slot) {
+    slot_state &s = *slots_[slot];
+    const std::uint64_t safe =
+        global_epoch_.load(std::memory_order_acquire);
+    // A node retired in epoch r may be freed once the global epoch has
+    // advanced at least two steps past it: every thread pinned during r
+    // has since unpinned or re-pinned at a newer epoch.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < s.limbo.size(); ++i) {
+        if (s.limbo[i].epoch + 2 <= safe) {
+            s.limbo[i].deleter(s.limbo[i].ptr);
+            freed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            s.limbo[kept++] = s.limbo[i];
+        }
+    }
+    s.limbo.resize(kept);
+}
+
+std::uint64_t epoch_manager::pending_count() const {
+    std::uint64_t n = 0;
+    for (const auto &s : slots_)
+        n += s->limbo.size();
+    return n;
+}
+
+void epoch_manager::try_reclaim() {
+    try_advance();
+    reclaim_slot(thread_index());
+}
+
+} // namespace klsm

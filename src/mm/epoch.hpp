@@ -1,0 +1,96 @@
+#pragma once
+
+// Epoch-based memory reclamation (EBR).
+//
+// Used by the skiplist-based baselines (Lindén & Jonsson, SprayList),
+// whose nodes — unlike the k-LSM's type-stable items and blocks — are
+// allocated and freed dynamically.  A thread *pins* the current epoch for
+// the duration of each operation; retired nodes are freed only after
+// every pinned thread has moved past the epoch in which they were
+// retired, so no thread can hold a reference to freed memory.
+//
+// Queue operations under EBR remain lock-free; only *reclamation* can be
+// delayed by a stalled thread (see the substitution note in DESIGN.md —
+// the k-LSM itself uses the paper's own versioned-reuse scheme and does
+// not depend on EBR).
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/thread_id.hpp"
+
+namespace klsm {
+
+class epoch_manager {
+public:
+    epoch_manager();
+    ~epoch_manager();
+
+    epoch_manager(const epoch_manager &) = delete;
+    epoch_manager &operator=(const epoch_manager &) = delete;
+
+    /// RAII pin: while alive, no memory retired after construction will
+    /// be freed.  Re-entrant (nested guards are counted).
+    class guard {
+    public:
+        explicit guard(epoch_manager &mgr) : mgr_(mgr) { mgr_.pin(); }
+        ~guard() { mgr_.unpin(); }
+        guard(const guard &) = delete;
+        guard &operator=(const guard &) = delete;
+
+    private:
+        epoch_manager &mgr_;
+    };
+
+    /// Schedule `p` for deletion once all current pins are released.
+    /// Must be called while pinned.
+    template <typename T>
+    void retire(T *p) {
+        retire_raw(p, [](void *q) { delete static_cast<T *>(q); });
+    }
+
+    void retire_raw(void *p, void (*deleter)(void *));
+
+    /// Total nodes freed so far (diagnostics/tests).
+    std::uint64_t freed_count() const {
+        return freed_.load(std::memory_order_relaxed);
+    }
+
+    /// Nodes retired but not yet freed (diagnostics/tests).
+    std::uint64_t pending_count() const;
+
+    /// Force a reclamation attempt (tests).
+    void try_reclaim();
+
+private:
+    void pin();
+    void unpin();
+    bool try_advance();
+    void reclaim_slot(std::uint32_t slot);
+
+    struct retired_node {
+        void *ptr;
+        void (*deleter)(void *);
+        std::uint64_t epoch;
+    };
+
+    struct slot_state {
+        /// Epoch pinned by this slot; 0 = not pinned.  Only the owner
+        /// writes; everyone reads during advance scans.
+        std::atomic<std::uint64_t> pinned{0};
+        /// Nesting depth; owner-only.
+        std::uint32_t depth = 0;
+        /// Retired-but-not-freed nodes; owner-only.
+        std::vector<retired_node> limbo;
+    };
+
+    static constexpr std::size_t reclaim_threshold = 128;
+
+    std::atomic<std::uint64_t> global_epoch_{2};
+    std::atomic<std::uint64_t> freed_{0};
+    cache_aligned<slot_state> slots_[max_registered_threads];
+};
+
+} // namespace klsm

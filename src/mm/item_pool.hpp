@@ -1,0 +1,75 @@
+#pragma once
+
+// Wait-free item reuse pool (paper Section 4.4).
+//
+// Each thread owns one pool per queue.  Storage is type-stable (arena):
+// item addresses remain valid for the queue's lifetime, so stale
+// references held in blocks anywhere in the system are always safe to
+// dereference and are rejected by the version check in item::take.
+//
+// Reuse policy: an item becomes reusable the moment its version turns
+// even (logically deleted), even if blocks still reference it — the
+// monotone version counter makes such references harmless.  The pool finds
+// reusable items with an amortized-O(1) cyclic sweep over its own items;
+// if the bounded sweep finds nothing (queue mostly full of live items) it
+// falls back to fresh arena allocation, so allocation never blocks on the
+// behaviour of other threads (wait-free).
+
+#include <cstdint>
+#include <vector>
+
+#include "klsm/item.hpp"
+#include "mm/arena.hpp"
+
+namespace klsm {
+
+template <typename K, typename V>
+class item_pool {
+public:
+    /// Max items inspected by the reuse sweep per allocation.  Small
+    /// enough to be O(1), large enough to find a reusable item with high
+    /// probability in steady state (where roughly half of all slots are
+    /// logically deleted).
+    static constexpr std::size_t sweep_budget = 32;
+
+    item_pool() = default;
+    item_pool(const item_pool &) = delete;
+    item_pool &operator=(const item_pool &) = delete;
+
+    /// Allocate an item carrying (key, value); returns the reference
+    /// (pointer + expected version + cached key) to store in blocks.
+    item_ref<K, V> allocate(const K &key, const V &value) {
+        item<K, V> *it = find_reusable();
+        if (it == nullptr) {
+            it = arena_.allocate();
+            all_.push_back(it);
+        }
+        const std::uint64_t version = it->publish(key, value);
+        return {it, version, key};
+    }
+
+    /// Total items ever created by this pool (live + reusable).
+    std::size_t capacity() const { return all_.size(); }
+
+private:
+    item<K, V> *find_reusable() {
+        const std::size_t n = all_.size();
+        if (n == 0)
+            return nullptr;
+        std::size_t budget = sweep_budget < n ? sweep_budget : n;
+        while (budget-- > 0) {
+            if (cursor_ >= n)
+                cursor_ = 0;
+            item<K, V> *it = all_[cursor_++];
+            if (it->reusable())
+                return it;
+        }
+        return nullptr;
+    }
+
+    arena<item<K, V>> arena_{256};
+    std::vector<item<K, V> *> all_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace klsm

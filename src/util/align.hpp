@@ -1,0 +1,35 @@
+#pragma once
+
+// Cache-line alignment helpers.
+//
+// Concurrent priority queues are extremely sensitive to false sharing:
+// per-thread counters, per-queue locks and atomic head pointers must each
+// live on their own cache line.  `cache_aligned<T>` wraps a value in a
+// cache-line-sized, cache-line-aligned box.
+
+#include <cstddef>
+#include <new>
+
+namespace klsm {
+
+// Fixed at 64 bytes (x86-64, common AArch64): using
+// std::hardware_destructive_interference_size would make the ABI depend
+// on tuning flags (gcc warns about exactly this).
+inline constexpr std::size_t cache_line_size = 64;
+
+/// A value padded out to (a multiple of) a cache line, preventing false
+/// sharing between adjacent array elements.
+template <typename T>
+struct alignas(cache_line_size) cache_aligned {
+    T value{};
+
+    cache_aligned() = default;
+    explicit cache_aligned(const T &v) : value(v) {}
+
+    T &operator*() { return value; }
+    const T &operator*() const { return value; }
+    T *operator->() { return &value; }
+    const T *operator->() const { return &value; }
+};
+
+} // namespace klsm

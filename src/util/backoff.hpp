@@ -1,0 +1,46 @@
+#pragma once
+
+// Bounded exponential backoff for CAS retry loops.  On contended compare-
+// and-swap failure, spinning immediately again only generates coherence
+// traffic; pausing for an exponentially growing (bounded) number of cycles
+// lets the winner finish.
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace klsm {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class exp_backoff {
+public:
+    explicit exp_backoff(std::uint32_t max_spins = 1024)
+        : limit_(1), max_(max_spins) {}
+
+    void operator()() {
+        for (std::uint32_t i = 0; i < limit_; ++i)
+            cpu_relax();
+        if (limit_ < max_)
+            limit_ *= 2;
+    }
+
+    void reset() { limit_ = 1; }
+
+private:
+    std::uint32_t limit_;
+    std::uint32_t max_;
+};
+
+} // namespace klsm

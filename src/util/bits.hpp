@@ -1,0 +1,28 @@
+#pragma once
+
+// Small bit-twiddling helpers used throughout the LSM code, where block
+// capacities are powers of two and levels are base-2 logarithms.
+
+#include <bit>
+#include <cstdint>
+
+namespace klsm {
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned log2_floor(std::uint64_t x) {
+    return 63u - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1; log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t x) {
+    return x <= 1 ? 0 : log2_floor(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+    return std::uint64_t{1} << log2_ceil(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+} // namespace klsm

@@ -1,0 +1,48 @@
+#pragma once
+
+// 64-bit Bloom filter over thread ids, as used by the shared k-LSM to
+// preserve local ordering semantics (paper Section 4.1):
+//
+//   "We use 64-bit Bloom filters with two hash-values obtained by tabular
+//    hashing.  Since the Bloom filters are only updated when two blocks
+//    are merged, no synchronization mechanism is necessary."
+//
+// The filter may report false positives (a thread that never contributed
+// to a block), which costs only an extra key comparison, but it never
+// reports false negatives, which is what the local-ordering proof needs.
+
+#include <cstdint>
+
+#include "util/tabulation_hash.hpp"
+
+namespace klsm {
+
+class thread_bloom_filter {
+public:
+    constexpr thread_bloom_filter() = default;
+
+    void insert(std::uint32_t thread_id) { bits_ |= mask(thread_id); }
+
+    /// True if `thread_id` may have contributed; never a false negative.
+    bool may_contain(std::uint32_t thread_id) const {
+        const std::uint64_t m = mask(thread_id);
+        return (bits_ & m) == m;
+    }
+
+    /// Union of two filters; used when two blocks are merged.
+    void merge(const thread_bloom_filter &other) { bits_ |= other.bits_; }
+
+    void clear() { bits_ = 0; }
+    bool empty() const { return bits_ == 0; }
+    std::uint64_t raw() const { return bits_; }
+
+private:
+    static std::uint64_t mask(std::uint32_t id) {
+        return (std::uint64_t{1} << (thread_hash_a()(id) & 63)) |
+               (std::uint64_t{1} << (thread_hash_b()(id) & 63));
+    }
+
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace klsm

@@ -1,0 +1,111 @@
+#pragma once
+
+// Minimal command-line flag parser shared by the benchmark binaries.
+// Flags look like `--threads 4` or `--threads=4`; unrecognized flags abort
+// with a usage message so typos in experiment scripts fail loudly.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace klsm {
+
+class cli_parser {
+public:
+    cli_parser(std::string description) : description_(std::move(description)) {}
+
+    void add_flag(const std::string &name, const std::string &default_value,
+                  const std::string &help) {
+        values_[name] = default_value;
+        help_.emplace_back(name, help + " (default: " + default_value + ")");
+    }
+
+    /// Parse argv; exits with usage on `--help` or unknown flags.
+    void parse(int argc, char **argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(argv[0]);
+                std::exit(0);
+            }
+            if (arg.rfind("--", 0) != 0) {
+                std::cerr << "unexpected argument: " << arg << "\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            std::string name, value;
+            auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                name = arg.substr(2, eq - 2);
+                value = arg.substr(eq + 1);
+            } else {
+                name = arg.substr(2);
+                if (i + 1 >= argc) {
+                    std::cerr << "flag --" << name << " needs a value\n";
+                    std::exit(2);
+                }
+                value = argv[++i];
+            }
+            auto it = values_.find(name);
+            if (it == values_.end()) {
+                std::cerr << "unknown flag --" << name << "\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            it->second = value;
+        }
+    }
+
+    std::string get(const std::string &name) const { return values_.at(name); }
+
+    std::int64_t get_int(const std::string &name) const {
+        return std::stoll(values_.at(name));
+    }
+
+    double get_double(const std::string &name) const {
+        return std::stod(values_.at(name));
+    }
+
+    bool get_bool(const std::string &name) const {
+        const auto &v = values_.at(name);
+        return v == "1" || v == "true" || v == "yes" || v == "on";
+    }
+
+    /// Comma-separated integer list, e.g. "--threads 1,2,4".
+    std::vector<std::int64_t> get_int_list(const std::string &name) const {
+        std::vector<std::int64_t> out;
+        std::stringstream ss(values_.at(name));
+        std::string tok;
+        while (std::getline(ss, tok, ','))
+            if (!tok.empty())
+                out.push_back(std::stoll(tok));
+        return out;
+    }
+
+    std::vector<std::string> get_list(const std::string &name) const {
+        std::vector<std::string> out;
+        std::stringstream ss(values_.at(name));
+        std::string tok;
+        while (std::getline(ss, tok, ','))
+            if (!tok.empty())
+                out.push_back(tok);
+        return out;
+    }
+
+private:
+    void usage(const char *prog) const {
+        std::cerr << description_ << "\n\nusage: " << prog << " [flags]\n";
+        for (const auto &[name, help] : help_)
+            std::cerr << "  --" << name << "  " << help << "\n";
+    }
+
+    std::string description_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::pair<std::string, std::string>> help_;
+};
+
+} // namespace klsm

@@ -1,0 +1,90 @@
+#pragma once
+
+// Fast pseudo-random number generation for the hot paths of the relaxed
+// priority queues (random candidate selection in the shared k-LSM, victim
+// selection for spying, spray walks, MultiQueue two-choice sampling).
+//
+// std::mt19937 is far too slow to sit inside a delete-min; we use
+// xoroshiro128++ (Blackman & Vigna) seeded via splitmix64, which passes
+// BigCrush and costs a handful of cycles per draw.
+
+#include <cstdint>
+#include <limits>
+
+namespace klsm {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t &state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoroshiro128++ generator.  Satisfies std::uniform_random_bit_generator
+/// so it can also be plugged into <random> distributions in tests.
+class xoroshiro128 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit xoroshiro128(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+        std::uint64_t sm = seed;
+        s0_ = splitmix64(sm);
+        s1_ = splitmix64(sm);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1; // the all-zero state is absorbing
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() {
+        const std::uint64_t sa = s0_;
+        std::uint64_t sb = s1_;
+        const std::uint64_t result = rotl(sa + sb, 17) + sa;
+        sb ^= sa;
+        s0_ = rotl(sa, 49) ^ sb ^ (sb << 21);
+        s1_ = rotl(sb, 28);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound), bound >= 1.  Lemire's multiply-shift
+    /// rejection method: unbiased and division-free in the common case.
+    std::uint64_t bounded(std::uint64_t bound) {
+        __uint128_t m = static_cast<__uint128_t>(operator()()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>(operator()()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+        return lo + bounded(hi - lo + 1);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s0_, s1_;
+};
+
+/// Per-thread generator, seeded from the thread's address so distinct
+/// threads draw independent streams without coordination.
+inline xoroshiro128 &thread_rng() {
+    thread_local xoroshiro128 rng{
+        0x2545f4914f6cdd1dULL ^
+        reinterpret_cast<std::uintptr_t>(&rng)};
+    return rng;
+}
+
+} // namespace klsm

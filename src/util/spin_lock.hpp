@@ -1,0 +1,46 @@
+#pragma once
+
+// Test-and-test-and-set spin lock with exponential backoff.
+//
+// Used by the "Heap + Lock" baseline of Figure 3 and by the MultiQueue's
+// per-queue locks.  TTAS spins on a plain load (cache-local) and only
+// attempts the atomic exchange when the lock looks free, which keeps the
+// lock's cache line mostly shared instead of ping-ponging in M state.
+
+#include <atomic>
+
+#include "util/backoff.hpp"
+
+namespace klsm {
+
+class spin_lock {
+public:
+    void lock() {
+        exp_backoff backoff;
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            do {
+                backoff();
+            } while (locked_.load(std::memory_order_relaxed));
+        }
+    }
+
+    /// Single attempt; the MultiQueue relies on this to skip contended
+    /// queues instead of waiting on them.
+    bool try_lock() {
+        return !locked_.load(std::memory_order_relaxed) &&
+               !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() { locked_.store(false, std::memory_order_release); }
+
+    bool is_locked() const {
+        return locked_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<bool> locked_{false};
+};
+
+} // namespace klsm

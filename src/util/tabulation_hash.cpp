@@ -1,0 +1,24 @@
+#include "util/tabulation_hash.hpp"
+
+#include "util/rng.hpp"
+
+namespace klsm {
+
+tabulation_hash::tabulation_hash(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto &t : table_)
+        for (auto &e : t)
+            e = splitmix64(sm);
+}
+
+const tabulation_hash &thread_hash_a() {
+    static const tabulation_hash h{0x9e3779b97f4a7c15ULL};
+    return h;
+}
+
+const tabulation_hash &thread_hash_b() {
+    static const tabulation_hash h{0xc2b2ae3d27d4eb4fULL};
+    return h;
+}
+
+} // namespace klsm

@@ -1,0 +1,35 @@
+#pragma once
+
+// Tabulation hashing (Zobrist hashing).
+//
+// The paper's shared k-LSM uses per-block Bloom filters over thread ids,
+// with "two hash-values obtained by tabular hashing" (Section 4.1).
+// Tabulation hashing is 3-independent, extremely fast (four table lookups
+// for a 32-bit key), and its tables are filled once at start-up.
+
+#include <array>
+#include <cstdint>
+
+namespace klsm {
+
+/// A single tabulation hash function over 32-bit inputs producing 64-bit
+/// outputs.  Two independent instances (seeded differently) provide the two
+/// Bloom-filter probes.
+class tabulation_hash {
+public:
+    explicit tabulation_hash(std::uint64_t seed);
+
+    std::uint64_t operator()(std::uint32_t x) const {
+        return table_[0][x & 0xff] ^ table_[1][(x >> 8) & 0xff] ^
+               table_[2][(x >> 16) & 0xff] ^ table_[3][(x >> 24) & 0xff];
+    }
+
+private:
+    std::array<std::array<std::uint64_t, 256>, 4> table_;
+};
+
+/// The two process-wide hash functions used for thread-id Bloom filters.
+const tabulation_hash &thread_hash_a();
+const tabulation_hash &thread_hash_b();
+
+} // namespace klsm

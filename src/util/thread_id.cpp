@@ -1,0 +1,53 @@
+#include "util/thread_id.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+namespace klsm {
+namespace {
+
+// Bitmap of ids in use, protected by a mutex: registration happens once
+// per thread lifetime, so this is nowhere near any fast path.
+std::mutex registry_mutex;
+bool in_use[max_registered_threads];
+std::atomic<std::uint32_t> high_water{0};
+
+std::uint32_t acquire_slot() {
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    for (std::uint32_t i = 0; i < max_registered_threads; ++i) {
+        if (!in_use[i]) {
+            in_use[i] = true;
+            std::uint32_t hw = high_water.load(std::memory_order_relaxed);
+            while (i + 1 > hw &&
+                   !high_water.compare_exchange_weak(hw, i + 1)) {
+            }
+            return i;
+        }
+    }
+    throw std::runtime_error("klsm: more than max_registered_threads "
+                             "threads concurrently registered");
+}
+
+void release_slot(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    in_use[id] = false;
+}
+
+struct slot_holder {
+    std::uint32_t id = acquire_slot();
+    ~slot_holder() { release_slot(id); }
+};
+
+} // namespace
+
+std::uint32_t thread_index() {
+    thread_local slot_holder holder;
+    return holder.id;
+}
+
+std::uint32_t thread_index_high_water() {
+    return high_water.load(std::memory_order_relaxed);
+}
+
+} // namespace klsm

@@ -1,0 +1,28 @@
+#pragma once
+
+// Dense thread identifiers.
+//
+// Every concurrent queue in this library keeps per-thread state (thread-
+// local LSMs, item pools, block pools) in arrays indexed by a small dense
+// id, exactly as the paper's implementation does inside Pheet.  This
+// registry hands out the smallest free id to each thread on first use and
+// recycles the id when the thread exits, so long-running test suites that
+// spawn thousands of short-lived threads stay within `max_threads` of any
+// queue as long as no more than that many threads are *concurrently*
+// alive.
+
+#include <cstdint>
+
+namespace klsm {
+
+/// Hard process-wide cap on concurrently registered threads.
+inline constexpr std::uint32_t max_registered_threads = 256;
+
+/// Dense id of the calling thread; assigned on first call, released at
+/// thread exit.  Never throws once assigned.
+std::uint32_t thread_index();
+
+/// Number of ids ever concurrently live (high-water mark); test helper.
+std::uint32_t thread_index_high_water();
+
+} // namespace klsm

@@ -1,0 +1,32 @@
+#pragma once
+
+// Wall-clock timing helpers for the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace klsm {
+
+class wall_timer {
+public:
+    wall_timer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double elapsed_s() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    std::uint64_t elapsed_ns() const {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - start_)
+                .count());
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace klsm

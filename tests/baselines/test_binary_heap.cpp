@@ -1,0 +1,82 @@
+#include "baselines/binary_heap.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using heap_t = binary_heap<std::uint32_t, std::uint64_t>;
+
+TEST(BinaryHeap, EmptyBehaviour) {
+    heap_t h;
+    EXPECT_TRUE(h.empty());
+    std::uint32_t k;
+    std::uint64_t v;
+    EXPECT_FALSE(h.try_delete_min(k, v));
+    EXPECT_FALSE(h.try_find_min(k, v));
+}
+
+TEST(BinaryHeap, HeapSort) {
+    heap_t h;
+    xoroshiro128 rng{3};
+    std::vector<std::uint32_t> keys;
+    for (int i = 0; i < 1000; ++i) {
+        keys.push_back(static_cast<std::uint32_t>(rng.bounded(10000)));
+        h.insert(keys.back(), keys.back());
+        ASSERT_TRUE(h.check_invariants());
+    }
+    std::sort(keys.begin(), keys.end());
+    for (auto expect : keys) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(h.try_delete_min(k, v));
+        ASSERT_EQ(k, expect);
+    }
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(BinaryHeap, MinKeyMatchesFindMin) {
+    heap_t h;
+    h.insert(5, 1);
+    h.insert(3, 2);
+    h.insert(9, 3);
+    EXPECT_EQ(h.min_key(), 3u);
+    std::uint32_t k;
+    std::uint64_t v;
+    ASSERT_TRUE(h.try_find_min(k, v));
+    EXPECT_EQ(k, 3u);
+    EXPECT_EQ(v, 2u);
+    EXPECT_EQ(h.size(), 3u) << "find must not remove";
+}
+
+TEST(BinaryHeap, DrainMovesEverythingOut) {
+    heap_t h;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        h.insert(i, i);
+    auto items = h.drain();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(items.size(), 10u);
+}
+
+TEST(BinaryHeap, DuplicatesSurvive) {
+    heap_t h;
+    for (int i = 0; i < 5; ++i)
+        h.insert(7, static_cast<std::uint64_t>(i));
+    std::vector<bool> seen(5, false);
+    for (int i = 0; i < 5; ++i) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(h.try_delete_min(k, v));
+        EXPECT_EQ(k, 7u);
+        seen[v] = true;
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 5);
+}
+
+} // namespace
+} // namespace klsm

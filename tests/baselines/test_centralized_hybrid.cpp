@@ -1,0 +1,179 @@
+#include "baselines/centralized_k.hpp"
+#include "baselines/hybrid_k.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using key_t = std::uint32_t;
+using val_t = std::uint64_t;
+
+TEST(CentralizedK, WindowCapacityIsKPlus1) {
+    centralized_k_pq<key_t, val_t> q{16};
+    EXPECT_EQ(q.window_capacity(), 17u);
+    centralized_k_pq<key_t, val_t> q0{0};
+    EXPECT_EQ(q0.window_capacity(), 1u);
+}
+
+TEST(CentralizedK, KZeroIsExact) {
+    centralized_k_pq<key_t, val_t> q{0};
+    xoroshiro128 rng{2};
+    std::vector<key_t> keys;
+    for (int i = 0; i < 500; ++i) {
+        keys.push_back(static_cast<key_t>(rng.bounded(10000)));
+        q.insert(keys.back(), keys.back());
+    }
+    std::sort(keys.begin(), keys.end());
+    key_t k;
+    val_t v;
+    for (auto expect : keys) {
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        ASSERT_EQ(k, expect);
+    }
+}
+
+TEST(CentralizedK, DeletionsStayWithinWindowBound) {
+    // Sequentially, a delete must return one of the k+1 smallest keys
+    // alive at refill time; with no interleaved inserts this means rank
+    // <= k at delete time.
+    constexpr std::size_t k = 7;
+    centralized_k_pq<key_t, val_t> q{k};
+    for (key_t i = 0; i < 200; ++i)
+        q.insert(i, i);
+    std::vector<bool> deleted(200, false);
+    key_t got;
+    val_t v;
+    for (int step = 0; step < 200; ++step) {
+        ASSERT_TRUE(q.try_delete_min(got, v));
+        ASSERT_FALSE(deleted[got]);
+        std::size_t rank = 0;
+        for (key_t j = 0; j < got; ++j)
+            rank += deleted[j] ? 0 : 1;
+        EXPECT_LE(rank, k);
+        deleted[got] = true;
+    }
+}
+
+TEST(CentralizedK, RelaxedSelectionSpreads) {
+    centralized_k_pq<key_t, val_t> q{15};
+    std::map<key_t, int> firsts;
+    for (int rep = 0; rep < 60; ++rep) {
+        centralized_k_pq<key_t, val_t> fresh{15};
+        for (key_t i = 0; i < 100; ++i)
+            fresh.insert(i, i);
+        key_t k;
+        val_t v;
+        ASSERT_TRUE(fresh.try_delete_min(k, v));
+        ++firsts[k];
+    }
+    EXPECT_GE(firsts.size(), 4u)
+        << "random window claims should spread over the k+1 smallest";
+}
+
+TEST(CentralizedK, ConcurrentConservation) {
+    centralized_k_pq<key_t, val_t> q{16};
+    constexpr int threads = 4, per_thread = 3000;
+    std::atomic<std::uint64_t> deleted{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{static_cast<std::uint64_t>(t) + 40};
+            key_t k;
+            val_t v;
+            for (int i = 0; i < per_thread; ++i) {
+                q.insert(static_cast<key_t>(rng.bounded(1 << 18)), 1);
+                if (rng.bounded(2) == 0 && q.try_delete_min(k, v))
+                    deleted.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    key_t k;
+    val_t v;
+    std::uint64_t drained = 0;
+    while (q.try_delete_min(k, v))
+        ++drained;
+    EXPECT_EQ(deleted.load() + drained,
+              std::uint64_t{threads} * per_thread);
+}
+
+TEST(HybridK, LocalBufferSpillsAtBound) {
+    hybrid_k_pq<key_t, val_t> q{8};
+    // 8 inserts stay local; the 9th spills all into the global queue.
+    for (key_t i = 0; i < 9; ++i)
+        q.insert(i, i);
+    EXPECT_EQ(q.size_hint(), 9u);
+    key_t k;
+    val_t v;
+    std::vector<bool> seen(9, false);
+    for (int i = 0; i < 9; ++i) {
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        seen[k] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(HybridK, SingleThreadDrainWithinRelaxation) {
+    constexpr std::size_t k = 4;
+    hybrid_k_pq<key_t, val_t> q{k};
+    for (key_t i = 0; i < 100; ++i)
+        q.insert(i, i);
+    std::vector<bool> deleted(100, false);
+    key_t got;
+    val_t v;
+    for (int step = 0; step < 100; ++step) {
+        ASSERT_TRUE(q.try_delete_min(got, v));
+        ASSERT_FALSE(deleted[got]);
+        std::size_t rank = 0;
+        for (key_t j = 0; j < got; ++j)
+            rank += deleted[j] ? 0 : 1;
+        // One local buffer (k) plus the global window (k+1).
+        EXPECT_LE(rank, 2 * k + 1);
+        deleted[got] = true;
+    }
+}
+
+TEST(HybridK, ConcurrentConservation) {
+    hybrid_k_pq<key_t, val_t> q{16};
+    constexpr int threads = 4, per_thread = 3000;
+    std::atomic<std::uint64_t> deleted{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{static_cast<std::uint64_t>(t) + 90};
+            key_t k;
+            val_t v;
+            for (int i = 0; i < per_thread; ++i) {
+                q.insert(static_cast<key_t>(rng.bounded(1 << 18)), 1);
+                if (rng.bounded(2) == 0 && q.try_delete_min(k, v))
+                    deleted.fetch_add(1);
+            }
+            // Threads must drain their own local buffers before exiting:
+            // hybrid buffers are private (no spying).
+            while (q.try_delete_min(k, v))
+                deleted.fetch_add(1);
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    key_t k;
+    val_t v;
+    std::uint64_t drained = 0;
+    while (q.try_delete_min(k, v))
+        ++drained;
+    EXPECT_EQ(deleted.load() + drained,
+              std::uint64_t{threads} * per_thread);
+}
+
+} // namespace
+} // namespace klsm

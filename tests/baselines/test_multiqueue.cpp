@@ -1,0 +1,100 @@
+#include "baselines/multiqueue.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using mq_t = multiqueue<std::uint32_t, std::uint64_t>;
+
+TEST(MultiQueue, QueueCountIsCTimesThreads) {
+    mq_t q{8, 2};
+    EXPECT_EQ(q.queue_count(), 16u);
+    mq_t q3{4, 3};
+    EXPECT_EQ(q3.queue_count(), 12u);
+}
+
+TEST(MultiQueue, SingleItem) {
+    mq_t q{4};
+    q.insert(5, 50);
+    std::uint32_t k;
+    std::uint64_t v;
+    ASSERT_TRUE(q.try_delete_min(k, v));
+    EXPECT_EQ(k, 5u);
+    EXPECT_EQ(v, 50u);
+    EXPECT_FALSE(q.try_delete_min(k, v));
+}
+
+TEST(MultiQueue, DrainsEverythingDespiteScatter) {
+    mq_t q{4};
+    for (std::uint32_t i = 0; i < 5000; ++i)
+        q.insert(i, i);
+    EXPECT_EQ(q.size_hint(), 5000u);
+    std::vector<bool> seen(5000, false);
+    std::uint32_t k;
+    std::uint64_t v;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        ASSERT_FALSE(seen[k]);
+        seen[k] = true;
+    }
+    EXPECT_FALSE(q.try_delete_min(k, v));
+}
+
+TEST(MultiQueue, TwoChoiceQualityIsFrontBiased) {
+    // With two-choice sampling over 2T queues, the expected rank error
+    // per deletion is O(#queues); with 8 queues and 10000 keys, deletes
+    // should stay well inside the front of the key space.
+    mq_t q{4, 2};
+    for (std::uint32_t i = 0; i < 10000; ++i)
+        q.insert(i, i);
+    std::uint32_t k;
+    std::uint64_t v;
+    std::uint32_t worst = 0;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        // Rank error of this delete is at most k - i (i keys already
+        // gone, all smaller-ranked).
+        if (k > worst)
+            worst = k;
+    }
+    EXPECT_LT(worst, 3000u) << "two-choice quality collapsed";
+}
+
+TEST(MultiQueue, ConcurrentConservation) {
+    mq_t q{4};
+    constexpr int threads = 4, per_thread = 3000;
+    std::atomic<std::uint64_t> deleted{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{static_cast<std::uint64_t>(t) * 7 + 3};
+            std::uint32_t k;
+            std::uint64_t v;
+            for (int i = 0; i < per_thread; ++i) {
+                q.insert(static_cast<std::uint32_t>(rng.bounded(1 << 20)),
+                         1);
+                if (rng.bounded(2) == 0 && q.try_delete_min(k, v))
+                    deleted.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    std::uint32_t k;
+    std::uint64_t v;
+    std::uint64_t drained = 0;
+    while (q.try_delete_min(k, v))
+        ++drained;
+    EXPECT_EQ(deleted.load() + drained,
+              std::uint64_t{threads} * per_thread);
+}
+
+} // namespace
+} // namespace klsm

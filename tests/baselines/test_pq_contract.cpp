@@ -1,0 +1,213 @@
+// The shared priority-queue contract, run against EVERY queue in the
+// library (typed tests): the paper's external interface semantics plus
+// conservation under concurrency.  Exactness of delete-min order is
+// checked only for the exact queues; relaxed queues are checked against
+// their respective relaxation envelopes in their own test files.
+
+#include "baselines/centralized_k.hpp"
+#include "baselines/hybrid_k.hpp"
+#include "baselines/linden.hpp"
+#include "baselines/multiqueue.hpp"
+#include "baselines/spin_heap.hpp"
+#include "baselines/spraylist.hpp"
+#include "klsm/k_lsm.hpp"
+#include "klsm/pq_concept.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using key_t = std::uint32_t;
+using val_t = std::uint64_t;
+
+// Uniform construction across heterogeneous constructors.
+template <typename PQ>
+std::unique_ptr<PQ> create_queue() {
+    if constexpr (std::is_same_v<PQ, multiqueue<key_t, val_t>>)
+        return std::make_unique<PQ>(/*threads=*/4);
+    else if constexpr (std::is_same_v<PQ, spray_pq<key_t, val_t>>)
+        return std::make_unique<PQ>(/*threads=*/4);
+    else if constexpr (std::is_same_v<PQ, linden_pq<key_t, val_t>>)
+        return std::make_unique<PQ>(/*bound_offset=*/32);
+    else if constexpr (std::is_same_v<PQ, k_lsm<key_t, val_t>> ||
+                       std::is_same_v<PQ, centralized_k_pq<key_t, val_t>> ||
+                       std::is_same_v<PQ, hybrid_k_pq<key_t, val_t>>)
+        return std::make_unique<PQ>(/*k=*/16);
+    else
+        return std::make_unique<PQ>();
+}
+
+template <typename PQ>
+class PqContract : public ::testing::Test {};
+
+using all_queues = ::testing::Types<
+    spin_heap<key_t, val_t>, multiqueue<key_t, val_t>,
+    linden_pq<key_t, val_t>, spray_pq<key_t, val_t>,
+    centralized_k_pq<key_t, val_t>, hybrid_k_pq<key_t, val_t>,
+    k_lsm<key_t, val_t>, dist_pq<key_t, val_t>>;
+TYPED_TEST_SUITE(PqContract, all_queues);
+
+TYPED_TEST(PqContract, SatisfiesConcept) {
+    static_assert(relaxed_priority_queue<TypeParam>);
+}
+
+TYPED_TEST(PqContract, EmptyQueueDeleteFails) {
+    auto q = create_queue<TypeParam>();
+    key_t k;
+    val_t v;
+    EXPECT_FALSE(q->try_delete_min(k, v));
+}
+
+TYPED_TEST(PqContract, SingleItemRoundTrip) {
+    auto q = create_queue<TypeParam>();
+    q->insert(42, 4242);
+    key_t k;
+    val_t v;
+    ASSERT_TRUE(q->try_delete_min(k, v));
+    EXPECT_EQ(k, 42u);
+    EXPECT_EQ(v, 4242u);
+    EXPECT_FALSE(q->try_delete_min(k, v));
+}
+
+TYPED_TEST(PqContract, EverythingInsertedComesBackOnce) {
+    auto q = create_queue<TypeParam>();
+    constexpr int n = 2000;
+    xoroshiro128 rng{11};
+    for (int i = 0; i < n; ++i)
+        q->insert(static_cast<key_t>(rng.bounded(1000)),
+                  static_cast<val_t>(i));
+    std::vector<bool> seen(n, false);
+    key_t k;
+    val_t v;
+    int got = 0, misses = 0;
+    while (got < n && misses < 100) {
+        if (q->try_delete_min(k, v)) {
+            ASSERT_LT(v, static_cast<val_t>(n));
+            ASSERT_FALSE(seen[v]) << "duplicate delivery of value " << v;
+            seen[v] = true;
+            ++got;
+            misses = 0;
+        } else {
+            ++misses;
+        }
+    }
+    EXPECT_EQ(got, n);
+}
+
+TYPED_TEST(PqContract, DeliveredKeysRespectInsertedKeys) {
+    auto q = create_queue<TypeParam>();
+    // All keys equal: any order is fine, but keys must be preserved.
+    for (int i = 0; i < 100; ++i)
+        q->insert(7, static_cast<val_t>(i));
+    key_t k;
+    val_t v;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(q->try_delete_min(k, v));
+        EXPECT_EQ(k, 7u);
+    }
+}
+
+// The hybrid queue's thread-local buffers are private (no spying), so
+// worker threads must drain them before exiting; every other queue keeps
+// all items reachable from any thread.
+template <typename PQ>
+inline constexpr bool buffers_are_thread_private =
+    std::is_same_v<PQ, hybrid_k_pq<key_t, val_t>>;
+
+TYPED_TEST(PqContract, ConcurrentConservation) {
+    auto q = create_queue<TypeParam>();
+    constexpr int threads = 4;
+    constexpr int per_thread = 2000;
+    std::atomic<std::uint64_t> deleted{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{static_cast<std::uint64_t>(t) + 1};
+            key_t k;
+            val_t v;
+            for (int i = 0; i < per_thread; ++i) {
+                q->insert(static_cast<key_t>(rng.bounded(1 << 16)), 0);
+                if (rng.bounded(2) == 0 && q->try_delete_min(k, v))
+                    deleted.fetch_add(1);
+            }
+            if constexpr (buffers_are_thread_private<TypeParam>) {
+                while (q->try_delete_min(k, v))
+                    deleted.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    key_t k;
+    val_t v;
+    std::uint64_t drained = 0;
+    int misses = 0;
+    while (misses < 100) {
+        if (q->try_delete_min(k, v)) {
+            ++drained;
+            misses = 0;
+        } else {
+            ++misses;
+        }
+    }
+    EXPECT_EQ(deleted.load() + drained,
+              std::uint64_t{threads} * per_thread)
+        << "items lost or invented under concurrency";
+}
+
+// Exact queues must drain in sorted order from a single thread.
+template <typename PQ>
+class ExactPqContract : public ::testing::Test {};
+
+using exact_queues =
+    ::testing::Types<spin_heap<key_t, val_t>, linden_pq<key_t, val_t>>;
+TYPED_TEST_SUITE(ExactPqContract, exact_queues);
+
+TYPED_TEST(ExactPqContract, SortedDrain) {
+    auto q = create_queue<TypeParam>();
+    xoroshiro128 rng{5};
+    std::vector<key_t> keys;
+    for (int i = 0; i < 3000; ++i) {
+        keys.push_back(static_cast<key_t>(rng.bounded(1 << 20)));
+        q->insert(keys.back(), keys.back());
+    }
+    std::sort(keys.begin(), keys.end());
+    key_t k;
+    val_t v;
+    for (auto expect : keys) {
+        ASSERT_TRUE(q->try_delete_min(k, v));
+        ASSERT_EQ(k, expect);
+    }
+    EXPECT_FALSE(q->try_delete_min(k, v));
+}
+
+TYPED_TEST(ExactPqContract, InterleavedMixMatchesOracle) {
+    auto q = create_queue<TypeParam>();
+    std::multiset<key_t> oracle;
+    xoroshiro128 rng{6};
+    key_t k;
+    val_t v;
+    for (int i = 0; i < 5000; ++i) {
+        if (rng.bounded(100) < 60 || oracle.empty()) {
+            const auto key = static_cast<key_t>(rng.bounded(500));
+            q->insert(key, key);
+            oracle.insert(key);
+        } else {
+            ASSERT_TRUE(q->try_delete_min(k, v));
+            ASSERT_EQ(k, *oracle.begin());
+            oracle.erase(oracle.begin());
+        }
+    }
+}
+
+} // namespace
+} // namespace klsm

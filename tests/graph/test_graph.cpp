@@ -1,0 +1,124 @@
+#include "graph/erdos_renyi.hpp"
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace klsm {
+namespace {
+
+TEST(Graph, CsrLayout) {
+    std::vector<edge> edges = {
+        {0, 1, 10}, {0, 2, 20}, {1, 2, 5}, {2, 0, 1}};
+    graph g{3, edges};
+    EXPECT_EQ(g.num_nodes(), 3u);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+    // Adjacency content (order within a node is unspecified).
+    std::map<std::uint32_t, std::uint32_t> adj0;
+    for (std::size_t i = 0; i < g.degree(0); ++i)
+        adj0[g.neighbors(0)[i]] = g.weights(0)[i];
+    EXPECT_EQ(adj0.at(1), 10u);
+    EXPECT_EQ(adj0.at(2), 20u);
+}
+
+TEST(Graph, EmptyGraph) {
+    graph g{0, {}};
+    EXPECT_EQ(g.num_nodes(), 0u);
+    EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedNodes) {
+    graph g{5, {{1, 3, 7}}};
+    EXPECT_EQ(g.degree(0), 0u);
+    EXPECT_EQ(g.degree(4), 0u);
+    EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+    erdos_renyi_params params;
+    params.nodes = 400;
+    params.edge_probability = 0.5;
+    params.seed = 7;
+    graph g = make_erdos_renyi(params);
+    // Expected directed arcs: 2 * p * n(n-1)/2 = 0.5 * 400 * 399 = 79800.
+    const double expected = 0.5 * 400 * 399;
+    EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.9);
+    EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.1);
+}
+
+TEST(ErdosRenyi, SymmetricArcs) {
+    erdos_renyi_params params;
+    params.nodes = 100;
+    params.edge_probability = 0.2;
+    params.seed = 3;
+    graph g = make_erdos_renyi(params);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> arcs;
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
+        for (std::size_t i = 0; i < g.degree(u); ++i)
+            arcs[{u, g.neighbors(u)[i]}] = g.weights(u)[i];
+    for (const auto &[arc, w] : arcs) {
+        auto rev = arcs.find({arc.second, arc.first});
+        ASSERT_NE(rev, arcs.end()) << "missing reverse arc";
+        EXPECT_EQ(rev->second, w) << "asymmetric weight";
+    }
+}
+
+TEST(ErdosRenyi, NoSelfLoopsOrDuplicates) {
+    erdos_renyi_params params;
+    params.nodes = 200;
+    params.edge_probability = 0.3;
+    params.seed = 11;
+    graph g = make_erdos_renyi(params);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
+        for (auto v : g.neighbors(u)) {
+            EXPECT_NE(u, v) << "self loop";
+            EXPECT_TRUE(seen.insert({u, v}).second) << "duplicate arc";
+        }
+}
+
+TEST(ErdosRenyi, WeightsInRange) {
+    erdos_renyi_params params;
+    params.nodes = 100;
+    params.edge_probability = 0.5;
+    params.max_weight = 1000;
+    graph g = make_erdos_renyi(params);
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
+        for (auto w : g.weights(u)) {
+            EXPECT_GE(w, 1u);
+            EXPECT_LE(w, 1000u);
+        }
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+    erdos_renyi_params params;
+    params.nodes = 50;
+    params.edge_probability = 0.4;
+    params.seed = 99;
+    graph a = make_erdos_renyi(params);
+    graph b = make_erdos_renyi(params);
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (std::uint32_t u = 0; u < a.num_nodes(); ++u) {
+        ASSERT_EQ(a.degree(u), b.degree(u));
+        for (std::size_t i = 0; i < a.degree(u); ++i) {
+            EXPECT_EQ(a.neighbors(u)[i], b.neighbors(u)[i]);
+            EXPECT_EQ(a.weights(u)[i], b.weights(u)[i]);
+        }
+    }
+}
+
+TEST(ErdosRenyi, FullProbabilityGivesCompleteGraph) {
+    erdos_renyi_params params;
+    params.nodes = 20;
+    params.edge_probability = 1.0;
+    graph g = make_erdos_renyi(params);
+    EXPECT_EQ(g.num_edges(), 20u * 19u);
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,115 @@
+// SSSP on adversarial topologies: long chains (deep dependency, worst
+// case for relaxed ordering), stars, disconnected components, zero-ish
+// weights, and parallel-edge multigraphs.
+
+#include "graph/dijkstra.hpp"
+#include "graph/parallel_sssp.hpp"
+#include "klsm/k_lsm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace {
+
+void run_and_check(const graph &g, unsigned threads, std::size_t k) {
+    const auto ref = dijkstra(g, 0);
+    sssp_state state{g.num_nodes()};
+    k_lsm<std::uint64_t, std::uint32_t, sssp_lazy> q{k,
+                                                     sssp_lazy{&state}};
+    const auto stats = parallel_sssp(q, g, 0, threads, state);
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
+        ASSERT_EQ(state.dist(u), ref.dist[u]) << "node " << u;
+    ASSERT_EQ(stats.settled, ref.settled);
+}
+
+graph line_graph(std::uint32_t n) {
+    std::vector<edge> edges;
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+        edges.push_back({i, i + 1, i % 97 + 1});
+        edges.push_back({i + 1, i, i % 97 + 1});
+    }
+    return graph{n, edges};
+}
+
+TEST(SsspTopologies, LongChain) {
+    // A 2000-node path: distances build strictly sequentially, so any
+    // premature expansion must be corrected by re-relaxation.
+    run_and_check(line_graph(2000), 4, 256);
+}
+
+TEST(SsspTopologies, LongChainHighRelaxation) {
+    run_and_check(line_graph(1000), 4, 16384);
+}
+
+TEST(SsspTopologies, Star) {
+    constexpr std::uint32_t n = 2000;
+    std::vector<edge> edges;
+    for (std::uint32_t i = 1; i < n; ++i) {
+        edges.push_back({0, i, i});
+        edges.push_back({i, 0, i});
+    }
+    run_and_check(graph{n, edges}, 4, 256);
+}
+
+TEST(SsspTopologies, DisconnectedComponents) {
+    // Nodes 0..49 form a ring; 50..99 form a separate ring.
+    std::vector<edge> edges;
+    for (std::uint32_t i = 0; i < 50; ++i) {
+        edges.push_back({i, (i + 1) % 50, 3});
+        edges.push_back({(i + 1) % 50, i, 3});
+        edges.push_back({50 + i, 50 + (i + 1) % 50, 3});
+        edges.push_back({50 + (i + 1) % 50, 50 + i, 3});
+    }
+    graph g{100, edges};
+    const auto ref = dijkstra(g, 0);
+    sssp_state state{g.num_nodes()};
+    k_lsm<std::uint64_t, std::uint32_t> q{64};
+    const auto stats = parallel_sssp(q, g, 0, 2, state);
+    for (std::uint32_t u = 0; u < 50; ++u)
+        ASSERT_NE(state.dist(u), sssp_unreached);
+    for (std::uint32_t u = 50; u < 100; ++u)
+        ASSERT_EQ(state.dist(u), sssp_unreached);
+    EXPECT_EQ(stats.settled, 50u);
+    EXPECT_EQ(ref.settled, 50u);
+}
+
+TEST(SsspTopologies, ParallelEdgesKeepMinimum) {
+    // Multigraph: three parallel arcs 0 -> 1 with different weights.
+    std::vector<edge> edges = {{0, 1, 10}, {0, 1, 3}, {0, 1, 7}};
+    graph g{2, edges};
+    const auto ref = dijkstra(g, 0);
+    EXPECT_EQ(ref.dist[1], 3u);
+    run_and_check(g, 2, 16);
+}
+
+TEST(SsspTopologies, UnitWeights) {
+    // BFS-like: all weights 1 on a grid-ish graph.
+    constexpr std::uint32_t side = 30;
+    std::vector<edge> edges;
+    auto id = [&](std::uint32_t r, std::uint32_t c) {
+        return r * side + c;
+    };
+    for (std::uint32_t r = 0; r < side; ++r)
+        for (std::uint32_t c = 0; c < side; ++c) {
+            if (c + 1 < side) {
+                edges.push_back({id(r, c), id(r, c + 1), 1});
+                edges.push_back({id(r, c + 1), id(r, c), 1});
+            }
+            if (r + 1 < side) {
+                edges.push_back({id(r, c), id(r + 1, c), 1});
+                edges.push_back({id(r + 1, c), id(r, c), 1});
+            }
+        }
+    graph g{side * side, edges};
+    const auto ref = dijkstra(g, 0);
+    EXPECT_EQ(ref.dist[id(side - 1, side - 1)], 2u * (side - 1));
+    run_and_check(g, 4, 64);
+}
+
+TEST(SsspTopologies, SingleNode) {
+    graph g{1, {}};
+    run_and_check(g, 2, 4);
+}
+
+} // namespace
+} // namespace klsm

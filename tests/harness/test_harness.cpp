@@ -1,0 +1,121 @@
+#include "harness/quality.hpp"
+#include "harness/throughput.hpp"
+#include "harness/workload.hpp"
+
+#include "baselines/spin_heap.hpp"
+#include "klsm/k_lsm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace {
+
+TEST(Workload, PrefillInsertsExactCount) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 10000, 1, 32, 4);
+    EXPECT_EQ(q.size_hint(), 10000u);
+}
+
+TEST(Workload, PrefillSingleThreaded) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 500, 2, 32, 1);
+    EXPECT_EQ(q.size_hint(), 500u);
+}
+
+TEST(Workload, PrefillRespectsKeyBits) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 1000, 3, 8, 2);
+    std::uint32_t k;
+    std::uint64_t v;
+    while (q.try_delete_min(k, v))
+        EXPECT_LT(k, 256u);
+}
+
+TEST(Throughput, CountsAreConsistent) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 1000, 4);
+    throughput_params params;
+    params.threads = 2;
+    params.duration_s = 0.1;
+    auto res = run_throughput(q, params);
+    EXPECT_GT(res.total_ops, 0u);
+    EXPECT_EQ(res.total_ops,
+              res.inserts + res.deletes + res.failed_deletes);
+    EXPECT_GE(res.elapsed_s, 0.1);
+    EXPECT_GT(res.ops_per_sec(), 0.0);
+    EXPECT_GT(res.ops_per_thread_per_sec(2), 0.0);
+}
+
+TEST(Throughput, FiftyFiftyMixIsRoughlyBalanced) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 100000, 5);
+    throughput_params params;
+    params.threads = 1;
+    params.duration_s = 0.2;
+    auto res = run_throughput(q, params);
+    // With a large prefill, deletes rarely fail; insert/delete counts
+    // should be within a few percent of each other.
+    const double ratio = static_cast<double>(res.inserts) /
+                         static_cast<double>(res.deletes + 1);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.25);
+    EXPECT_LT(res.failed_deletes, res.total_ops / 100);
+}
+
+TEST(Quality, ExactQueueHasZeroRankError) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    quality_params params;
+    params.prefill = 2000;
+    params.ops_per_thread = 3000;
+    params.threads = 2;
+    auto res = measure_rank_error(q, params);
+    EXPECT_GT(res.deletes, 0u);
+    EXPECT_EQ(res.rank_max, 0u) << "an exact queue never skips keys";
+    EXPECT_EQ(res.mean_rank(), 0.0);
+}
+
+TEST(Quality, KLsmRankErrorWithinRho) {
+    constexpr std::size_t k = 8;
+    constexpr unsigned threads = 3;
+    k_lsm<std::uint32_t, std::uint64_t> q{k};
+    quality_params params;
+    params.prefill = 2000;
+    params.ops_per_thread = 4000;
+    params.threads = threads;
+    auto res = measure_rank_error(q, params);
+    EXPECT_GT(res.deletes, 0u);
+    EXPECT_LE(res.rank_max, threads * k)
+        << "observed rank error beyond the rho = T*k guarantee";
+}
+
+TEST(Quality, LargerKGivesLargerObservedRankError) {
+    auto run = [](std::size_t k) {
+        k_lsm<std::uint32_t, std::uint64_t> q{k};
+        quality_params params;
+        params.prefill = 5000;
+        params.ops_per_thread = 5000;
+        params.threads = 2;
+        return measure_rank_error(q, params).mean_rank();
+    };
+    const double small = run(0);
+    const double large = run(1024);
+    EXPECT_LE(small, large + 0.001)
+        << "k = 0 should be at least as exact as k = 1024";
+    EXPECT_GT(large, 0.5) << "k = 1024 should show measurable relaxation";
+}
+
+TEST(Quality, HistogramSumsToDeletes) {
+    k_lsm<std::uint32_t, std::uint64_t> q{64};
+    quality_params params;
+    params.prefill = 1000;
+    params.ops_per_thread = 2000;
+    params.threads = 2;
+    auto res = measure_rank_error(q, params);
+    std::uint64_t total = 0;
+    for (auto h : res.histogram)
+        total += h;
+    EXPECT_EQ(total, res.deletes);
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,216 @@
+#include "klsm/dist_lsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using dist_t = dist_lsm_local<std::uint32_t, std::uint64_t>;
+
+constexpr auto no_spill = [](block<std::uint32_t, std::uint64_t> *,
+                             std::uint32_t) {};
+
+void insert_local(dist_t &d, std::uint32_t key) {
+    d.insert(key, std::uint64_t{key}, /*tid=*/0, dist_t::unbounded,
+             no_lazy{}, no_spill);
+}
+
+TEST(DistLsm, EmptyFindMin) {
+    dist_t d;
+    EXPECT_TRUE(d.find_min().empty());
+    EXPECT_TRUE(d.empty_hint());
+    EXPECT_EQ(d.item_count_estimate(), 0u);
+}
+
+TEST(DistLsm, SingleInsertFind) {
+    dist_t d;
+    insert_local(d, 42);
+    auto ref = d.find_min();
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(ref.key, 42u);
+    EXPECT_EQ(d.item_count_estimate(), 1u);
+}
+
+TEST(DistLsm, SequentialDeleteOrderIsExact) {
+    // A single-thread DistLSM is an exact priority queue (the paper
+    // compares it against a binary heap at one thread).
+    dist_t d;
+    std::vector<std::uint32_t> keys = {9, 2, 7, 4, 4, 11, 0, 6, 3};
+    for (auto k : keys)
+        insert_local(d, k);
+    std::sort(keys.begin(), keys.end());
+    for (auto expect : keys) {
+        auto ref = d.find_min();
+        ASSERT_FALSE(ref.empty());
+        EXPECT_EQ(ref.key, expect);
+        ASSERT_TRUE(ref.take());
+    }
+    EXPECT_TRUE(d.find_min().empty());
+}
+
+TEST(DistLsm, ManyItemsMergeChainKeepsLevelsDecreasing) {
+    dist_t d;
+    for (std::uint32_t i = 0; i < 300; ++i)
+        insert_local(d, 299 - i);
+    EXPECT_EQ(d.item_count_estimate(), 300u);
+    // Drain in order.
+    for (std::uint32_t i = 0; i < 300; ++i) {
+        auto ref = d.find_min();
+        ASSERT_FALSE(ref.empty()) << "at " << i;
+        ASSERT_EQ(ref.key, i);
+        ASSERT_TRUE(ref.take());
+    }
+    EXPECT_TRUE(d.find_min().empty());
+    EXPECT_TRUE(d.empty_hint()) << "drained LSM consolidates to empty";
+}
+
+TEST(DistLsm, PoolStaysWithinPaperBound) {
+    dist_t d;
+    for (std::uint32_t i = 0; i < 2000; ++i)
+        insert_local(d, i);
+    for (int i = 0; i < 1000; ++i) {
+        auto ref = d.find_min();
+        ASSERT_FALSE(ref.empty());
+        ref.take();
+    }
+    for (std::uint32_t i = 0; i < 500; ++i)
+        insert_local(d, i);
+    EXPECT_EQ(d.pool().overflow_allocations(), 0u)
+        << "more than four blocks per level were needed";
+}
+
+TEST(DistLsm, SpillTriggersWhenBoundExceeded) {
+    dist_t d;
+    std::vector<std::uint32_t> spilled_sizes;
+    auto spill = [&](block<std::uint32_t, std::uint64_t> *b,
+                     std::uint32_t filled) {
+        spilled_sizes.push_back(filled);
+        // Consume the items as the shared LSM would (take them so the
+        // count oracle below stays simple).
+        for (std::uint32_t i = 0; i < filled; ++i)
+            b->load_entry(i).take();
+    };
+    constexpr std::size_t bound = 8;
+    for (std::uint32_t i = 0; i < 100; ++i)
+        d.insert(i, i, 0, bound, no_lazy{}, spill);
+    ASSERT_FALSE(spilled_sizes.empty());
+    for (auto s : spilled_sizes) {
+        EXPECT_GT(s, 0u);
+        EXPECT_LE(s, bound + 1) << "spilled batch exceeds k+1";
+    }
+    EXPECT_LE(d.item_count_estimate(), bound);
+}
+
+TEST(DistLsm, SpillZeroBoundPublishesEverySingleInsert) {
+    dist_t d;
+    int spills = 0;
+    auto spill = [&](block<std::uint32_t, std::uint64_t> *b,
+                     std::uint32_t filled) {
+        ++spills;
+        EXPECT_EQ(filled, 1u);
+        b->load_entry(0).take();
+    };
+    for (std::uint32_t i = 0; i < 10; ++i)
+        d.insert(i, i, 0, 0, no_lazy{}, spill);
+    EXPECT_EQ(spills, 10);
+    EXPECT_TRUE(d.empty_hint());
+}
+
+TEST(DistLsm, SpyCopiesVictimItems) {
+    dist_t victim, thief;
+    for (std::uint32_t i = 0; i < 20; ++i)
+        insert_local(victim, i);
+    ASSERT_TRUE(thief.spy_from(victim, dist_t::unbounded));
+    // Non-destructive: victim still has everything.
+    EXPECT_EQ(victim.find_min().key, 0u);
+    // Thief sees the same minimum.
+    auto ref = thief.find_min();
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(ref.key, 0u);
+}
+
+TEST(DistLsm, SpyRespectsItemCap) {
+    dist_t victim, thief;
+    for (std::uint32_t i = 0; i < 64; ++i)
+        insert_local(victim, i);
+    ASSERT_TRUE(thief.spy_from(victim, 8));
+    // The cap is approximate (whole blocks are copied), but must not copy
+    // everything.
+    EXPECT_LE(thief.item_count_estimate(), 64u + 8u);
+    EXPECT_GT(thief.item_count_estimate(), 0u);
+}
+
+TEST(DistLsm, SpiedItemsAreSharedNotDuplicated) {
+    dist_t victim, thief;
+    insert_local(victim, 5);
+    ASSERT_TRUE(thief.spy_from(victim, dist_t::unbounded));
+    auto a = victim.find_min();
+    auto b = thief.find_min();
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(a.it, b.it) << "spy copies references, not items";
+    // Only one take can win.
+    EXPECT_TRUE(a.take());
+    EXPECT_FALSE(b.take());
+}
+
+TEST(DistLsm, SpyFromEmptyVictimFails) {
+    dist_t victim, thief;
+    EXPECT_FALSE(thief.spy_from(victim, dist_t::unbounded));
+}
+
+// Concurrent spying against an active owner: spies must never crash, and
+// every item they obtain must be genuine (take at most once).
+TEST(DistLsm, ConcurrentSpyWhileOwnerChurns) {
+    dist_t owner;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> spied_takes{0};
+    std::atomic<std::uint64_t> owner_takes{0};
+    constexpr std::uint32_t total = 20000;
+
+    std::thread owner_thread([&] {
+        for (std::uint32_t i = 0; i < total; ++i) {
+            insert_local(owner, i);
+            if (i % 3 == 0) {
+                auto ref = owner.find_min();
+                if (!ref.empty() && ref.take())
+                    owner_takes.fetch_add(1);
+            }
+        }
+        stop.store(true);
+    });
+
+    std::vector<std::thread> spies;
+    for (int t = 0; t < 3; ++t) {
+        spies.emplace_back([&] {
+            dist_t mine;
+            while (!stop.load()) {
+                if (mine.spy_from(owner, 64)) {
+                    auto ref = mine.find_min();
+                    if (!ref.empty() && ref.take())
+                        spied_takes.fetch_add(1);
+                    // Drain local copy so the next spy starts empty.
+                    while (!(ref = mine.find_min()).empty())
+                        ref.take();
+                    while (!mine.empty_hint())
+                        mine.consolidate();
+                }
+            }
+        });
+    }
+    owner_thread.join();
+    for (auto &t : spies)
+        t.join();
+
+    // Conservation: every take corresponds to a distinct item; total
+    // takes can never exceed the number of inserts.
+    EXPECT_LE(owner_takes.load() + spied_takes.load(), total);
+}
+
+} // namespace
+} // namespace klsm

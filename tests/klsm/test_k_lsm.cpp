@@ -1,0 +1,183 @@
+// Sequential (single-thread) semantics of the combined k-LSM.
+
+#include "klsm/k_lsm.hpp"
+
+#include "klsm/pq_concept.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using queue_t = k_lsm<std::uint32_t, std::uint64_t>;
+
+static_assert(relaxed_priority_queue<queue_t>);
+static_assert(relaxed_priority_queue<dist_pq<std::uint32_t, std::uint64_t>>);
+
+TEST(KLsm, EmptyQueue) {
+    queue_t q{4};
+    std::uint32_t k;
+    std::uint64_t v;
+    EXPECT_FALSE(q.try_delete_min(k, v));
+    EXPECT_FALSE(q.try_find_min(k, v));
+    EXPECT_EQ(q.size_hint(), 0u);
+}
+
+TEST(KLsm, SingleElementRoundTrip) {
+    queue_t q{4};
+    q.insert(99, 1234);
+    std::uint32_t k;
+    std::uint64_t v;
+    ASSERT_TRUE(q.try_delete_min(k, v));
+    EXPECT_EQ(k, 99u);
+    EXPECT_EQ(v, 1234u);
+    EXPECT_FALSE(q.try_delete_min(k, v));
+}
+
+// Paper Section 1: "the behavior is identical to a non-relaxed priority
+// queue for items added and removed by the same thread."  With a single
+// thread, every k must therefore give exact heap order.
+class KLsmSingleThreadExact : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(KLsmSingleThreadExact, DrainsInSortedOrder) {
+    const std::size_t k = GetParam();
+    queue_t q{k};
+    std::vector<std::uint32_t> keys;
+    xoroshiro128 rng{k * 7919 + 3};
+    for (int i = 0; i < 500; ++i)
+        keys.push_back(static_cast<std::uint32_t>(rng.bounded(10000)));
+    for (auto key : keys)
+        q.insert(key, key);
+    std::sort(keys.begin(), keys.end());
+    for (auto expect : keys) {
+        std::uint32_t got;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(got, v));
+        ASSERT_EQ(got, expect) << "local ordering broken at k=" << k;
+    }
+    std::uint32_t got;
+    std::uint64_t v;
+    EXPECT_FALSE(q.try_delete_min(got, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KLsmSingleThreadExact,
+                         ::testing::Values(0, 1, 4, 16, 256, 4096),
+                         [](const auto &info) {
+                             return "k" + std::to_string(info.param);
+                         });
+
+TEST(KLsm, InterleavedInsertDeleteStaysExactSingleThread) {
+    queue_t q{256};
+    std::multiset<std::uint32_t> oracle;
+    xoroshiro128 rng{1234};
+    for (int i = 0; i < 5000; ++i) {
+        if (rng.bounded(100) < 60 || oracle.empty()) {
+            const auto key = static_cast<std::uint32_t>(rng.bounded(1000));
+            q.insert(key, key);
+            oracle.insert(key);
+        } else {
+            std::uint32_t k;
+            std::uint64_t v;
+            ASSERT_TRUE(q.try_delete_min(k, v));
+            ASSERT_FALSE(oracle.empty());
+            ASSERT_EQ(k, *oracle.begin());
+            oracle.erase(oracle.begin());
+        }
+    }
+}
+
+TEST(KLsm, SizeHintTracksContents) {
+    queue_t q{8};
+    EXPECT_EQ(q.size_hint(), 0u);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        q.insert(i, i);
+    // size() may over-count by untrimmed deleted items, never undercount
+    // alive ones.
+    EXPECT_GE(q.size_hint(), 100u);
+    std::uint32_t k;
+    std::uint64_t v;
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(q.try_delete_min(k, v));
+    EXPECT_GE(q.size_hint(), 50u);
+}
+
+TEST(KLsm, FindMinDoesNotRemove) {
+    queue_t q{4};
+    q.insert(5, 50);
+    std::uint32_t k;
+    std::uint64_t v;
+    ASSERT_TRUE(q.try_find_min(k, v));
+    EXPECT_EQ(k, 5u);
+    ASSERT_TRUE(q.try_find_min(k, v));
+    ASSERT_TRUE(q.try_delete_min(k, v));
+    EXPECT_FALSE(q.try_find_min(k, v));
+}
+
+TEST(KLsm, ValuesTravelWithKeys) {
+    queue_t q{16};
+    for (std::uint32_t i = 0; i < 200; ++i)
+        q.insert(i, std::uint64_t{i} * 31 + 7);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        EXPECT_EQ(v, std::uint64_t{k} * 31 + 7);
+    }
+}
+
+TEST(KLsm, DuplicateKeysConserved) {
+    queue_t q{64};
+    for (int i = 0; i < 128; ++i)
+        q.insert(7, static_cast<std::uint64_t>(i));
+    std::vector<bool> seen(128, false);
+    for (int i = 0; i < 128; ++i) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        EXPECT_EQ(k, 7u);
+        ASSERT_LT(v, 128u);
+        EXPECT_FALSE(seen[v]) << "value returned twice";
+        seen[v] = true;
+    }
+}
+
+TEST(KLsm, LargeVolumeSingleThread) {
+    queue_t q{256};
+    constexpr std::uint32_t n = 50000;
+    xoroshiro128 rng{5};
+    std::vector<std::uint32_t> keys(n);
+    for (auto &key : keys) {
+        key = static_cast<std::uint32_t>(rng());
+        q.insert(key, key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        ASSERT_EQ(k, keys[i]);
+    }
+}
+
+TEST(DistPq, SingleThreadExactOrder) {
+    dist_pq<std::uint32_t, std::uint64_t> q;
+    std::vector<std::uint32_t> keys = {5, 1, 9, 1, 3, 8};
+    for (auto key : keys)
+        q.insert(key, key);
+    std::sort(keys.begin(), keys.end());
+    for (auto expect : keys) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        EXPECT_EQ(k, expect);
+    }
+}
+
+} // namespace
+} // namespace klsm

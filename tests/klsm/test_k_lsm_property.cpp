@@ -1,0 +1,267 @@
+// Property sweeps for the combined k-LSM: randomized mixed workloads
+// against oracles, parameterized over relaxation, key ranges, operation
+// mixes and seeds.
+
+#include "klsm/k_lsm.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using queue_t = k_lsm<std::uint32_t, std::uint64_t>;
+
+struct seq_param {
+    std::uint64_t seed;
+    std::size_t k;
+    std::uint32_t key_range;
+    int insert_percent;
+    int ops;
+};
+
+class KLsmSequentialOracle : public ::testing::TestWithParam<seq_param> {};
+
+// Single-threaded, the k-LSM must behave exactly like a multiset for any
+// k (local ordering semantics).
+TEST_P(KLsmSequentialOracle, ExactAgainstMultiset) {
+    const auto p = GetParam();
+    queue_t q{p.k};
+    std::multiset<std::uint32_t> oracle;
+    xoroshiro128 rng{p.seed};
+    std::uint32_t key;
+    std::uint64_t value;
+    for (int i = 0; i < p.ops; ++i) {
+        if (static_cast<int>(rng.bounded(100)) < p.insert_percent ||
+            oracle.empty()) {
+            const auto k =
+                static_cast<std::uint32_t>(rng.bounded(p.key_range));
+            q.insert(k, k);
+            oracle.insert(k);
+        } else {
+            ASSERT_TRUE(q.try_delete_min(key, value));
+            ASSERT_EQ(key, *oracle.begin());
+            oracle.erase(oracle.begin());
+        }
+    }
+    while (!oracle.empty()) {
+        ASSERT_TRUE(q.try_delete_min(key, value));
+        ASSERT_EQ(key, *oracle.begin());
+        oracle.erase(oracle.begin());
+    }
+    EXPECT_FALSE(q.try_delete_min(key, value));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KLsmSequentialOracle,
+    ::testing::Values(
+        seq_param{1, 0, 1000, 50, 4000},
+        seq_param{2, 0, 3, 60, 4000},
+        seq_param{3, 1, 1000, 50, 4000},
+        seq_param{4, 4, 100, 70, 4000},
+        seq_param{5, 16, 1u << 30, 50, 4000},
+        seq_param{6, 64, 10, 40, 4000},
+        seq_param{7, 256, 1000, 50, 6000},
+        seq_param{8, 256, 1, 55, 4000},
+        seq_param{9, 1024, 1u << 20, 90, 6000},
+        seq_param{10, 4096, 1000, 50, 8000},
+        seq_param{11, 16384, 1u << 16, 65, 8000},
+        seq_param{12, 3, 7, 50, 4000}),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed) + "_k" +
+               std::to_string(info.param.k) + "_range" +
+               std::to_string(info.param.key_range) + "_ins" +
+               std::to_string(info.param.insert_percent);
+    });
+
+struct churn_param {
+    int threads;
+    std::size_t k;
+    std::uint32_t key_range;
+    std::uint32_t per_thread;
+};
+
+class KLsmChurn : public ::testing::TestWithParam<churn_param> {};
+
+// Concurrent churn with payload conservation: each value delivered at
+// most once, all values delivered by the end.
+TEST_P(KLsmChurn, PayloadConservation) {
+    const auto p = GetParam();
+    queue_t q{p.k};
+    std::atomic<std::uint64_t> delivered{0};
+    std::vector<std::uint8_t> seen(
+        static_cast<std::size_t>(p.threads) * p.per_thread, 0);
+    std::mutex seen_mutex;
+
+    std::vector<std::thread> ts;
+    for (int t = 0; t < p.threads; ++t) {
+        ts.emplace_back([&, t] {
+            xoroshiro128 rng{static_cast<std::uint64_t>(t) * 6151 + 11};
+            std::vector<std::uint64_t> got;
+            std::uint32_t key;
+            std::uint64_t value;
+            for (std::uint32_t i = 0; i < p.per_thread; ++i) {
+                q.insert(static_cast<std::uint32_t>(
+                             rng.bounded(p.key_range)),
+                         static_cast<std::uint64_t>(t) * p.per_thread + i);
+                if (rng.bounded(3) != 0 && q.try_delete_min(key, value))
+                    got.push_back(value);
+            }
+            std::lock_guard<std::mutex> g(seen_mutex);
+            for (auto v : got) {
+                ASSERT_EQ(seen[v], 0) << "value " << v << " seen twice";
+                seen[v] = 1;
+                delivered.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    std::uint32_t key;
+    std::uint64_t value;
+    int misses = 0;
+    while (misses < 50) {
+        if (q.try_delete_min(key, value)) {
+            ASSERT_EQ(seen[value], 0);
+            seen[value] = 1;
+            delivered.fetch_add(1);
+            misses = 0;
+        } else {
+            ++misses;
+        }
+    }
+    EXPECT_EQ(delivered.load(),
+              std::uint64_t{static_cast<unsigned>(p.threads)} *
+                  p.per_thread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KLsmChurn,
+    ::testing::Values(churn_param{2, 0, 1 << 16, 2500},
+                      churn_param{3, 4, 16, 2500},
+                      churn_param{4, 16, 1 << 16, 2000},
+                      churn_param{4, 256, 4, 2000},
+                      churn_param{6, 256, 1 << 20, 1200},
+                      churn_param{4, 1024, 1 << 8, 2000},
+                      churn_param{8, 4096, 1 << 16, 800},
+                      churn_param{2, 16384, 1 << 4, 2500}),
+    [](const auto &info) {
+        return std::to_string(info.param.threads) + "t_k" +
+               std::to_string(info.param.k) + "_range" +
+               std::to_string(info.param.key_range);
+    });
+
+// Bounded inversions: threads insert strictly increasing dense keys; a
+// third-party drain may deliver a given owner's keys out of order (local
+// ordering only binds the deleting thread to its OWN keys), but the
+// relaxation bound still limits how far: when key b of an owner is
+// delivered, at most rho = T*k smaller alive keys were skipped, so any
+// of that owner's keys delivered later satisfies seq >= max_seen - rho.
+TEST(KLsmProperty, ThirdPartyDrainInversionsBoundedByRho) {
+    constexpr int threads = 4;
+    constexpr std::size_t k = 512;
+    constexpr std::uint32_t per_thread = 3000;
+    constexpr std::uint32_t rho = threads * k;
+    queue_t q{k};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            for (std::uint32_t i = 0; i < per_thread; ++i)
+                q.insert(i, (std::uint64_t{static_cast<unsigned>(t)}
+                             << 32) |
+                                i);
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    std::uint32_t max_seen[threads] = {};
+    std::uint32_t key;
+    std::uint64_t value;
+    std::uint64_t count = 0;
+    int misses = 0;
+    while (misses < 50) {
+        if (!q.try_delete_min(key, value)) {
+            ++misses;
+            continue;
+        }
+        misses = 0;
+        ++count;
+        const int owner = static_cast<int>(value >> 32);
+        const auto seq = static_cast<std::uint32_t>(value);
+        ASSERT_LT(owner, threads);
+        ASSERT_GE(seq + rho, max_seen[owner])
+            << "owner " << owner << " inversion beyond rho";
+        if (seq > max_seen[owner])
+            max_seen[owner] = seq;
+    }
+    EXPECT_EQ(count, std::uint64_t{threads} * per_thread);
+}
+
+// size_hint never undercounts alive items (single-threaded invariant).
+TEST(KLsmProperty, SizeHintNeverUndercounts) {
+    queue_t q{64};
+    xoroshiro128 rng{77};
+    std::size_t alive = 0;
+    std::uint32_t key;
+    std::uint64_t value;
+    for (int i = 0; i < 5000; ++i) {
+        if (rng.bounded(2) == 0 || alive == 0) {
+            q.insert(static_cast<std::uint32_t>(rng.bounded(1000)), 1);
+            ++alive;
+        } else {
+            ASSERT_TRUE(q.try_delete_min(key, value));
+            --alive;
+        }
+        ASSERT_GE(q.size_hint(), alive);
+    }
+}
+
+// Alternating fill/drain cycles exercise pool recycling heavily; the
+// queue must stay exact (single thread) across many generations.
+TEST(KLsmProperty, RepeatedFillDrainCycles) {
+    queue_t q{256};
+    xoroshiro128 rng{99};
+    for (int cycle = 0; cycle < 30; ++cycle) {
+        std::vector<std::uint32_t> keys;
+        const int n = 200 + static_cast<int>(rng.bounded(800));
+        for (int i = 0; i < n; ++i) {
+            keys.push_back(static_cast<std::uint32_t>(rng()));
+            q.insert(keys.back(), cycle);
+        }
+        std::sort(keys.begin(), keys.end());
+        std::uint32_t key;
+        std::uint64_t value;
+        for (auto expect : keys) {
+            ASSERT_TRUE(q.try_delete_min(key, value));
+            ASSERT_EQ(key, expect) << "cycle " << cycle;
+        }
+        ASSERT_FALSE(q.try_delete_min(key, value));
+    }
+}
+
+// Extreme key values must round-trip unharmed.
+TEST(KLsmProperty, BoundaryKeys) {
+    queue_t q{16};
+    const std::uint32_t keys[] = {0, 1, 0x7fffffff, 0x80000000,
+                                  0xfffffffe, 0xffffffff};
+    for (auto k : keys)
+        q.insert(k, k);
+    std::uint32_t key;
+    std::uint64_t value;
+    for (auto expect : keys) {
+        ASSERT_TRUE(q.try_delete_min(key, value));
+        EXPECT_EQ(key, expect);
+        EXPECT_EQ(value, expect);
+    }
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,161 @@
+#include "lsm/lsm_pq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using pq = lsm_pq<std::uint32_t, std::uint64_t>;
+
+TEST(LsmPq, EmptyBehaviour) {
+    pq q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    std::uint32_t k;
+    std::uint64_t v;
+    EXPECT_FALSE(q.try_delete_min(k, v));
+    EXPECT_FALSE(q.try_find_min(k, v));
+}
+
+TEST(LsmPq, SingleElement) {
+    pq q;
+    q.insert(7, 70);
+    EXPECT_EQ(q.size(), 1u);
+    std::uint32_t k;
+    std::uint64_t v;
+    ASSERT_TRUE(q.try_find_min(k, v));
+    EXPECT_EQ(k, 7u);
+    EXPECT_EQ(v, 70u);
+    ASSERT_TRUE(q.try_delete_min(k, v));
+    EXPECT_EQ(k, 7u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(LsmPq, DeletesInSortedOrder) {
+    pq q;
+    std::vector<std::uint32_t> keys = {5, 3, 9, 1, 7, 3, 8, 2, 6, 4, 0};
+    for (auto key : keys)
+        q.insert(key, key);
+    std::vector<std::uint32_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    for (auto expect : sorted) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        EXPECT_EQ(k, expect);
+        EXPECT_TRUE(q.check_invariants());
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(LsmPq, DuplicateKeysAllSurvive) {
+    pq q;
+    for (int i = 0; i < 10; ++i)
+        q.insert(42, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(q.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        EXPECT_EQ(k, 42u);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(LsmPq, LogarithmicBlockCount) {
+    pq q;
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        q.insert(i, i);
+    // 1000 items fit into at most log2(1000)+1 ~ 10 blocks.
+    EXPECT_LE(q.block_count(), 10u);
+    EXPECT_TRUE(q.check_invariants());
+}
+
+TEST(LsmPq, AscendingAndDescendingInsertion) {
+    for (bool ascending : {true, false}) {
+        pq q;
+        for (std::uint32_t i = 0; i < 200; ++i)
+            q.insert(ascending ? i : 199 - i, i);
+        for (std::uint32_t i = 0; i < 200; ++i) {
+            std::uint32_t k;
+            std::uint64_t v;
+            ASSERT_TRUE(q.try_delete_min(k, v));
+            EXPECT_EQ(k, i);
+        }
+    }
+}
+
+TEST(LsmPq, RelaxedDeleteReturnsOneOfKPlus1Smallest) {
+    xoroshiro128 rng{17};
+    for (std::size_t k : {0u, 1u, 3u, 7u}) {
+        pq q;
+        for (std::uint32_t i = 0; i < 100; ++i)
+            q.insert(i, i);
+        // Track what's deleted; every delete must come from the current
+        // k+1 smallest remaining keys.
+        std::vector<bool> deleted(100, false);
+        for (int step = 0; step < 100; ++step) {
+            std::uint32_t key;
+            std::uint64_t v;
+            ASSERT_TRUE(q.try_delete_relaxed(key, v, k, rng));
+            ASSERT_FALSE(deleted[key]) << "double delete of " << key;
+            // Rank of `key` among remaining keys must be <= k.
+            std::size_t rank = 0;
+            for (std::uint32_t j = 0; j < key; ++j)
+                rank += deleted[j] ? 0 : 1;
+            EXPECT_LE(rank, k) << "k=" << k << " key=" << key;
+            deleted[key] = true;
+            ASSERT_TRUE(q.check_invariants());
+        }
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(LsmPq, RelaxedDeleteWithZeroKIsExact) {
+    xoroshiro128 rng{23};
+    pq q;
+    for (std::uint32_t i : {9u, 4u, 6u, 1u, 8u})
+        q.insert(i, i);
+    std::uint32_t k;
+    std::uint64_t v;
+    ASSERT_TRUE(q.try_delete_relaxed(k, v, 0, rng));
+    EXPECT_EQ(k, 1u);
+    ASSERT_TRUE(q.try_delete_relaxed(k, v, 0, rng));
+    EXPECT_EQ(k, 4u);
+}
+
+TEST(LsmPq, RelaxedDeleteActuallySpreads) {
+    // With k = 31 on keys 0..99, the first deletion should not always be
+    // key 0 across repetitions.
+    xoroshiro128 rng{31};
+    int nonzero_first = 0;
+    for (int rep = 0; rep < 50; ++rep) {
+        pq q;
+        for (std::uint32_t i = 0; i < 100; ++i)
+            q.insert(i, i);
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_relaxed(k, v, 31, rng));
+        nonzero_first += (k != 0);
+    }
+    EXPECT_GT(nonzero_first, 25);
+}
+
+TEST(LsmPq, InterleavedInsertDelete) {
+    pq q;
+    std::uint32_t k;
+    std::uint64_t v;
+    for (std::uint32_t round = 0; round < 50; ++round) {
+        q.insert(round * 2, round);
+        q.insert(round * 2 + 1, round);
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        ASSERT_TRUE(q.check_invariants());
+    }
+    EXPECT_EQ(q.size(), 50u);
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,130 @@
+// Property tests: the sequential LSM against a std::multiset oracle over
+// randomized operation sequences, parameterized over seeds and op mixes.
+
+#include "lsm/lsm_pq.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace klsm {
+namespace {
+
+struct mix_param {
+    std::uint64_t seed;
+    int insert_percent; // remainder are delete-mins
+    int ops;
+    std::uint32_t key_range;
+};
+
+class LsmPqOracle : public ::testing::TestWithParam<mix_param> {};
+
+TEST_P(LsmPqOracle, MatchesMultisetOracle) {
+    const mix_param p = GetParam();
+    xoroshiro128 rng{p.seed};
+    lsm_pq<std::uint32_t, std::uint64_t> q;
+    std::multiset<std::uint32_t> oracle;
+
+    for (int i = 0; i < p.ops; ++i) {
+        if (static_cast<int>(rng.bounded(100)) < p.insert_percent ||
+            oracle.empty()) {
+            const auto key =
+                static_cast<std::uint32_t>(rng.bounded(p.key_range));
+            q.insert(key, key);
+            oracle.insert(key);
+        } else {
+            std::uint32_t k;
+            std::uint64_t v;
+            ASSERT_TRUE(q.try_delete_min(k, v));
+            ASSERT_FALSE(oracle.empty());
+            ASSERT_EQ(k, *oracle.begin());
+            oracle.erase(oracle.begin());
+        }
+        ASSERT_EQ(q.size(), oracle.size());
+    }
+    ASSERT_TRUE(q.check_invariants());
+    // Drain and compare the complete remaining contents.
+    while (!oracle.empty()) {
+        std::uint32_t k;
+        std::uint64_t v;
+        ASSERT_TRUE(q.try_delete_min(k, v));
+        ASSERT_EQ(k, *oracle.begin());
+        oracle.erase(oracle.begin());
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, LsmPqOracle,
+    ::testing::Values(mix_param{1, 50, 4000, 1000},
+                      mix_param{2, 80, 4000, 100},
+                      mix_param{3, 30, 4000, 10},
+                      mix_param{4, 50, 4000, 5},
+                      mix_param{5, 95, 4000, 1u << 31},
+                      mix_param{6, 50, 8000, 2},
+                      mix_param{7, 60, 4000, 1}),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed) + "_ins" +
+               std::to_string(info.param.insert_percent) + "_range" +
+               std::to_string(info.param.key_range);
+    });
+
+struct relaxed_param {
+    std::uint64_t seed;
+    std::size_t k;
+};
+
+class LsmPqRelaxed : public ::testing::TestWithParam<relaxed_param> {};
+
+// Mixed workload where every relaxed deletion must respect the k+1 bound
+// against a value-count oracle.
+TEST_P(LsmPqRelaxed, RelaxedDeletionBoundHolds) {
+    const auto [seed, k] = GetParam();
+    xoroshiro128 rng{seed};
+    lsm_pq<std::uint32_t, std::uint64_t> q;
+    std::map<std::uint32_t, int> oracle; // key -> multiplicity
+
+    auto rank_of = [&](std::uint32_t key) {
+        std::size_t rank = 0;
+        for (const auto &[ok, cnt] : oracle) {
+            if (ok >= key)
+                break;
+            rank += static_cast<std::size_t>(cnt);
+        }
+        return rank;
+    };
+
+    for (int i = 0; i < 3000; ++i) {
+        if (rng.bounded(100) < 55 || oracle.empty()) {
+            const auto key = static_cast<std::uint32_t>(rng.bounded(500));
+            q.insert(key, key);
+            ++oracle[key];
+        } else {
+            std::uint32_t key;
+            std::uint64_t v;
+            ASSERT_TRUE(q.try_delete_relaxed(key, v, k, rng));
+            auto it = oracle.find(key);
+            ASSERT_NE(it, oracle.end()) << "deleted a non-existent key";
+            ASSERT_LE(rank_of(key), k) << "relaxation bound violated";
+            if (--it->second == 0)
+                oracle.erase(it);
+        }
+    }
+    ASSERT_TRUE(q.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ks, LsmPqRelaxed,
+    ::testing::Values(relaxed_param{11, 0}, relaxed_param{12, 1},
+                      relaxed_param{13, 4}, relaxed_param{14, 16},
+                      relaxed_param{15, 64}, relaxed_param{16, 256},
+                      relaxed_param{17, 100000}),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed) + "_k" +
+               std::to_string(info.param.k);
+    });
+
+} // namespace
+} // namespace klsm

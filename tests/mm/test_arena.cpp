@@ -1,0 +1,65 @@
+#include "mm/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace klsm {
+namespace {
+
+TEST(Arena, AllocateReturnsDistinctStablePointers) {
+    arena<int> a{4};
+    std::set<int *> ptrs;
+    std::vector<int *> order;
+    for (int i = 0; i < 100; ++i) {
+        int *p = a.allocate();
+        *p = i;
+        ptrs.insert(p);
+        order.push_back(p);
+    }
+    EXPECT_EQ(ptrs.size(), 100u);
+    // Type stability: earlier pointers still hold their values after
+    // later chunk growth.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(*order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(a.size(), 100u);
+}
+
+TEST(Arena, SizeTracksAllocations) {
+    arena<double> a{2};
+    EXPECT_EQ(a.size(), 0u);
+    a.allocate();
+    EXPECT_EQ(a.size(), 1u);
+    for (int i = 0; i < 9; ++i)
+        a.allocate();
+    EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(Arena, ForEachVisitsAllInAllocationOrder) {
+    arena<int> a{3};
+    for (int i = 0; i < 20; ++i)
+        *a.allocate() = i;
+    int expect = 0;
+    a.for_each([&](int &v) { EXPECT_EQ(v, expect++); });
+    EXPECT_EQ(expect, 20);
+}
+
+TEST(Arena, AtIndexesAcrossChunks) {
+    arena<int> a{2};
+    for (int i = 0; i < 15; ++i)
+        *a.allocate() = i * i;
+    for (int i = 0; i < 15; ++i)
+        EXPECT_EQ(a.at(static_cast<std::size_t>(i)), i * i);
+    EXPECT_THROW(a.at(15), std::out_of_range);
+}
+
+TEST(Arena, DefaultConstructsObjects) {
+    struct boxed {
+        int v = 41;
+    };
+    arena<boxed> a;
+    EXPECT_EQ(a.allocate()->v, 41);
+}
+
+} // namespace
+} // namespace klsm

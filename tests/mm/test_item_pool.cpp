@@ -1,0 +1,109 @@
+#include "mm/item_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+using pool_t = item_pool<std::uint32_t, std::uint64_t>;
+
+TEST(ItemPool, AllocatePublishesPayload) {
+    pool_t pool;
+    auto ref = pool.allocate(42, 99);
+    ASSERT_NE(ref.it, nullptr);
+    EXPECT_EQ(ref.key, 42u);
+    EXPECT_EQ(ref.it->key(), 42u);
+    EXPECT_EQ(ref.it->value(), 99u);
+    EXPECT_TRUE(ref.alive());
+    EXPECT_EQ(ref.version & 1, 1u) << "alive versions are odd";
+}
+
+TEST(ItemPool, TakeMakesItemDeadAndRefusesDoubleTake) {
+    pool_t pool;
+    auto ref = pool.allocate(1, 2);
+    EXPECT_TRUE(ref.take());
+    EXPECT_FALSE(ref.alive());
+    EXPECT_FALSE(ref.take()) << "double delete must fail";
+}
+
+TEST(ItemPool, ReusesTakenItems) {
+    pool_t pool;
+    // 64 concurrently live items force the pool to 64 distinct slots.
+    std::vector<item_ref<std::uint32_t, std::uint64_t>> refs;
+    for (std::uint32_t i = 0; i < 64; ++i)
+        refs.push_back(pool.allocate(i, i));
+    for (auto &ref : refs)
+        ref.take();
+    const std::size_t cap_before = pool.capacity();
+    EXPECT_GE(cap_before, 64u);
+    // All 64 are reusable; the next 64 allocations should not grow the
+    // pool much (the sweep has a bounded budget, so allow slack).
+    for (std::uint32_t i = 0; i < 64; ++i)
+        pool.allocate(1000 + i, 0);
+    EXPECT_LE(pool.capacity(), cap_before + 8);
+}
+
+TEST(ItemPool, ImmediateTakeReusesSingleSlot) {
+    pool_t pool;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        auto ref = pool.allocate(i, i);
+        ref.take();
+    }
+    EXPECT_LE(pool.capacity(), 2u)
+        << "allocate-take cycles should recycle one slot";
+}
+
+TEST(ItemPool, StaleReferenceCannotTakeReusedItem) {
+    pool_t pool;
+    auto ref = pool.allocate(5, 5);
+    auto stale = ref;
+    ASSERT_TRUE(ref.take());
+    // Force reuse of the same item.
+    item<std::uint32_t, std::uint64_t> *recycled = nullptr;
+    for (int i = 0; i < 10000 && recycled != stale.it; ++i) {
+        auto r = pool.allocate(100, 100);
+        recycled = r.it;
+        if (recycled != stale.it)
+            r.take();
+    }
+    ASSERT_EQ(recycled, stale.it) << "sweep should eventually recycle";
+    EXPECT_FALSE(stale.alive());
+    EXPECT_FALSE(stale.take()) << "ABA: stale version must not take";
+}
+
+TEST(ItemPool, VersionsStrictlyIncreasePerItem) {
+    pool_t pool;
+    auto ref = pool.allocate(1, 1);
+    const std::uint64_t v1 = ref.version;
+    ref.take();
+    // Recycle the same physical item.
+    item<std::uint32_t, std::uint64_t> *it = ref.it;
+    std::uint64_t v2 = 0;
+    for (int i = 0; i < 10000; ++i) {
+        auto r = pool.allocate(2, 2);
+        if (r.it == it) {
+            v2 = r.version;
+            break;
+        }
+        r.take();
+    }
+    ASSERT_NE(v2, 0u);
+    EXPECT_GT(v2, v1);
+}
+
+TEST(ItemPool, GrowsWhenEverythingIsAlive) {
+    pool_t pool;
+    std::set<item<std::uint32_t, std::uint64_t> *> live;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        auto ref = pool.allocate(i, i);
+        EXPECT_TRUE(live.insert(ref.it).second)
+            << "live item handed out twice";
+    }
+    EXPECT_GE(pool.capacity(), 1000u);
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,70 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace {
+
+TEST(Bits, Log2Floor) {
+    EXPECT_EQ(log2_floor(1), 0u);
+    EXPECT_EQ(log2_floor(2), 1u);
+    EXPECT_EQ(log2_floor(3), 1u);
+    EXPECT_EQ(log2_floor(4), 2u);
+    EXPECT_EQ(log2_floor(7), 2u);
+    EXPECT_EQ(log2_floor(8), 3u);
+    EXPECT_EQ(log2_floor(std::uint64_t{1} << 63), 63u);
+    EXPECT_EQ(log2_floor((std::uint64_t{1} << 63) + 5), 63u);
+}
+
+TEST(Bits, Log2Ceil) {
+    EXPECT_EQ(log2_ceil(1), 0u);
+    EXPECT_EQ(log2_ceil(2), 1u);
+    EXPECT_EQ(log2_ceil(3), 2u);
+    EXPECT_EQ(log2_ceil(4), 2u);
+    EXPECT_EQ(log2_ceil(5), 3u);
+    EXPECT_EQ(log2_ceil(8), 3u);
+    EXPECT_EQ(log2_ceil(9), 4u);
+}
+
+TEST(Bits, Log2RoundTrip) {
+    for (unsigned l = 0; l < 30; ++l) {
+        const std::uint64_t p = std::uint64_t{1} << l;
+        EXPECT_EQ(log2_floor(p), l);
+        EXPECT_EQ(log2_ceil(p), l);
+        if (p > 2) {
+            EXPECT_EQ(log2_ceil(p - 1), l);
+            EXPECT_EQ(log2_floor(p + 1), l);
+        }
+    }
+}
+
+TEST(Bits, NextPow2) {
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1024));
+    EXPECT_FALSE(is_pow2(1025));
+}
+
+// The LSM level rule: a block of level l stores n keys with
+// 2^(l-1) < n <= 2^l, i.e. level = log2_ceil(n).
+TEST(Bits, LevelRule) {
+    for (std::uint64_t n = 1; n <= 4096; ++n) {
+        const unsigned l = log2_ceil(n);
+        EXPECT_LE(n, std::uint64_t{1} << l);
+        if (l > 0) {
+            EXPECT_GT(n, std::uint64_t{1} << (l - 1));
+        }
+    }
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,66 @@
+#include "util/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace {
+
+TEST(BloomFilter, EmptyContainsNothing) {
+    thread_bloom_filter f;
+    EXPECT_TRUE(f.empty());
+    for (std::uint32_t id = 0; id < 64; ++id)
+        EXPECT_FALSE(f.may_contain(id));
+}
+
+// The property local ordering depends on: no false negatives, ever.
+TEST(BloomFilter, NoFalseNegatives) {
+    for (std::uint32_t id = 0; id < 256; ++id) {
+        thread_bloom_filter f;
+        f.insert(id);
+        EXPECT_TRUE(f.may_contain(id)) << "false negative for id " << id;
+    }
+}
+
+TEST(BloomFilter, NoFalseNegativesAfterMerge) {
+    thread_bloom_filter a, b;
+    for (std::uint32_t id = 0; id < 16; ++id)
+        a.insert(id);
+    for (std::uint32_t id = 16; id < 32; ++id)
+        b.insert(id);
+    a.merge(b);
+    for (std::uint32_t id = 0; id < 32; ++id)
+        EXPECT_TRUE(a.may_contain(id));
+}
+
+TEST(BloomFilter, FalsePositiveRateIsModerate) {
+    thread_bloom_filter f;
+    for (std::uint32_t id = 0; id < 4; ++id)
+        f.insert(id);
+    int fp = 0;
+    for (std::uint32_t id = 4; id < 260; ++id)
+        fp += f.may_contain(id);
+    // 4 inserted ids set <= 8 of 64 bits; two-probe false positive rate is
+    // about (8/64)^2 ~ 1.6%, so 256 probes should see only a handful.
+    EXPECT_LT(fp, 40);
+}
+
+TEST(BloomFilter, ClearResets) {
+    thread_bloom_filter f;
+    f.insert(7);
+    EXPECT_FALSE(f.empty());
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.may_contain(7));
+}
+
+TEST(BloomFilter, MergeIsUnionOfBits) {
+    thread_bloom_filter a, b;
+    a.insert(3);
+    b.insert(5);
+    const std::uint64_t expected = a.raw() | b.raw();
+    a.merge(b);
+    EXPECT_EQ(a.raw(), expected);
+}
+
+} // namespace
+} // namespace klsm

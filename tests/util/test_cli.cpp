@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace {
+
+cli_parser make_parser() {
+    cli_parser p("test");
+    p.add_flag("threads", "4", "thread count");
+    p.add_flag("duration", "0.5", "seconds");
+    p.add_flag("queues", "a,b,c", "queue list");
+    p.add_flag("verbose", "false", "verbosity");
+    return p;
+}
+
+TEST(Cli, Defaults) {
+    cli_parser p = make_parser();
+    char prog[] = "prog";
+    char *argv[] = {prog};
+    p.parse(1, argv);
+    EXPECT_EQ(p.get_int("threads"), 4);
+    EXPECT_DOUBLE_EQ(p.get_double("duration"), 0.5);
+    EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+    cli_parser p = make_parser();
+    char prog[] = "prog", f[] = "--threads", v[] = "16";
+    char *argv[] = {prog, f, v};
+    p.parse(3, argv);
+    EXPECT_EQ(p.get_int("threads"), 16);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+    cli_parser p = make_parser();
+    char prog[] = "prog", f[] = "--duration=2.25";
+    char *argv[] = {prog, f};
+    p.parse(2, argv);
+    EXPECT_DOUBLE_EQ(p.get_double("duration"), 2.25);
+}
+
+TEST(Cli, IntListParsing) {
+    cli_parser p("test");
+    p.add_flag("threads", "1,2,4,8", "sweep");
+    char prog[] = "prog";
+    char *argv[] = {prog};
+    p.parse(1, argv);
+    const auto v = p.get_int_list("threads");
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v[3], 8);
+}
+
+TEST(Cli, StringListParsing) {
+    cli_parser p = make_parser();
+    char prog[] = "prog", f[] = "--queues=klsm256,dlsm";
+    char *argv[] = {prog, f};
+    p.parse(2, argv);
+    const auto v = p.get_list("queues");
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "klsm256");
+    EXPECT_EQ(v[1], "dlsm");
+}
+
+TEST(Cli, BoolVariants) {
+    for (const char *val : {"1", "true", "yes", "on"}) {
+        cli_parser p = make_parser();
+        std::string arg = std::string("--verbose=") + val;
+        char prog[] = "prog";
+        std::vector<char> buf(arg.begin(), arg.end());
+        buf.push_back('\0');
+        char *argv[] = {prog, buf.data()};
+        p.parse(2, argv);
+        EXPECT_TRUE(p.get_bool("verbose")) << val;
+    }
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,66 @@
+// Remaining utility coverage: backoff, wall timer, cache alignment.
+
+#include "util/align.hpp"
+#include "util/backoff.hpp"
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace klsm {
+namespace {
+
+TEST(Backoff, RunsAndResets) {
+    exp_backoff b{16};
+    for (int i = 0; i < 10; ++i)
+        b(); // must terminate even past the cap
+    b.reset();
+    b();
+    SUCCEED();
+}
+
+TEST(Backoff, CpuRelaxIsCallable) {
+    for (int i = 0; i < 100; ++i)
+        cpu_relax();
+    SUCCEED();
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+    wall_timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(t.elapsed_s(), 0.015);
+    EXPECT_GE(t.elapsed_ns(), 15'000'000u);
+    t.reset();
+    EXPECT_LT(t.elapsed_s(), 0.015);
+}
+
+TEST(Align, CacheAlignedHasLineAlignment) {
+    static_assert(alignof(cache_aligned<int>) == cache_line_size);
+    static_assert(sizeof(cache_aligned<char>) >= cache_line_size);
+    cache_aligned<int> boxes[4];
+    for (int i = 0; i < 4; ++i)
+        boxes[i].value = i;
+    // Adjacent elements must land on distinct cache lines.
+    for (int i = 1; i < 4; ++i) {
+        const auto a = reinterpret_cast<std::uintptr_t>(&boxes[i - 1]);
+        const auto b = reinterpret_cast<std::uintptr_t>(&boxes[i]);
+        EXPECT_GE(b - a, cache_line_size);
+    }
+    EXPECT_EQ(*boxes[2], 2);
+    boxes[2].value = 7;
+    EXPECT_EQ(boxes[2].value, 7);
+}
+
+TEST(Align, AccessorsWork) {
+    cache_aligned<std::pair<int, int>> box{{1, 2}};
+    EXPECT_EQ(box->first, 1);
+    EXPECT_EQ((*box).second, 2);
+    const auto &cbox = box;
+    EXPECT_EQ(cbox->first, 1);
+    EXPECT_EQ((*cbox).second, 2);
+}
+
+} // namespace
+} // namespace klsm

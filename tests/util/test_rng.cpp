@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+TEST(Rng, Deterministic) {
+    xoroshiro128 a{42}, b{42};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    xoroshiro128 a{1}, b{2};
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedInRange) {
+    xoroshiro128 rng{7};
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                (1ull << 33) + 7}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.bounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+    xoroshiro128 rng{9};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+    xoroshiro128 rng{11};
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        hit_lo |= (v == 5);
+        hit_hi |= (v == 8);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+// chi-square-ish uniformity smoke test: all 16 buckets within 3x of the
+// expected count.
+TEST(Rng, BoundedRoughlyUniform) {
+    xoroshiro128 rng{13};
+    constexpr int buckets = 16, draws = 160000;
+    int count[buckets] = {};
+    for (int i = 0; i < draws; ++i)
+        ++count[rng.bounded(buckets)];
+    for (int c : count) {
+        EXPECT_GT(c, draws / buckets / 3);
+        EXPECT_LT(c, draws / buckets * 3);
+    }
+}
+
+TEST(Rng, ThreadRngIndependentStreams) {
+    std::uint64_t first_draws[4];
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back(
+            [&, t] { first_draws[t] = thread_rng()(); });
+    for (auto &th : threads)
+        th.join();
+    std::set<std::uint64_t> unique(first_draws, first_draws + 4);
+    EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(Rng, SplitMix64KnownSequenceAdvancesState) {
+    std::uint64_t s = 0;
+    const std::uint64_t a = splitmix64(s);
+    const std::uint64_t b = splitmix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+} // namespace
+} // namespace klsm

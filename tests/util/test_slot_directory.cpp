@@ -1,0 +1,63 @@
+#include "util/slot_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+TEST(SlotDirectory, RegisterSelfIsIdempotent) {
+    slot_directory dir;
+    const std::uint32_t a = dir.register_self();
+    const std::uint32_t b = dir.register_self();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(SlotDirectory, VictimExcludesSelfWhenOthersExist) {
+    slot_directory dir;
+    const std::uint32_t self = dir.register_self();
+    std::thread other([&] { dir.register_self(); });
+    other.join();
+    ASSERT_EQ(dir.size(), 2u);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint32_t v = dir.random_victim(self);
+        ASSERT_LT(v, max_registered_threads);
+        EXPECT_NE(v, self);
+    }
+}
+
+TEST(SlotDirectory, SingleSlotVictimIsSelf) {
+    slot_directory dir;
+    const std::uint32_t self = dir.register_self();
+    EXPECT_EQ(dir.random_victim(self), self);
+}
+
+TEST(SlotDirectory, ConcurrentRegistrationCountsEveryThread) {
+    // A barrier keeps all threads alive together so thread-id recycling
+    // cannot collapse them onto one slot.
+    slot_directory dir;
+    constexpr int n = 16;
+    std::barrier sync{n};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < n; ++t)
+        ts.emplace_back([&] {
+            for (int i = 0; i < 100; ++i)
+                dir.register_self();
+            sync.arrive_and_wait();
+        });
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(dir.size(), static_cast<std::uint32_t>(n));
+
+    std::set<std::uint32_t> slots;
+    dir.for_each([&](std::uint32_t s) { slots.insert(s); });
+    EXPECT_EQ(slots.size(), static_cast<std::size_t>(n));
+}
+
+} // namespace
+} // namespace klsm

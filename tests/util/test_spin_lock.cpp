@@ -1,0 +1,71 @@
+#include "util/spin_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+TEST(SpinLock, BasicLockUnlock) {
+    spin_lock l;
+    EXPECT_FALSE(l.is_locked());
+    l.lock();
+    EXPECT_TRUE(l.is_locked());
+    l.unlock();
+    EXPECT_FALSE(l.is_locked());
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld) {
+    spin_lock l;
+    ASSERT_TRUE(l.try_lock());
+    EXPECT_FALSE(l.try_lock());
+    l.unlock();
+    EXPECT_TRUE(l.try_lock());
+    l.unlock();
+}
+
+TEST(SpinLock, MutualExclusionCounter) {
+    spin_lock l;
+    long counter = 0;
+    constexpr int threads = 4, iters = 20000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&] {
+            for (int i = 0; i < iters; ++i) {
+                l.lock();
+                ++counter; // data race iff the lock is broken
+                l.unlock();
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(counter, long{threads} * iters);
+}
+
+TEST(SpinLock, TryLockMutualExclusion) {
+    spin_lock l;
+    long counter = 0;
+    constexpr int threads = 4, goal = 5000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&] {
+            int done = 0;
+            while (done < goal) {
+                if (l.try_lock()) {
+                    ++counter;
+                    ++done;
+                    l.unlock();
+                }
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(counter, long{threads} * goal);
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,52 @@
+#include "util/tabulation_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace klsm {
+namespace {
+
+TEST(TabulationHash, Deterministic) {
+    tabulation_hash h{123};
+    for (std::uint32_t x : {0u, 1u, 255u, 256u, 0xffffffffu})
+        EXPECT_EQ(h(x), h(x));
+}
+
+TEST(TabulationHash, SeedsProduceDifferentFunctions) {
+    tabulation_hash a{1}, b{2};
+    int same = 0;
+    for (std::uint32_t x = 0; x < 1000; ++x)
+        same += (a(x) == b(x));
+    EXPECT_LT(same, 3);
+}
+
+TEST(TabulationHash, FewCollisionsOnSmallInputs) {
+    tabulation_hash h{777};
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t x = 0; x < 4096; ++x)
+        seen.insert(h(x));
+    // 64-bit outputs over 4096 inputs should essentially never collide.
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(TabulationHash, LowBitsSpread) {
+    // The Bloom filter uses hash & 63; consecutive thread ids should
+    // spread over many of the 64 positions.
+    const tabulation_hash &h = thread_hash_a();
+    std::set<std::uint64_t> positions;
+    for (std::uint32_t tid = 0; tid < 64; ++tid)
+        positions.insert(h(tid) & 63);
+    EXPECT_GE(positions.size(), 32u);
+}
+
+TEST(TabulationHash, GlobalInstancesAreIndependent) {
+    int same = 0;
+    for (std::uint32_t x = 0; x < 256; ++x)
+        same += ((thread_hash_a()(x) & 63) == (thread_hash_b()(x) & 63));
+    // Two independent hashes agree on 6 bits with p = 1/64.
+    EXPECT_LT(same, 24);
+}
+
+} // namespace
+} // namespace klsm

@@ -1,0 +1,55 @@
+#include "util/thread_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace klsm {
+namespace {
+
+TEST(ThreadId, StableWithinThread) {
+    const std::uint32_t a = thread_index();
+    const std::uint32_t b = thread_index();
+    EXPECT_EQ(a, b);
+}
+
+TEST(ThreadId, DistinctAcrossConcurrentThreads) {
+    // Ids are recycled at thread exit, so the threads must be provably
+    // concurrent: a barrier keeps every thread alive until all have
+    // claimed their id.
+    constexpr int n = 8;
+    std::uint32_t ids[n];
+    std::barrier sync{n};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < n; ++t)
+        ts.emplace_back([&, t] {
+            ids[t] = thread_index();
+            sync.arrive_and_wait();
+        });
+    for (auto &t : ts)
+        t.join();
+    std::set<std::uint32_t> unique(ids, ids + n);
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(n));
+}
+
+// Ids are recycled at thread exit, so thousands of short-lived threads
+// must not exhaust the registry.
+TEST(ThreadId, RecyclesSlotsAfterThreadExit) {
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::thread> ts;
+        for (int t = 0; t < 16; ++t)
+            ts.emplace_back([] {
+                EXPECT_LT(thread_index(), max_registered_threads);
+            });
+        for (auto &t : ts)
+            t.join();
+    }
+    // 800 threads total, but never more than ~17 concurrently.
+    EXPECT_LT(thread_index_high_water(), 64u);
+}
+
+} // namespace
+} // namespace klsm
