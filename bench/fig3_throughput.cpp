@@ -8,10 +8,8 @@
 //
 // Defaults are scaled down so the binary terminates in about a minute on
 // a laptop-class machine; reproduce the paper's axes with
-//   fig3_throughput --prefill 1000000  --duration 10 --reps 30 \
-//                   --threads 1,2,3,5,10,20,40,80
-//   fig3_throughput --prefill 10000000 --duration 10 --reps 30 \
-//                   --threads 1,2,3,5,10,20,40,80
+//   fig3_throughput --prefill 1000000  --duration 10 --reps 30 --threads 1,2,3,5,10,20,40,80
+//   fig3_throughput --prefill 10000000 --duration 10 --reps 30 --threads 1,2,3,5,10,20,40,80
 
 #include <functional>
 #include <iostream>

@@ -1,0 +1,358 @@
+// Unified benchmark driver: every structure x workload combination the
+// figure benchmarks cover, behind one CLI, emitting one JSON report.
+//
+// CI runs `klsm_bench --smoke --structure <s>` for each structure; perf
+// work sweeps full scenarios through the same entry point, e.g.
+//   klsm_bench --workload throughput --structure klsm,linden,multiqueue
+//              --threads 1,2,4,8 --prefill 1000000 --duration 10
+//              --json-out report.json
+//
+// Workloads:
+//   throughput — the paper's 50/50 insert/delete-min mix (Figure 3)
+//   quality    — delete-min rank error vs an exact mirror; fails on a
+//                rho = T*k bound violation for the k-LSM (Lemma 2)
+//   sssp       — label-correcting parallel SSSP on an Erdős–Rényi graph,
+//                verified against sequential Dijkstra (Figure 4)
+//
+// Exit status is nonzero on any correctness failure, so the smoke stage
+// doubles as an end-to-end test.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/centralized_k.hpp"
+#include "baselines/hybrid_k.hpp"
+#include "baselines/linden.hpp"
+#include "baselines/multiqueue.hpp"
+#include "baselines/spin_heap.hpp"
+#include "baselines/spraylist.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/parallel_sssp.hpp"
+#include "harness/quality.hpp"
+#include "harness/reporter.hpp"
+#include "harness/throughput.hpp"
+#include "klsm/k_lsm.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using bench_key = std::uint32_t;
+using bench_val = std::uint32_t;
+
+struct bench_config {
+    std::string workload;
+    std::vector<std::string> structures;
+    std::vector<std::int64_t> threads_list;
+    std::size_t k = 256;
+    std::size_t prefill = 100000;
+    double duration_s = 0.1;
+    std::uint64_t ops_per_thread = 20000;
+    unsigned insert_percent = 50;
+    std::uint32_t nodes = 1000;
+    double edge_prob = 0.05;
+    std::uint64_t seed = 1;
+    bool smoke = false;
+    bool csv = false;
+    /// --json-out '-': the JSON report owns stdout, tables go to stderr.
+    bool json_to_stdout = false;
+};
+
+/// Construct the structure named `name` for key/value types K, V and
+/// invoke `fn(queue)`.  Returns false (after printing to stderr) for an
+/// unknown name so the caller can exit with a usage error.
+template <typename K, typename V, typename Fn>
+bool with_structure(const std::string &name, unsigned threads,
+                    std::size_t k, Fn &&fn) {
+    if (name == "klsm") {
+        klsm::k_lsm<K, V> q{k};
+        fn(q);
+    } else if (name == "dlsm") {
+        klsm::dist_pq<K, V> q;
+        fn(q);
+    } else if (name == "multiqueue") {
+        klsm::multiqueue<K, V> q{threads, 2};
+        fn(q);
+    } else if (name == "linden") {
+        klsm::linden_pq<K, V> q{32};
+        fn(q);
+    } else if (name == "spraylist") {
+        klsm::spray_pq<K, V> q{threads};
+        fn(q);
+    } else if (name == "heap") {
+        klsm::spin_heap<K, V> q;
+        fn(q);
+    } else if (name == "centralized") {
+        klsm::centralized_k_pq<K, V> q{k};
+        fn(q);
+    } else if (name == "hybrid") {
+        klsm::hybrid_k_pq<K, V> q{k};
+        fn(q);
+    } else {
+        std::cerr << "unknown structure: " << name
+                  << " (expected klsm, dlsm, multiqueue, linden, "
+                     "spraylist, heap, centralized, or hybrid)\n";
+        return false;
+    }
+    return true;
+}
+
+int run_throughput_workload(const bench_config &cfg,
+                            klsm::json_reporter &json) {
+    klsm::table_reporter report({"structure", "threads", "prefill",
+                                 "ops/s", "ops/thread/s", "failed_dels"},
+                                cfg.csv,
+                                cfg.json_to_stdout ? std::cerr : std::cout);
+    for (const auto threads_i : cfg.threads_list) {
+        const auto threads = static_cast<unsigned>(threads_i);
+        for (const auto &name : cfg.structures) {
+            const bool ok = with_structure<bench_key, bench_val>(
+                name, threads, cfg.k, [&](auto &q) {
+                    klsm::prefill_queue(q, cfg.prefill, cfg.seed);
+                    klsm::throughput_params params;
+                    params.prefill = cfg.prefill;
+                    params.threads = threads;
+                    params.duration_s = cfg.duration_s;
+                    params.insert_percent = cfg.insert_percent;
+                    params.seed = cfg.seed;
+                    const auto res = klsm::run_throughput(q, params);
+                    report.row(name, threads, cfg.prefill,
+                               res.ops_per_sec(),
+                               res.ops_per_thread_per_sec(threads),
+                               res.failed_deletes);
+                    auto &rec = json.add_record();
+                    rec.set("structure", name);
+                    rec.set("threads", threads);
+                    rec.set("prefill", cfg.prefill);
+                    rec.set("ops", res.total_ops);
+                    rec.set("inserts", res.inserts);
+                    rec.set("deletes", res.deletes);
+                    rec.set("failed_deletes", res.failed_deletes);
+                    rec.set("elapsed_s", res.elapsed_s);
+                    rec.set("ops_per_sec", res.ops_per_sec());
+                });
+            if (!ok)
+                return 2;
+        }
+    }
+    return 0;
+}
+
+int run_quality_workload(const bench_config &cfg,
+                         klsm::json_reporter &json) {
+    klsm::table_reporter report({"structure", "threads", "deletes",
+                                 "mean_rank", "max_rank", "bound"},
+                                cfg.csv,
+                                cfg.json_to_stdout ? std::cerr : std::cout);
+    int status = 0;
+    for (const auto threads_i : cfg.threads_list) {
+        const auto threads = static_cast<unsigned>(threads_i);
+        for (const auto &name : cfg.structures) {
+            const bool ok = with_structure<bench_key, bench_val>(
+                name, threads, cfg.k, [&](auto &q) {
+                    klsm::quality_params params;
+                    params.threads = threads;
+                    params.prefill = cfg.prefill;
+                    params.ops_per_thread = cfg.ops_per_thread;
+                    params.seed = cfg.seed;
+                    const auto res = klsm::measure_rank_error(q, params);
+                    // Lemma 2: the k-LSM guarantees at most T*k smaller
+                    // keys are skipped; the relaxed comparators offer no
+                    // worst-case bound.
+                    const bool bounded = name == "klsm";
+                    const std::uint64_t rho =
+                        klsm::rank_error_bound(threads, cfg.k);
+                    report.row(name, threads, res.deletes,
+                               res.mean_rank(), res.rank_max,
+                               bounded ? "rho=" + std::to_string(rho)
+                                       : std::string("none"));
+                    auto &rec = json.add_record();
+                    rec.set("structure", name);
+                    rec.set("threads", threads);
+                    rec.set("deletes", res.deletes);
+                    rec.set("mean_rank", res.mean_rank());
+                    rec.set("max_rank", res.rank_max);
+                    if (bounded) {
+                        rec.set("rho", rho);
+                        if (res.rank_max > rho) {
+                            std::cerr << "BOUND VIOLATION: klsm k="
+                                      << cfg.k << " max rank "
+                                      << res.rank_max << " > " << rho
+                                      << "\n";
+                            status = 1;
+                        }
+                    }
+                });
+            if (!ok)
+                return 2;
+        }
+    }
+    return status;
+}
+
+int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
+    klsm::erdos_renyi_params gp;
+    gp.nodes = cfg.nodes;
+    gp.edge_probability = cfg.edge_prob;
+    gp.max_weight = 100000000;
+    gp.seed = cfg.seed;
+    const klsm::graph g = klsm::make_erdos_renyi(gp);
+    const auto ref = klsm::dijkstra(g, 0);
+    json.meta().set("nodes", g.num_nodes());
+    json.meta().set("arcs", static_cast<std::uint64_t>(g.num_edges()));
+
+    klsm::table_reporter report({"structure", "threads", "time_s",
+                                 "expansions", "stale_pops",
+                                 "mismatches"},
+                                cfg.csv,
+                                cfg.json_to_stdout ? std::cerr : std::cout);
+    int status = 0;
+    // Runs one (structure, threads) point on a caller-created state;
+    // the k-LSM needs the state before queue construction to wire in
+    // lazy deletion, the other structures don't care.
+    auto run_one = [&](const std::string &name, unsigned threads,
+                       klsm::sssp_state &state, auto &q) {
+        klsm::wall_timer timer;
+        const auto stats = klsm::parallel_sssp(q, g, 0, threads, state);
+        const double seconds = timer.elapsed_s();
+        std::uint64_t mismatches = 0;
+        for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
+            mismatches += (state.dist(u) != ref.dist[u]);
+        report.row(name, threads, seconds, stats.expansions,
+                   stats.stale_pops, mismatches);
+        auto &rec = json.add_record();
+        rec.set("structure", name);
+        rec.set("threads", threads);
+        rec.set("time_s", seconds);
+        rec.set("expansions", stats.expansions);
+        rec.set("stale_pops", stats.stale_pops);
+        rec.set("mismatches", mismatches);
+        if (mismatches) {
+            std::cerr << "SSSP MISMATCH: " << name << " with " << threads
+                      << " threads disagrees with Dijkstra on "
+                      << mismatches << " nodes\n";
+            status = 1;
+        }
+    };
+    for (const auto threads_i : cfg.threads_list) {
+        const auto threads = static_cast<unsigned>(threads_i);
+        for (const auto &name : cfg.structures) {
+            if (name == "klsm") {
+                // Paper Section 4.5: superseded (distance, node) entries
+                // are dropped when the k-LSM rebuilds blocks.
+                klsm::sssp_state state{g.num_nodes()};
+                klsm::k_lsm<std::uint64_t, std::uint32_t,
+                            klsm::sssp_lazy>
+                    q{cfg.k, klsm::sssp_lazy{&state}};
+                run_one(name, threads, state, q);
+                continue;
+            }
+            klsm::sssp_state state{g.num_nodes()};
+            const bool ok = with_structure<std::uint64_t, std::uint32_t>(
+                name, threads, cfg.k,
+                [&](auto &q) { run_one(name, threads, state, q); });
+            if (!ok)
+                return 2;
+        }
+    }
+    return status;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+    klsm::cli_parser cli(
+        "Unified k-LSM benchmark driver: one CLI for every structure and "
+        "workload, one JSON report per invocation");
+    cli.add_flag("workload", "throughput",
+                 "workload: throughput | quality | sssp");
+    cli.add_flag("structure", "klsm",
+                 "comma-separated: klsm,dlsm,multiqueue,linden,"
+                 "spraylist,heap,centralized,hybrid");
+    cli.add_flag("threads", "4", "comma-separated thread counts");
+    cli.add_flag("k", "256", "k-LSM relaxation parameter");
+    cli.add_flag("prefill", "100000", "keys inserted before timing");
+    cli.add_flag("duration", "0.1", "seconds per throughput measurement");
+    cli.add_flag("ops", "20000", "quality: operations per thread");
+    cli.add_flag("insert-pct", "50", "throughput: percent inserts");
+    cli.add_flag("nodes", "1000", "sssp: graph size");
+    cli.add_flag("edge-prob", "0.05", "sssp: edge probability");
+    cli.add_flag("seed", "1", "base RNG seed");
+    cli.add_bool_flag("smoke", false,
+                      "tiny parameters, all checks on: the CI smoke mode");
+    cli.add_flag("json-out", "",
+                 "write the JSON report here ('-' for stdout)");
+    cli.add_bool_flag("csv", false, "emit CSV instead of a table");
+    cli.parse(argc, argv);
+
+    bench_config cfg;
+    cfg.workload = cli.get("workload");
+    cfg.structures = cli.get_list("structure");
+    cfg.threads_list = cli.get_int_list("threads");
+    cfg.k = static_cast<std::size_t>(cli.get_int("k"));
+    cfg.prefill = static_cast<std::size_t>(cli.get_int("prefill"));
+    cfg.duration_s = cli.get_double("duration");
+    cfg.ops_per_thread = static_cast<std::uint64_t>(cli.get_int("ops"));
+    cfg.insert_percent = static_cast<unsigned>(cli.get_int("insert-pct"));
+    cfg.nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    cfg.edge_prob = cli.get_double("edge-prob");
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    cfg.smoke = cli.get_bool("smoke");
+    cfg.csv = cli.get_bool("csv");
+    cfg.json_to_stdout = cli.get("json-out") == "-";
+
+    if (cfg.smoke) {
+        // Small enough for a sanitizer build on a one-core CI runner,
+        // large enough to exercise merges, spills, and spying.
+        cfg.prefill = 2000;
+        cfg.duration_s = 0.05;
+        cfg.ops_per_thread = 2000;
+        cfg.nodes = 200;
+        cfg.edge_prob = 0.1;
+        if (cfg.threads_list.size() > 2)
+            cfg.threads_list.resize(2);
+        for (auto &t : cfg.threads_list)
+            t = std::min<std::int64_t>(t, 4);
+    }
+
+    klsm::json_reporter json(cfg.workload);
+    json.meta().set("k", cfg.k);
+    json.meta().set("seed", cfg.seed);
+    json.meta().set("smoke", cfg.smoke);
+
+    int status;
+    if (cfg.workload == "throughput") {
+        json.meta().set("insert_percent", cfg.insert_percent);
+        json.meta().set("duration_s", cfg.duration_s);
+        status = run_throughput_workload(cfg, json);
+    } else if (cfg.workload == "quality") {
+        json.meta().set("prefill", cfg.prefill);
+        json.meta().set("ops_per_thread", cfg.ops_per_thread);
+        status = run_quality_workload(cfg, json);
+    } else if (cfg.workload == "sssp") {
+        status = run_sssp_workload(cfg, json);
+    } else {
+        std::cerr << "unknown workload: " << cfg.workload
+                  << " (expected throughput, quality, or sssp)\n";
+        return 2;
+    }
+    if (status == 2)
+        return 2;
+
+    const std::string json_out = cli.get("json-out");
+    if (json_out == "-") {
+        json.write(std::cout);
+    } else if (!json_out.empty()) {
+        std::ofstream out(json_out);
+        if (!out) {
+            std::cerr << "cannot open " << json_out << " for writing\n";
+            return 2;
+        }
+        json.write(out);
+    }
+    return status;
+}

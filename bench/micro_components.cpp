@@ -151,8 +151,6 @@ void run_pq_churn(benchmark::State &state, Q &q) {
 
 void BM_single_thread_binary_heap(benchmark::State &state) {
     struct wrap {
-        using key_type = bench_key;
-        using value_type = bench_val;
         binary_heap<bench_key, bench_val> h;
         void insert(bench_key k, bench_val v) { h.insert(k, v); }
         bool try_delete_min(bench_key &k, bench_val &v) {

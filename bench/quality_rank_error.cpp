@@ -56,12 +56,13 @@ int main(int argc, char **argv) {
     for (const auto k : cli.get_int_list("k-list")) {
         klsm::k_lsm<bench_key, bench_val> q{static_cast<std::size_t>(k)};
         const auto res = klsm::measure_rank_error(q, params);
+        const auto rho = klsm::rank_error_bound(
+            threads, static_cast<std::uint64_t>(k));
         report_result(report, "klsm" + std::to_string(k), threads,
-                      "rho=" + std::to_string(threads * k), res);
-        if (res.rank_max > static_cast<std::uint64_t>(threads) *
-                               static_cast<std::uint64_t>(k)) {
+                      "rho=" + std::to_string(rho), res);
+        if (res.rank_max > rho) {
             std::cerr << "BOUND VIOLATION: k-LSM k=" << k << " max rank "
-                      << res.rank_max << " > " << threads * k << "\n";
+                      << res.rank_max << " > " << rho << "\n";
             return 1;
         }
     }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Check-only clang-format pass over C++ sources.  Never rewrites files.
+#
+#   scripts/check-format.sh              # check the whole tree
+#   scripts/check-format.sh <base-ref>   # check only files changed since
+#                                        # base-ref (what CI does on PRs,
+#                                        # so the seed is never judged)
+set -euo pipefail
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null; then
+    echo "error: $CLANG_FORMAT not found" >&2
+    exit 2
+fi
+
+if [[ $# -ge 1 ]]; then
+    mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$1"... \
+        -- '*.hpp' '*.cpp')
+else
+    mapfile -t files < <(git ls-files '*.hpp' '*.cpp')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "no C++ files to check"
+    exit 0
+fi
+
+"$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+echo "format check passed (${#files[@]} files)"

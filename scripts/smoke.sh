@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI smoke stage: run every example binary and `klsm_bench --smoke` for
+# every structure x workload, failing on the first nonzero exit.
+#
+#   scripts/smoke.sh [build-dir]    (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+if [[ ! -x "$BUILD_DIR/bench/klsm_bench" ]]; then
+    echo "error: $BUILD_DIR/bench/klsm_bench not found; build first" >&2
+    exit 2
+fi
+
+echo "== examples =="
+"$BUILD_DIR/examples/quickstart" > /dev/null
+"$BUILD_DIR/examples/task_scheduler" > /dev/null
+"$BUILD_DIR/examples/sssp_shortest_paths" 500 4 256 > /dev/null
+"$BUILD_DIR/examples/branch_and_bound" > /dev/null
+echo "examples OK"
+
+echo "== klsm_bench --smoke =="
+json="$(mktemp)"
+trap 'rm -f "$json"' EXIT
+for s in klsm dlsm multiqueue linden spraylist heap centralized hybrid; do
+    for w in throughput quality sssp; do
+        "$BUILD_DIR/bench/klsm_bench" --smoke --workload "$w" \
+            --structure "$s" --threads 1,2 --json-out "$json" > /dev/null
+        [[ -s "$json" ]] || { echo "empty JSON report: $s/$w" >&2; exit 1; }
+        if command -v python3 > /dev/null; then
+            python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$json"
+        fi
+        echo "smoke OK: $s/$w"
+    done
+done
+echo "smoke stage passed"

@@ -75,10 +75,14 @@ public:
                 return true;
         }
         // Deterministic sweep so "false" means every queue was empty at
-        // inspection time.
+        // inspection time.  approx_size is republished under the lock
+        // after every heap operation, so it is an exact emptiness test
+        // here (unlike cached_top, which a key equal to empty_marker
+        // would alias) — reading the heap itself without the lock would
+        // race.
         for (auto &qp : queues_) {
             padded_queue &q = *qp;
-            if (q.cached_top() == empty_marker && q.heap.empty())
+            if (q.approx_size.load(std::memory_order_acquire) == 0)
                 continue;
             q.lock.lock();
             const bool ok = q.heap.try_delete_min(key, value);
@@ -93,7 +97,7 @@ public:
     std::size_t size_hint() const {
         std::size_t n = 0;
         for (const auto &q : queues_)
-            n += q->heap.size();
+            n += q->approx_size.load(std::memory_order_relaxed);
         return n;
     }
 
@@ -109,12 +113,15 @@ private:
         /// Minimum key widened to 64 bits, or empty_marker; read lock-free
         /// by the two-choice comparison.
         std::atomic<std::uint64_t> top{empty_marker};
+        /// Heap size as of the last publish; read lock-free by size_hint.
+        std::atomic<std::size_t> approx_size{0};
 
         std::uint64_t cached_top() const {
             return top.load(std::memory_order_acquire);
         }
 
         void publish_top() {
+            approx_size.store(heap.size(), std::memory_order_relaxed);
             top.store(heap.empty()
                           ? empty_marker
                           : static_cast<std::uint64_t>(heap.min_key()),

@@ -47,6 +47,15 @@ struct quality_result {
     }
 };
 
+/// Lemma 2's worst-case rank-error bound rho = T*k for a measurement
+/// driven by measure_rank_error: T counts every thread that has operated
+/// on the queue, and the prefill runs on the calling (main) thread, so
+/// T = worker_threads + 1.
+inline std::uint64_t rank_error_bound(unsigned worker_threads,
+                                      std::uint64_t k) {
+    return (static_cast<std::uint64_t>(worker_threads) + 1) * k;
+}
+
 struct quality_params {
     std::size_t prefill = 10000;
     std::uint64_t ops_per_thread = 20000;

@@ -2,12 +2,18 @@
 
 // Fixed-width table / CSV output for the benchmark binaries, so every
 // figure's data can be read off the terminal or piped into a plotting
-// script.
+// script, plus a JSON reporter so one benchmark invocation emits one
+// machine-readable report for CI and regression tracking.
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace klsm {
@@ -15,8 +21,8 @@ namespace klsm {
 class table_reporter {
 public:
     explicit table_reporter(std::vector<std::string> columns,
-                            bool csv = false)
-        : columns_(std::move(columns)), csv_(csv) {
+                            bool csv = false, std::ostream &os = std::cout)
+        : columns_(std::move(columns)), csv_(csv), os_(os) {
         print_row_impl(columns_, true);
     }
 
@@ -46,24 +52,127 @@ private:
     void print_row_impl(const std::vector<std::string> &cells, bool header) {
         if (csv_) {
             for (std::size_t i = 0; i < cells.size(); ++i)
-                std::cout << (i ? "," : "") << cells[i];
-            std::cout << "\n";
+                os_ << (i ? "," : "") << cells[i];
+            os_ << "\n";
             return;
         }
         for (std::size_t i = 0; i < cells.size(); ++i)
-            std::cout << std::left << std::setw(i == 0 ? 16 : 14)
-                      << cells[i];
-        std::cout << "\n";
+            os_ << std::left << std::setw(i == 0 ? 16 : 14) << cells[i];
+        os_ << "\n";
         if (header) {
             for (std::size_t i = 0; i < cells.size(); ++i)
-                std::cout << std::string(i == 0 ? 15 : 13, '-') << " ";
-            std::cout << "\n";
+                os_ << std::string(i == 0 ? 15 : 13, '-') << " ";
+            os_ << "\n";
         }
-        std::cout.flush();
+        os_.flush();
     }
 
     std::vector<std::string> columns_;
     bool csv_;
+    std::ostream &os_;
+};
+
+/// An ordered set of name -> JSON-scalar fields.
+class json_record {
+public:
+    void set(const std::string &name, const std::string &v) {
+        fields_.emplace_back(name, quote(v));
+    }
+    void set(const std::string &name, const char *v) {
+        fields_.emplace_back(name, quote(v));
+    }
+    void set(const std::string &name, bool v) {
+        fields_.emplace_back(name, v ? "true" : "false");
+    }
+    void set(const std::string &name, double v) {
+        if (!std::isfinite(v)) {
+            fields_.emplace_back(name, "null");
+            return;
+        }
+        std::ostringstream os;
+        os << std::setprecision(17) << v;
+        fields_.emplace_back(name, os.str());
+    }
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    void set(const std::string &name, T v) {
+        fields_.emplace_back(name, std::to_string(v));
+    }
+
+    void write(std::ostream &os) const {
+        os << "{";
+        for (std::size_t i = 0; i < fields_.size(); ++i)
+            os << (i ? "," : "") << quote(fields_[i].first) << ":"
+               << fields_[i].second;
+        os << "}";
+    }
+
+private:
+    static std::string quote(const std::string &s) {
+        std::string out = "\"";
+        for (const char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates one record per benchmark scenario and writes a single
+/// JSON document: `{"benchmark": ..., <meta fields>, "records": [...]}`.
+class json_reporter {
+public:
+    explicit json_reporter(const std::string &benchmark) {
+        meta_.set("benchmark", benchmark);
+    }
+
+    /// Top-level metadata (parameters shared by all records).
+    json_record &meta() { return meta_; }
+
+    json_record &add_record() {
+        records_.emplace_back();
+        return records_.back();
+    }
+
+    void write(std::ostream &os) const {
+        // Meta fields are inlined at the top level (no nested "meta"
+        // object) so the document stays flat and easy to query.
+        std::ostringstream tmp;
+        meta_.write(tmp);
+        std::string meta_fields = tmp.str();           // "{...}"
+        meta_fields = meta_fields.substr(1, meta_fields.size() - 2);
+        os << "{" << meta_fields;
+        if (!meta_fields.empty())
+            os << ",";
+        os << "\"records\":[";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            if (i)
+                os << ",";
+            records_[i].write(os);
+        }
+        os << "]}\n";
+    }
+
+private:
+    json_record meta_;
+    // deque: add_record hands out references that must survive later
+    // add_record calls.
+    std::deque<json_record> records_;
 };
 
 } // namespace klsm

@@ -206,7 +206,19 @@ public:
     /// (Listing 4's spy).  Non-destructive; returns true if anything was
     /// copied.  Precondition: this LSM is empty.
     bool spy_from(dist_lsm_local &victim, std::size_t max_items) {
-        assert(size_.load(std::memory_order_relaxed) == 0);
+        // The caller observed this LSM empty via find_min, but a take()
+        // by another thread can race between find_min's trim and peek,
+        // so blocks of logically dead items (or even a still-alive item)
+        // may remain.  Re-establish physical emptiness; if an alive item
+        // survives consolidation, refuse to spy — overwriting the block
+        // array would leak the blocks and break the level-order
+        // invariant.  The caller treats false as "re-read the queue"
+        // (spurious failure is allowed by the interface).
+        if (size_.load(std::memory_order_relaxed) != 0) {
+            consolidate();
+            if (size_.load(std::memory_order_relaxed) != 0)
+                return false;
+        }
         std::uint32_t vsize = victim.size_.load(std::memory_order_acquire);
         if (vsize > max_levels)
             return false; // torn read

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +23,14 @@ public:
                   const std::string &help) {
         values_[name] = default_value;
         help_.emplace_back(name, help + " (default: " + default_value + ")");
+    }
+
+    /// A boolean flag: bare `--name` means true; `--name=false` and
+    /// `--name false` still work.
+    void add_bool_flag(const std::string &name, bool default_value,
+                       const std::string &help) {
+        add_flag(name, default_value ? "true" : "false", help);
+        bool_flags_.insert(name);
     }
 
     /// Parse argv; exits with usage on `--help` or unknown flags.
@@ -44,11 +53,19 @@ public:
                 value = arg.substr(eq + 1);
             } else {
                 name = arg.substr(2);
-                if (i + 1 >= argc) {
+                const bool is_bool = bool_flags_.count(name) != 0;
+                // A bare boolean flag (last argument, or followed by
+                // another flag) means true.
+                if (is_bool &&
+                    (i + 1 >= argc ||
+                     std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+                    value = "true";
+                } else if (i + 1 >= argc) {
                     std::cerr << "flag --" << name << " needs a value\n";
                     std::exit(2);
+                } else {
+                    value = argv[++i];
                 }
-                value = argv[++i];
             }
             auto it = values_.find(name);
             if (it == values_.end()) {
@@ -63,11 +80,17 @@ public:
     std::string get(const std::string &name) const { return values_.at(name); }
 
     std::int64_t get_int(const std::string &name) const {
-        return std::stoll(values_.at(name));
+        return parse_number(name, values_.at(name),
+                            [](const std::string &s, std::size_t &pos) {
+                                return std::stoll(s, &pos);
+                            });
     }
 
     double get_double(const std::string &name) const {
-        return std::stod(values_.at(name));
+        return parse_number(name, values_.at(name),
+                            [](const std::string &s, std::size_t &pos) {
+                                return std::stod(s, &pos);
+                            });
     }
 
     bool get_bool(const std::string &name) const {
@@ -82,7 +105,11 @@ public:
         std::string tok;
         while (std::getline(ss, tok, ','))
             if (!tok.empty())
-                out.push_back(std::stoll(tok));
+                out.push_back(
+                    parse_number(name, tok,
+                                 [](const std::string &s, std::size_t &pos) {
+                                     return std::stoll(s, &pos);
+                                 }));
         return out;
     }
 
@@ -97,6 +124,24 @@ public:
     }
 
 private:
+    /// stoll/stod throw on fully non-numeric input but silently stop at
+    /// trailing garbage ("1e6" parses as 1); exit with the flag name in
+    /// both cases instead of truncating or aborting.
+    template <typename Parse>
+    static auto parse_number(const std::string &name, const std::string &v,
+                             Parse &&parse)
+        -> decltype(parse(v, std::declval<std::size_t &>())) {
+        try {
+            std::size_t pos = 0;
+            auto out = parse(v, pos);
+            if (pos == v.size())
+                return out;
+        } catch (const std::exception &) {
+        }
+        std::cerr << "flag --" << name << ": not a number: " << v << "\n";
+        std::exit(2);
+    }
+
     void usage(const char *prog) const {
         std::cerr << description_ << "\n\nusage: " << prog << " [flags]\n";
         for (const auto &[name, help] : help_)
@@ -105,6 +150,7 @@ private:
 
     std::string description_;
     std::map<std::string, std::string> values_;
+    std::set<std::string> bool_flags_;
     std::vector<std::pair<std::string, std::string>> help_;
 };
 

@@ -69,7 +69,12 @@ TEST_P(KLsmSingleThreadExact, DrainsInSortedOrder) {
 INSTANTIATE_TEST_SUITE_P(Ks, KLsmSingleThreadExact,
                          ::testing::Values(0, 1, 4, 16, 256, 4096),
                          [](const auto &info) {
-                             return "k" + std::to_string(info.param);
+                             // Built with += because string operator+
+                             // trips gcc 12's -Wrestrict false positive
+                             // (PR 105651) in release builds.
+                             std::string name = "k";
+                             name += std::to_string(info.param);
+                             return name;
                          });
 
 TEST(KLsm, InterleavedInsertDeleteStaysExactSingleThread) {
