@@ -5,14 +5,18 @@
 // work sweeps full scenarios through the same entry point, e.g.
 //   klsm_bench --workload throughput --structure klsm,linden,multiqueue
 //              --threads 1,2,4,8 --prefill 1000000 --duration 10
-//              --json-out report.json
+//              --pin none,compact,scatter --json-out report.json
 //
 // Workloads:
 //   throughput — the paper's 50/50 insert/delete-min mix (Figure 3)
 //   quality    — delete-min rank error vs an exact mirror; fails on a
-//                rho = T*k bound violation for the k-LSM (Lemma 2)
+//                bound violation: rho = T*k for the k-LSM (Lemma 2),
+//                nodes*(T*k + k) for the NUMA-sharded numa_klsm
 //   sssp       — label-correcting parallel SSSP on an Erdős–Rényi graph,
 //                verified against sequential Dijkstra (Figure 4)
+//
+// --pin sweeps thread-placement policies (src/topo/pinning.hpp); the
+// discovered machine topology is recorded in the JSON meta either way.
 //
 // Exit status is nonzero on any correctness failure, so the smoke stage
 // doubles as an end-to-end test.
@@ -36,7 +40,11 @@
 #include "harness/reporter.hpp"
 #include "harness/throughput.hpp"
 #include "klsm/k_lsm.hpp"
+#include "klsm/numa_klsm.hpp"
+#include "topo/pinning.hpp"
+#include "topo/topology.hpp"
 #include "util/cli.hpp"
+#include "util/thread_id.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -47,6 +55,7 @@ using bench_val = std::uint32_t;
 struct bench_config {
     std::string workload;
     std::vector<std::string> structures;
+    std::vector<std::string> pins; ///< pinning policies to sweep
     std::vector<std::int64_t> threads_list;
     std::size_t k = 256;
     std::size_t prefill = 100000;
@@ -92,51 +101,69 @@ bool with_structure(const std::string &name, unsigned threads,
     } else if (name == "hybrid") {
         klsm::hybrid_k_pq<K, V> q{k};
         fn(q);
+    } else if (name == "numa_klsm") {
+        klsm::numa_klsm<K, V> q{k, klsm::topo::topology::system()};
+        fn(q);
     } else {
         std::cerr << "unknown structure: " << name
                   << " (expected klsm, dlsm, multiqueue, linden, "
-                     "spraylist, heap, centralized, or hybrid)\n";
+                     "spraylist, heap, centralized, hybrid, or "
+                     "numa_klsm)\n";
         return false;
     }
     return true;
 }
 
+/// Resolve a pinning-policy name against the live machine topology;
+/// empty order means "do not pin".
+std::vector<std::uint32_t> pin_order(const std::string &policy) {
+    const auto order =
+        klsm::topo::cpu_order(klsm::topo::topology::system(), policy);
+    return order ? *order : std::vector<std::uint32_t>{};
+}
+
 int run_throughput_workload(const bench_config &cfg,
                             klsm::json_reporter &json) {
-    klsm::table_reporter report({"structure", "threads", "prefill",
+    klsm::table_reporter report({"structure", "pin", "threads", "prefill",
                                  "ops/s", "ops/thread/s", "failed_dels"},
                                 cfg.csv,
                                 cfg.json_to_stdout ? std::cerr : std::cout);
-    for (const auto threads_i : cfg.threads_list) {
-        const auto threads = static_cast<unsigned>(threads_i);
-        for (const auto &name : cfg.structures) {
-            const bool ok = with_structure<bench_key, bench_val>(
-                name, threads, cfg.k, [&](auto &q) {
-                    klsm::prefill_queue(q, cfg.prefill, cfg.seed);
-                    klsm::throughput_params params;
-                    params.prefill = cfg.prefill;
-                    params.threads = threads;
-                    params.duration_s = cfg.duration_s;
-                    params.insert_percent = cfg.insert_percent;
-                    params.seed = cfg.seed;
-                    const auto res = klsm::run_throughput(q, params);
-                    report.row(name, threads, cfg.prefill,
-                               res.ops_per_sec(),
-                               res.ops_per_thread_per_sec(threads),
-                               res.failed_deletes);
-                    auto &rec = json.add_record();
-                    rec.set("structure", name);
-                    rec.set("threads", threads);
-                    rec.set("prefill", cfg.prefill);
-                    rec.set("ops", res.total_ops);
-                    rec.set("inserts", res.inserts);
-                    rec.set("deletes", res.deletes);
-                    rec.set("failed_deletes", res.failed_deletes);
-                    rec.set("elapsed_s", res.elapsed_s);
-                    rec.set("ops_per_sec", res.ops_per_sec());
-                });
-            if (!ok)
-                return 2;
+    for (const auto &pin : cfg.pins) {
+        const auto cpus = pin_order(pin);
+        for (const auto threads_i : cfg.threads_list) {
+            const auto threads = static_cast<unsigned>(threads_i);
+            for (const auto &name : cfg.structures) {
+                const bool ok = with_structure<bench_key, bench_val>(
+                    name, threads, cfg.k, [&](auto &q) {
+                        klsm::prefill_queue(q, cfg.prefill, cfg.seed);
+                        klsm::throughput_params params;
+                        params.prefill = cfg.prefill;
+                        params.threads = threads;
+                        params.duration_s = cfg.duration_s;
+                        params.insert_percent = cfg.insert_percent;
+                        params.seed = cfg.seed;
+                        params.pin_cpus = cpus;
+                        const auto res = klsm::run_throughput(q, params);
+                        report.row(name, pin, threads, cfg.prefill,
+                                   res.ops_per_sec(),
+                                   res.ops_per_thread_per_sec(threads),
+                                   res.failed_deletes);
+                        auto &rec = json.add_record();
+                        rec.set("structure", name);
+                        rec.set("pin", pin);
+                        rec.set("threads", threads);
+                        rec.set("prefill", cfg.prefill);
+                        rec.set("ops", res.total_ops);
+                        rec.set("inserts", res.inserts);
+                        rec.set("deletes", res.deletes);
+                        rec.set("failed_deletes", res.failed_deletes);
+                        rec.set("pin_failures", res.pin_failures);
+                        rec.set("elapsed_s", res.elapsed_s);
+                        rec.set("ops_per_sec", res.ops_per_sec());
+                    });
+                if (!ok)
+                    return 2;
+            }
         }
     }
     return 0;
@@ -144,51 +171,79 @@ int run_throughput_workload(const bench_config &cfg,
 
 int run_quality_workload(const bench_config &cfg,
                          klsm::json_reporter &json) {
-    klsm::table_reporter report({"structure", "threads", "deletes",
+    klsm::table_reporter report({"structure", "pin", "threads", "deletes",
                                  "mean_rank", "max_rank", "bound"},
                                 cfg.csv,
                                 cfg.json_to_stdout ? std::cerr : std::cout);
     int status = 0;
-    for (const auto threads_i : cfg.threads_list) {
-        const auto threads = static_cast<unsigned>(threads_i);
-        for (const auto &name : cfg.structures) {
-            const bool ok = with_structure<bench_key, bench_val>(
-                name, threads, cfg.k, [&](auto &q) {
-                    klsm::quality_params params;
-                    params.threads = threads;
-                    params.prefill = cfg.prefill;
-                    params.ops_per_thread = cfg.ops_per_thread;
-                    params.seed = cfg.seed;
-                    const auto res = klsm::measure_rank_error(q, params);
-                    // Lemma 2: the k-LSM guarantees at most T*k smaller
-                    // keys are skipped; the relaxed comparators offer no
-                    // worst-case bound.
-                    const bool bounded = name == "klsm";
-                    const std::uint64_t rho =
-                        klsm::rank_error_bound(threads, cfg.k);
-                    report.row(name, threads, res.deletes,
-                               res.mean_rank(), res.rank_max,
-                               bounded ? "rho=" + std::to_string(rho)
-                                       : std::string("none"));
-                    auto &rec = json.add_record();
-                    rec.set("structure", name);
-                    rec.set("threads", threads);
-                    rec.set("deletes", res.deletes);
-                    rec.set("mean_rank", res.mean_rank());
-                    rec.set("max_rank", res.rank_max);
-                    if (bounded) {
-                        rec.set("rho", rho);
-                        if (res.rank_max > rho) {
-                            std::cerr << "BOUND VIOLATION: klsm k="
-                                      << cfg.k << " max rank "
-                                      << res.rank_max << " > " << rho
-                                      << "\n";
-                            status = 1;
+    for (const auto &pin : cfg.pins) {
+        const auto cpus = pin_order(pin);
+        for (const auto threads_i : cfg.threads_list) {
+            const auto threads = static_cast<unsigned>(threads_i);
+            for (const auto &name : cfg.structures) {
+                const bool ok = with_structure<bench_key, bench_val>(
+                    name, threads, cfg.k, [&](auto &q) {
+                        klsm::quality_params params;
+                        params.threads = threads;
+                        params.prefill = cfg.prefill;
+                        params.ops_per_thread = cfg.ops_per_thread;
+                        params.seed = cfg.seed;
+                        params.pin_cpus = cpus;
+                        const auto res = klsm::measure_rank_error(q, params);
+                        // Lemma 2: the k-LSM guarantees at most T*k
+                        // smaller keys are skipped.  numa_klsm's
+                        // composed bound nodes*(T*k + k) is structural
+                        // only with one shard (see numa_klsm.hpp): on a
+                        // multi-node machine local-first deletes trade
+                        // it for locality, so there it is reported and
+                        // checked advisorily, without failing the run.
+                        // The relaxed comparators offer no bound at all.
+                        const std::uint32_t numa_nodes =
+                            klsm::topo::topology::system().num_nodes();
+                        const bool has_rho =
+                            name == "klsm" || name == "numa_klsm";
+                        const bool hard =
+                            name == "klsm" ||
+                            (name == "numa_klsm" && numa_nodes == 1);
+                        const std::uint64_t rho =
+                            name == "numa_klsm"
+                                ? klsm::numa_rank_error_bound(
+                                      numa_nodes, threads, cfg.k)
+                                : klsm::rank_error_bound(threads, cfg.k);
+                        std::string bound_cell = "none";
+                        if (has_rho)
+                            bound_cell = "rho=" + std::to_string(rho) +
+                                         (hard ? "" : " (advisory)");
+                        report.row(name, pin, threads, res.deletes,
+                                   res.mean_rank(), res.rank_max,
+                                   bound_cell);
+                        auto &rec = json.add_record();
+                        rec.set("structure", name);
+                        rec.set("pin", pin);
+                        rec.set("threads", threads);
+                        rec.set("deletes", res.deletes);
+                        rec.set("mean_rank", res.mean_rank());
+                        rec.set("max_rank", res.rank_max);
+                        rec.set("pin_failures", res.pin_failures);
+                        if (has_rho) {
+                            rec.set("rho", rho);
+                            rec.set("rho_hard", hard);
+                            if (res.rank_max > rho) {
+                                std::cerr
+                                    << (hard ? "BOUND VIOLATION: "
+                                             : "advisory bound "
+                                               "exceeded: ")
+                                    << name << " k=" << cfg.k
+                                    << " max rank " << res.rank_max
+                                    << " > " << rho << "\n";
+                                if (hard)
+                                    status = 1;
+                            }
                         }
-                    }
-                });
-            if (!ok)
-                return 2;
+                    });
+                if (!ok)
+                    return 2;
+            }
         }
     }
     return status;
@@ -205,31 +260,36 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
     json.meta().set("nodes", g.num_nodes());
     json.meta().set("arcs", static_cast<std::uint64_t>(g.num_edges()));
 
-    klsm::table_reporter report({"structure", "threads", "time_s",
+    klsm::table_reporter report({"structure", "pin", "threads", "time_s",
                                  "expansions", "stale_pops",
                                  "mismatches"},
                                 cfg.csv,
                                 cfg.json_to_stdout ? std::cerr : std::cout);
     int status = 0;
-    // Runs one (structure, threads) point on a caller-created state;
+    // Runs one (structure, pin, threads) point on a caller-created state;
     // the k-LSM needs the state before queue construction to wire in
     // lazy deletion, the other structures don't care.
-    auto run_one = [&](const std::string &name, unsigned threads,
-                       klsm::sssp_state &state, auto &q) {
+    auto run_one = [&](const std::string &name, const std::string &pin,
+                       const std::vector<std::uint32_t> &cpus,
+                       unsigned threads, klsm::sssp_state &state,
+                       auto &q) {
         klsm::wall_timer timer;
-        const auto stats = klsm::parallel_sssp(q, g, 0, threads, state);
+        const auto stats =
+            klsm::parallel_sssp(q, g, 0, threads, state, cpus);
         const double seconds = timer.elapsed_s();
         std::uint64_t mismatches = 0;
         for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
             mismatches += (state.dist(u) != ref.dist[u]);
-        report.row(name, threads, seconds, stats.expansions,
+        report.row(name, pin, threads, seconds, stats.expansions,
                    stats.stale_pops, mismatches);
         auto &rec = json.add_record();
         rec.set("structure", name);
+        rec.set("pin", pin);
         rec.set("threads", threads);
         rec.set("time_s", seconds);
         rec.set("expansions", stats.expansions);
         rec.set("stale_pops", stats.stale_pops);
+        rec.set("pin_failures", stats.pin_failures);
         rec.set("mismatches", mismatches);
         if (mismatches) {
             std::cerr << "SSSP MISMATCH: " << name << " with " << threads
@@ -238,25 +298,30 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
             status = 1;
         }
     };
-    for (const auto threads_i : cfg.threads_list) {
-        const auto threads = static_cast<unsigned>(threads_i);
-        for (const auto &name : cfg.structures) {
-            if (name == "klsm") {
-                // Paper Section 4.5: superseded (distance, node) entries
-                // are dropped when the k-LSM rebuilds blocks.
+    for (const auto &pin : cfg.pins) {
+        const auto cpus = pin_order(pin);
+        for (const auto threads_i : cfg.threads_list) {
+            const auto threads = static_cast<unsigned>(threads_i);
+            for (const auto &name : cfg.structures) {
+                if (name == "klsm") {
+                    // Paper Section 4.5: superseded (distance, node)
+                    // entries are dropped when the k-LSM rebuilds blocks.
+                    klsm::sssp_state state{g.num_nodes()};
+                    klsm::k_lsm<std::uint64_t, std::uint32_t,
+                                klsm::sssp_lazy>
+                        q{cfg.k, klsm::sssp_lazy{&state}};
+                    run_one(name, pin, cpus, threads, state, q);
+                    continue;
+                }
                 klsm::sssp_state state{g.num_nodes()};
-                klsm::k_lsm<std::uint64_t, std::uint32_t,
-                            klsm::sssp_lazy>
-                    q{cfg.k, klsm::sssp_lazy{&state}};
-                run_one(name, threads, state, q);
-                continue;
+                const bool ok =
+                    with_structure<std::uint64_t, std::uint32_t>(
+                        name, threads, cfg.k, [&](auto &q) {
+                            run_one(name, pin, cpus, threads, state, q);
+                        });
+                if (!ok)
+                    return 2;
             }
-            klsm::sssp_state state{g.num_nodes()};
-            const bool ok = with_structure<std::uint64_t, std::uint32_t>(
-                name, threads, cfg.k,
-                [&](auto &q) { run_one(name, threads, state, q); });
-            if (!ok)
-                return 2;
         }
     }
     return status;
@@ -272,7 +337,10 @@ int main(int argc, char **argv) {
                  "workload: throughput | quality | sssp");
     cli.add_flag("structure", "klsm",
                  "comma-separated: klsm,dlsm,multiqueue,linden,"
-                 "spraylist,heap,centralized,hybrid");
+                 "spraylist,heap,centralized,hybrid,numa_klsm");
+    cli.add_flag("pin", "none",
+                 "comma-separated pinning policies: none,compact,"
+                 "scatter,numa_fill");
     cli.add_flag("threads", "4", "comma-separated thread counts");
     cli.add_flag("k", "256", "k-LSM relaxation parameter");
     cli.add_flag("prefill", "100000", "keys inserted before timing");
@@ -292,6 +360,7 @@ int main(int argc, char **argv) {
     bench_config cfg;
     cfg.workload = cli.get("workload");
     cfg.structures = cli.get_list("structure");
+    cfg.pins = cli.get_list("pin");
     cfg.threads_list = cli.get_int_list("threads");
     cfg.k = static_cast<std::size_t>(cli.get_int("k"));
     cfg.prefill = static_cast<std::size_t>(cli.get_int("prefill"));
@@ -300,10 +369,36 @@ int main(int argc, char **argv) {
     cfg.insert_percent = static_cast<unsigned>(cli.get_int("insert-pct"));
     cfg.nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
     cfg.edge_prob = cli.get_double("edge-prob");
-    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    cfg.seed = cli.get_uint64("seed");
     cfg.smoke = cli.get_bool("smoke");
     cfg.csv = cli.get_bool("csv");
     cfg.json_to_stdout = cli.get("json-out") == "-";
+
+    for (const auto &pin : cfg.pins) {
+        if (!klsm::topo::parse_pin_policy(pin)) {
+            std::cerr << "unknown pin policy: " << pin
+                      << " (expected none, compact, scatter, or "
+                         "numa_fill)\n";
+            return 2;
+        }
+    }
+    for (const auto t : cfg.threads_list) {
+        if (t < 1) {
+            std::cerr << "--threads: " << t << " must be at least 1\n";
+            return 2;
+        }
+        try {
+            // Same check the harnesses apply, surfaced as a CLI error
+            // instead of an exception mid-benchmark.  Clamp before the
+            // narrowing cast: a value above UINT32_MAX must reach the
+            // check as "too large", not wrap to a small count.
+            klsm::check_thread_capacity(static_cast<unsigned>(
+                std::min<std::int64_t>(t, 0xffffffffLL)));
+        } catch (const std::invalid_argument &e) {
+            std::cerr << "--threads: " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     if (cfg.smoke) {
         // Small enough for a sanitizer build on a one-core CI runner,
@@ -323,6 +418,16 @@ int main(int argc, char **argv) {
     json.meta().set("k", cfg.k);
     json.meta().set("seed", cfg.seed);
     json.meta().set("smoke", cfg.smoke);
+    // The discovered machine layout: without it, cross-machine JSON
+    // reports are not comparable (arXiv:1603.05047's central lesson).
+    const auto &sys = klsm::topo::topology::system();
+    json.meta().set("topology_source",
+                    sys.from_sysfs() ? "sysfs" : "fallback");
+    json.meta().set("cpus", sys.num_cpus());
+    json.meta().set("packages", sys.num_packages());
+    json.meta().set("numa_nodes", sys.num_nodes());
+    json.meta().set("cores", sys.num_cores());
+    json.meta().set("smt", sys.smt());
 
     int status;
     if (cfg.workload == "throughput") {

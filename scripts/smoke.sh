@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# CI smoke stage: run every example binary and `klsm_bench --smoke` for
-# every structure x workload, failing on the first nonzero exit.
+# CI smoke stage: run every example binary, `klsm_bench --smoke` for
+# every structure x workload, and a pinning-policy pass, failing on the
+# first nonzero exit.  JSON reports are kept under $REPORT_DIR so CI can
+# upload them as workflow artifacts.
 #
-#   scripts/smoke.sh [build-dir]    (default: build)
+#   scripts/smoke.sh [build-dir] [report-dir]
+#   (defaults: build, <build-dir>/smoke-reports)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+REPORT_DIR="${2:-$BUILD_DIR/smoke-reports}"
 if [[ ! -x "$BUILD_DIR/bench/klsm_bench" ]]; then
     echo "error: $BUILD_DIR/bench/klsm_bench not found; build first" >&2
     exit 2
 fi
+mkdir -p "$REPORT_DIR"
+
+check_json() {
+    [[ -s "$1" ]] || { echo "empty JSON report: $1" >&2; exit 1; }
+    if command -v python3 > /dev/null; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$1"
+    fi
+}
 
 echo "== examples =="
 "$BUILD_DIR/examples/quickstart" > /dev/null
@@ -19,17 +31,34 @@ echo "== examples =="
 echo "examples OK"
 
 echo "== klsm_bench --smoke =="
-json="$(mktemp)"
-trap 'rm -f "$json"' EXIT
-for s in klsm dlsm multiqueue linden spraylist heap centralized hybrid; do
+for s in klsm dlsm multiqueue linden spraylist heap centralized hybrid \
+         numa_klsm; do
     for w in throughput quality sssp; do
+        json="$REPORT_DIR/$s-$w.json"
         "$BUILD_DIR/bench/klsm_bench" --smoke --workload "$w" \
             --structure "$s" --threads 1,2 --json-out "$json" > /dev/null
-        [[ -s "$json" ]] || { echo "empty JSON report: $s/$w" >&2; exit 1; }
-        if command -v python3 > /dev/null; then
-            python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$json"
-        fi
+        check_json "$json"
         echo "smoke OK: $s/$w"
     done
 done
-echo "smoke stage passed"
+
+echo "== klsm_bench --smoke pinning policies =="
+# Every placement policy, on the structures that care most about
+# placement; on a single-node runner this exercises the topology
+# fallback path end to end.
+for p in none compact scatter numa_fill; do
+    json="$REPORT_DIR/pin-$p.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload throughput \
+        --structure klsm,numa_klsm --threads 2 --pin "$p" \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    echo "smoke OK: pin=$p"
+done
+# The acceptance shape: a multi-policy sweep in one invocation.
+json="$REPORT_DIR/pin-sweep.json"
+"$BUILD_DIR/bench/klsm_bench" --smoke --workload throughput \
+    --structure numa_klsm --pin compact,scatter --threads 1,2 \
+    --json-out "$json" > /dev/null
+check_json "$json"
+echo "smoke OK: pin sweep"
+echo "smoke stage passed (reports in $REPORT_DIR)"

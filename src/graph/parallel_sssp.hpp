@@ -27,7 +27,9 @@
 #include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
 #include "klsm/item.hpp"
+#include "topo/pinning.hpp"
 #include "util/backoff.hpp"
+#include "util/thread_id.hpp"
 
 namespace klsm {
 
@@ -35,6 +37,8 @@ struct sssp_stats {
     std::uint64_t expansions = 0; ///< non-stale pops (node expansions)
     std::uint64_t stale_pops = 0; ///< lazy-deleted entries skipped
     std::uint64_t settled = 0;    ///< reachable nodes
+    /// Workers whose pin_self failed and therefore ran unpinned.
+    std::uint64_t pin_failures = 0;
 };
 
 /// Shared tentative-distance state; also serves as the lazy-deletion
@@ -106,20 +110,28 @@ struct sssp_lazy {
 };
 
 /// Run label-correcting SSSP on `pq` with `threads` workers.  The queue
-/// must be empty; keys are distances, values are node ids.
+/// must be empty; keys are distances, values are node ids.  A non-empty
+/// `pin_cpus` (a topo::cpu_order placement) pins worker t to
+/// pin_cpus[t % size()] before it starts popping.
 template <typename PQ>
 sssp_stats parallel_sssp(PQ &pq, const graph &g, graph::node_id source,
-                         unsigned threads, sssp_state &state) {
+                         unsigned threads, sssp_state &state,
+                         const std::vector<std::uint32_t> &pin_cpus = {}) {
+    check_thread_capacity(threads);
     std::atomic<std::int64_t> &pending = state.pending();
     std::atomic<std::uint64_t> expansions{0};
     std::atomic<std::uint64_t> stale{0};
+    std::atomic<std::uint64_t> pin_failures{0};
 
     state.relax(source, 0);
     // `pending` is raised before any worker starts, so no worker can
     // observe 0 before the seed entry exists.
     pending.store(1, std::memory_order_release);
 
-    auto worker = [&](bool seed) {
+    auto worker = [&](unsigned t, bool seed) {
+        if (!pin_cpus.empty() &&
+            !topo::pin_self(pin_cpus[t % pin_cpus.size()]))
+            pin_failures.fetch_add(1, std::memory_order_relaxed);
         // The seed entry must be inserted by a *worker*: queues with
         // thread-private buffers (hybrid_k_pq) can only pop entries from
         // the inserting thread until they spill.
@@ -156,13 +168,19 @@ sssp_stats parallel_sssp(PQ &pq, const graph &g, graph::node_id source,
         }
     };
 
-    if (threads <= 1) {
-        worker(true);
+    // Inline execution only when unpinned: pinning must happen on a
+    // spawned worker so the caller's affinity mask (inherited by every
+    // thread it spawns later) is never narrowed as a side effect.
+    if (threads <= 1 && pin_cpus.empty()) {
+        worker(0, true);
+    } else if (threads <= 1) {
+        std::thread t(worker, 0u, true);
+        t.join();
     } else {
         std::vector<std::thread> ts;
         ts.reserve(threads);
         for (unsigned t = 0; t < threads; ++t)
-            ts.emplace_back(worker, t == 0);
+            ts.emplace_back(worker, t, t == 0);
         for (auto &t : ts)
             t.join();
     }
@@ -170,6 +188,7 @@ sssp_stats parallel_sssp(PQ &pq, const graph &g, graph::node_id source,
     sssp_stats out;
     out.expansions = expansions.load();
     out.stale_pops = stale.load();
+    out.pin_failures = pin_failures.load();
     for (std::uint32_t i = 0; i < state.num_nodes(); ++i)
         out.settled += (state.dist(i) != sssp_unreached);
     return out;

@@ -12,13 +12,16 @@
 // every individual measurement exact — the standard methodology for
 // relaxed-queue quality plots.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "topo/pinning.hpp"
 #include "util/rng.hpp"
+#include "util/thread_id.hpp"
 
 namespace klsm {
 
@@ -26,6 +29,8 @@ struct quality_result {
     std::uint64_t deletes = 0;
     std::uint64_t rank_sum = 0;
     std::uint64_t rank_max = 0;
+    /// Workers whose pin_self failed and therefore ran unpinned.
+    std::uint64_t pin_failures = 0;
     /// rank histogram, bucketed by powers of two: bucket i counts ranks
     /// in [2^i - 1, 2^(i+1) - 1).
     std::uint64_t histogram[24] = {};
@@ -62,12 +67,16 @@ struct quality_params {
     unsigned threads = 4;
     std::uint64_t seed = 17;
     std::uint32_t key_range = 1 << 20;
+    /// Placement order from topo::cpu_order: worker t pins itself to
+    /// pin_cpus[t % size()] before operating.  Empty: no pinning.
+    std::vector<std::uint32_t> pin_cpus;
 };
 
 /// Drive `q` with a serialized 50/50 workload and measure delete-min
 /// rank errors against an exact mirror.
 template <typename PQ>
 quality_result measure_rank_error(PQ &q, const quality_params &params) {
+    check_thread_capacity(params.threads);
     std::multiset<std::uint64_t> mirror;
     std::mutex mtx;
     quality_result result;
@@ -83,9 +92,14 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
         }
     }
 
+    std::atomic<std::uint64_t> pin_failures{0};
     std::vector<std::thread> ts;
     for (unsigned t = 0; t < params.threads; ++t) {
         ts.emplace_back([&, t] {
+            if (!params.pin_cpus.empty() &&
+                !topo::pin_self(
+                    params.pin_cpus[t % params.pin_cpus.size()]))
+                pin_failures.fetch_add(1, std::memory_order_relaxed);
             xoroshiro128 rng{params.seed + 31 * (t + 1)};
             typename PQ::key_type key;
             typename PQ::value_type value{};
@@ -113,6 +127,7 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
     }
     for (auto &t : ts)
         t.join();
+    result.pin_failures = pin_failures.load();
     return result;
 }
 

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "topo/pinning.hpp"
 #include "util/rng.hpp"
+#include "util/thread_id.hpp"
 #include "util/timer.hpp"
 
 namespace klsm {
@@ -28,6 +30,9 @@ struct throughput_result {
     std::uint64_t inserts = 0;
     std::uint64_t deletes = 0;
     std::uint64_t failed_deletes = 0;
+    /// Workers whose pin_self failed (restricted cpuset, stale cpu id):
+    /// they ran unpinned.  Nonzero means the run's placement label lies.
+    std::uint64_t pin_failures = 0;
     double elapsed_s = 0;
 
     double ops_per_sec() const {
@@ -42,13 +47,19 @@ struct throughput_result {
 /// Run the 50/50 benchmark on an already-prefilled queue.
 template <typename PQ>
 throughput_result run_throughput(PQ &q, const throughput_params &params) {
+    check_thread_capacity(params.threads);
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> inserts{0}, deletes{0}, failed{0};
+    std::atomic<std::uint64_t> pin_failures{0};
     std::barrier sync{static_cast<std::ptrdiff_t>(params.threads) + 1};
 
     std::vector<std::thread> ts;
     for (unsigned t = 0; t < params.threads; ++t) {
         ts.emplace_back([&, t] {
+            if (!params.pin_cpus.empty() &&
+                !topo::pin_self(
+                    params.pin_cpus[t % params.pin_cpus.size()]))
+                pin_failures.fetch_add(1, std::memory_order_relaxed);
             xoroshiro128 rng{params.seed + 104729 * (t + 1)};
             const std::uint64_t mask =
                 params.key_range_bits >= 64
@@ -90,6 +101,7 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
     out.inserts = inserts.load();
     out.deletes = deletes.load();
     out.failed_deletes = failed.load();
+    out.pin_failures = pin_failures.load();
     out.total_ops = out.inserts + out.deletes + out.failed_deletes;
     out.elapsed_s = elapsed;
     return out;

@@ -20,6 +20,9 @@ struct throughput_params {
     unsigned insert_percent = 50;
     std::uint64_t seed = 1;
     std::uint32_t key_range_bits = 32;
+    /// Placement order from topo::cpu_order: worker t pins itself to
+    /// pin_cpus[t % size()] before the start barrier.  Empty: no pinning.
+    std::vector<std::uint32_t> pin_cpus;
 };
 
 /// Prefill `q` with uniformly random keys using several helper threads

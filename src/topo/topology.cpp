@@ -1,0 +1,247 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+namespace klsm::topo {
+namespace {
+
+/// Read a whole small sysfs file; false if it cannot be opened.
+bool read_file(const std::filesystem::path &p, std::string &out) {
+    std::ifstream in(p);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/// Read a sysfs file holding one unsigned integer.
+bool read_u32(const std::filesystem::path &p, std::uint32_t &out) {
+    std::string s;
+    if (!read_file(p, s))
+        return false;
+    try {
+        std::size_t pos = 0;
+        const unsigned long v = std::stoul(s, &pos);
+        // Allow trailing whitespace only (sysfs ends values with '\n').
+        while (pos < s.size() && std::isspace(static_cast<unsigned char>(
+                                     s[pos])))
+            ++pos;
+        if (pos != s.size() || v > 0xffffffffUL)
+            return false;
+        out = static_cast<std::uint32_t>(v);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool read_cpulist(const std::filesystem::path &p,
+                  std::vector<std::uint32_t> &out) {
+    std::string s;
+    return read_file(p, s) && parse_cpulist(s, out);
+}
+
+} // namespace
+
+bool parse_cpulist(const std::string &list, std::vector<std::uint32_t> &out) {
+    // Largest cpu id accepted: well above any real NR_CPUS (kernels cap
+    // at 8192) but small enough that a corrupt or hostile cpulist can
+    // neither wrap the range-expansion counter nor balloon the output.
+    constexpr std::uint32_t max_cpu_id = 65535;
+    out.clear();
+    std::size_t i = 0;
+    const auto skip_ws = [&] {
+        while (i < list.size() &&
+               std::isspace(static_cast<unsigned char>(list[i])))
+            ++i;
+    };
+    const auto parse_u32 = [&](std::uint32_t &v) {
+        if (i >= list.size() ||
+            !std::isdigit(static_cast<unsigned char>(list[i])))
+            return false;
+        std::uint64_t acc = 0;
+        while (i < list.size() &&
+               std::isdigit(static_cast<unsigned char>(list[i]))) {
+            acc = acc * 10 + (list[i] - '0');
+            if (acc > max_cpu_id)
+                return false;
+            ++i;
+        }
+        v = static_cast<std::uint32_t>(acc);
+        return true;
+    };
+    skip_ws();
+    // An empty cpulist (e.g. a memory-only node) is valid and empty.
+    while (i < list.size()) {
+        std::uint32_t lo;
+        if (!parse_u32(lo)) {
+            out.clear();
+            return false;
+        }
+        std::uint32_t hi = lo;
+        if (i < list.size() && list[i] == '-') {
+            ++i;
+            if (!parse_u32(hi) || hi < lo) {
+                out.clear();
+                return false;
+            }
+        }
+        for (std::uint32_t c = lo; c <= hi; ++c)
+            out.push_back(c);
+        skip_ws();
+        if (i < list.size()) {
+            if (list[i] != ',') {
+                out.clear();
+                return false;
+            }
+            ++i;
+            skip_ws();
+            // A trailing comma is malformed.
+            if (i >= list.size()) {
+                out.clear();
+                return false;
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return true;
+}
+
+void topology::finalize() {
+    std::sort(cpus_.begin(), cpus_.end(),
+              [](const logical_cpu &a, const logical_cpu &b) {
+                  return a.os_id < b.os_id;
+              });
+    std::set<std::uint32_t> pkgs, nodes;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> cores;
+    smt_ = false;
+    for (const auto &c : cpus_) {
+        pkgs.insert(c.package);
+        nodes.insert(c.node);
+        cores.insert({c.package, c.core});
+        smt_ = smt_ || c.smt_rank > 0;
+    }
+    packages_ = static_cast<std::uint32_t>(pkgs.size());
+    nodes_ = static_cast<std::uint32_t>(nodes.size());
+    cores_ = static_cast<std::uint32_t>(cores.size());
+    node_ids_.assign(nodes.begin(), nodes.end());
+}
+
+topology topology::fallback(std::uint32_t n_cpus) {
+    topology t;
+    t.cpus_.resize(std::max<std::uint32_t>(n_cpus, 1));
+    for (std::uint32_t i = 0; i < t.cpus_.size(); ++i) {
+        t.cpus_[i].os_id = i;
+        t.cpus_[i].package = 0;
+        t.cpus_[i].core = i; // one thread per synthetic core: no SMT
+        t.cpus_[i].node = 0;
+    }
+    t.finalize();
+    t.from_sysfs_ = false;
+    return t;
+}
+
+topology topology::discover(const std::string &sysfs_root) {
+    namespace fs = std::filesystem;
+    const fs::path root{sysfs_root};
+
+    std::vector<std::uint32_t> online;
+    if (!read_cpulist(root / "cpu" / "online", online) || online.empty()) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return fallback(hw ? hw : 1);
+    }
+
+    topology t;
+    for (const std::uint32_t cpu : online) {
+        const fs::path tdir =
+            root / "cpu" / ("cpu" + std::to_string(cpu)) / "topology";
+        logical_cpu c;
+        c.os_id = cpu;
+        // The kernel names the socket file physical_package_id; accept
+        // the shorter package_id too (older docs and fake trees use it).
+        // An online CPU without topology files (races with hotplug, or a
+        // truncated fake tree) is skipped rather than invented.
+        if (!read_u32(tdir / "physical_package_id", c.package) &&
+            !read_u32(tdir / "package_id", c.package))
+            continue;
+        if (!read_u32(tdir / "core_id", c.core))
+            continue;
+        t.cpus_.push_back(c);
+    }
+    if (t.cpus_.empty()) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return fallback(hw ? hw : 1);
+    }
+
+    // SMT ranks from thread_siblings_list: a cpu's rank is its position
+    // among its core's *discovered* siblings (offline siblings still
+    // appear in the kernel's list and must not inflate ranks).  When the
+    // file is absent, fall back to grouping by (package, core).
+    const auto discovered = [&t](std::uint32_t cpu) {
+        for (const auto &c : t.cpus_)
+            if (c.os_id == cpu)
+                return true;
+        return false;
+    };
+    for (auto &c : t.cpus_) {
+        const fs::path tdir =
+            root / "cpu" / ("cpu" + std::to_string(c.os_id)) / "topology";
+        std::vector<std::uint32_t> sibs;
+        std::uint32_t rank = 0;
+        if (read_cpulist(tdir / "thread_siblings_list", sibs) &&
+            !sibs.empty()) {
+            for (const std::uint32_t s : sibs)
+                rank += (s < c.os_id && discovered(s));
+        } else {
+            for (const auto &o : t.cpus_)
+                rank += (o.os_id < c.os_id && o.package == c.package &&
+                         o.core == c.core);
+        }
+        c.smt_rank = rank;
+    }
+
+    // NUMA nodes: node<N>/cpulist maps cpus to nodes.  Absent node dirs
+    // (CONFIG_NUMA=n, many containers) mean one implicit node 0.
+    std::error_code ec;
+    const fs::path node_root = root / "node";
+    if (fs::is_directory(node_root, ec)) {
+        for (const auto &entry : fs::directory_iterator(node_root, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("node", 0) != 0 ||
+                name.find_first_not_of("0123456789", 4) !=
+                    std::string::npos ||
+                name.size() == 4 || name.size() > 4 + 9)
+                continue;
+            const auto node_id = static_cast<std::uint32_t>(
+                std::stoul(name.substr(4)));
+            std::vector<std::uint32_t> node_cpus;
+            if (!read_cpulist(entry.path() / "cpulist", node_cpus))
+                continue;
+            for (const std::uint32_t cpu : node_cpus)
+                for (auto &c : t.cpus_)
+                    if (c.os_id == cpu)
+                        c.node = node_id;
+        }
+    }
+
+    t.finalize();
+    t.from_sysfs_ = true;
+    return t;
+}
+
+const topology &topology::system() {
+    static const topology t = discover();
+    return t;
+}
+
+} // namespace klsm::topo

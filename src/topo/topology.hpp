@@ -1,0 +1,130 @@
+#pragma once
+
+// CPU/cache/NUMA topology discovery.
+//
+// The benchmarking literature around relaxed priority queues (k-LSM
+// follow-up study, arXiv:1603.05047; "Engineering MultiQueues",
+// arXiv:2504.11652) agrees that once a machine has more than one socket,
+// throughput is dominated by *where* threads run, not by queue tweaks.
+// This module gives the rest of the tree one authoritative answer to
+// "what does the machine look like": every logical CPU with its package,
+// physical core, NUMA node, and SMT rank, discovered from the kernel's
+// sysfs tree (/sys/devices/system).
+//
+// Design points:
+//   * The sysfs root is injectable, so tests run against checked-in fake
+//     trees (multi-package, SMT, offline-CPU holes) on any machine.
+//   * Discovery never fails: if the tree is absent or unparsable (e.g.
+//     minimal containers mount no /sys), it degrades to a single-node,
+//     single-package fallback sized by std::thread::hardware_concurrency,
+//     and `from_sysfs()` reports which path was taken.
+//   * Only *online* CPUs are represented.  Offline CPUs leave holes in
+//     the os_id space; consumers must never assume density.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace klsm::topo {
+
+/// One online logical CPU.
+struct logical_cpu {
+    std::uint32_t os_id = 0;    ///< kernel cpu number (cpuN)
+    std::uint32_t package = 0;  ///< physical package (socket) id
+    std::uint32_t core = 0;     ///< core id, unique *within* a package
+    std::uint32_t node = 0;     ///< NUMA node id
+    /// Position among the core's online SMT siblings, ordered by os_id:
+    /// 0 is the primary hardware thread, 1+ are hyperthreads.
+    std::uint32_t smt_rank = 0;
+
+    friend bool operator==(const logical_cpu &,
+                           const logical_cpu &) = default;
+};
+
+/// Immutable snapshot of the machine layout.
+class topology {
+public:
+    /// Discover from a sysfs tree rooted at `sysfs_root` (the directory
+    /// containing `cpu/` and `node/`, normally "/sys/devices/system").
+    /// Falls back to `fallback()` when the tree is missing or malformed;
+    /// `from_sysfs()` distinguishes the two outcomes.
+    static topology discover(
+        const std::string &sysfs_root = "/sys/devices/system");
+
+    /// Synthetic single-package, single-node, no-SMT topology with
+    /// `n_cpus` CPUs (at least 1); the container / unknown-platform path.
+    static topology fallback(std::uint32_t n_cpus);
+
+    /// Process-wide cached discovery of the real machine (first call
+    /// discovers, later calls are free).  Thread-safe.
+    static const topology &system();
+
+    /// True iff this snapshot came from a parsed sysfs tree rather than
+    /// the synthetic fallback.
+    bool from_sysfs() const { return from_sysfs_; }
+
+    /// Online CPUs, sorted by os_id.
+    const std::vector<logical_cpu> &cpus() const { return cpus_; }
+
+    std::uint32_t num_cpus() const {
+        return static_cast<std::uint32_t>(cpus_.size());
+    }
+    /// Distinct physical packages (sockets) with at least one online CPU.
+    std::uint32_t num_packages() const { return packages_; }
+    /// Distinct NUMA nodes with at least one online CPU.
+    std::uint32_t num_nodes() const { return nodes_; }
+    /// Distinct physical cores (package, core) with at least one online
+    /// CPU.
+    std::uint32_t num_cores() const { return cores_; }
+    /// True iff any core has more than one online hardware thread.
+    bool smt() const { return smt_; }
+
+    /// NUMA node ids in ascending order (not necessarily dense).
+    const std::vector<std::uint32_t> &node_ids() const { return node_ids_; }
+
+    /// Node of an OS cpu id.  Unknown cpus (offline or out of range)
+    /// map to the first discovered node — not necessarily node 0 — so
+    /// callers can feed sched_getcpu() results directly and always get
+    /// a node that exists.
+    std::uint32_t node_of(std::uint32_t os_cpu) const {
+        for (const auto &c : cpus_)
+            if (c.os_id == os_cpu)
+                return c.node;
+        return node_ids_.empty() ? 0 : node_ids_.front();
+    }
+
+    /// Dense index of `node` within node_ids(); 0 for unknown nodes.
+    std::uint32_t node_index(std::uint32_t node) const {
+        for (std::size_t i = 0; i < node_ids_.size(); ++i)
+            if (node_ids_[i] == node)
+                return static_cast<std::uint32_t>(i);
+        return 0;
+    }
+
+    /// Online CPUs of one NUMA node, sorted by os_id.
+    std::vector<logical_cpu> cpus_of_node(std::uint32_t node) const {
+        std::vector<logical_cpu> out;
+        for (const auto &c : cpus_)
+            if (c.node == node)
+                out.push_back(c);
+        return out;
+    }
+
+private:
+    void finalize();
+
+    std::vector<logical_cpu> cpus_;
+    std::vector<std::uint32_t> node_ids_;
+    std::uint32_t packages_ = 0;
+    std::uint32_t nodes_ = 0;
+    std::uint32_t cores_ = 0;
+    bool smt_ = false;
+    bool from_sysfs_ = false;
+};
+
+/// Parse a kernel cpulist string ("0-3,5,8-9"; empty and trailing
+/// whitespace tolerated) into ascending cpu ids.  Returns false on
+/// malformed input (garbage, reversed ranges) and leaves `out` empty.
+bool parse_cpulist(const std::string &list, std::vector<std::uint32_t> &out);
+
+} // namespace klsm::topo

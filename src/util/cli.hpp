@@ -4,6 +4,7 @@
 // Flags look like `--threads 4` or `--threads=4`; unrecognized flags abort
 // with a usage message so typos in experiment scripts fail loudly.
 
+#include <cctype>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -83,6 +84,25 @@ public:
         return parse_number(name, values_.at(name),
                             [](const std::string &s, std::size_t &pos) {
                                 return std::stoll(s, &pos);
+                            });
+    }
+
+    /// Full-range unsigned 64-bit accessor.  `get_int` goes through
+    /// stoll and cannot represent values above INT64_MAX (RNG seeds are
+    /// commonly full 64-bit hashes); this parses the whole uint64 range
+    /// strictly — rejecting negatives, which stoull would silently wrap.
+    std::uint64_t get_uint64(const std::string &name) const {
+        const std::string &v = values_.at(name);
+        // Require a leading digit: stoull would skip whitespace and then
+        // accept a sign, silently wrapping negatives.
+        if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0]))) {
+            std::cerr << "flag --" << name
+                      << ": not an unsigned integer: " << v << "\n";
+            std::exit(2);
+        }
+        return parse_number(name, v,
+                            [](const std::string &s, std::size_t &pos) {
+                                return std::stoull(s, &pos);
                             });
     }
 

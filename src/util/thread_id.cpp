@@ -11,9 +11,15 @@ namespace {
 // per thread lifetime, so this is nowhere near any fast path.
 std::mutex registry_mutex;
 bool in_use[max_registered_threads];
+std::uint32_t generations[max_registered_threads];
 std::atomic<std::uint32_t> high_water{0};
 
-std::uint32_t acquire_slot() {
+struct slot_assignment {
+    std::uint32_t id;
+    std::uint32_t generation;
+};
+
+slot_assignment acquire_slot() {
     std::lock_guard<std::mutex> lock(registry_mutex);
     for (std::uint32_t i = 0; i < max_registered_threads; ++i) {
         if (!in_use[i]) {
@@ -22,7 +28,7 @@ std::uint32_t acquire_slot() {
             while (i + 1 > hw &&
                    !high_water.compare_exchange_weak(hw, i + 1)) {
             }
-            return i;
+            return {i, ++generations[i]}; // generations start at 1
         }
     }
     throw std::runtime_error("klsm: more than max_registered_threads "
@@ -35,16 +41,20 @@ void release_slot(std::uint32_t id) {
 }
 
 struct slot_holder {
-    std::uint32_t id = acquire_slot();
-    ~slot_holder() { release_slot(id); }
+    slot_assignment slot = acquire_slot();
+    ~slot_holder() { release_slot(slot.id); }
 };
+
+slot_holder &holder() {
+    thread_local slot_holder h;
+    return h;
+}
 
 } // namespace
 
-std::uint32_t thread_index() {
-    thread_local slot_holder holder;
-    return holder.id;
-}
+std::uint32_t thread_index() { return holder().slot.id; }
+
+std::uint32_t thread_generation() { return holder().slot.generation; }
 
 std::uint32_t thread_index_high_water() {
     return high_water.load(std::memory_order_relaxed);

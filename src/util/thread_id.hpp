@@ -12,15 +12,41 @@
 // alive.
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace klsm {
 
 /// Hard process-wide cap on concurrently registered threads.
 inline constexpr std::uint32_t max_registered_threads = 256;
 
+/// Fail fast when a run would exhaust the thread-id registry.  Without
+/// this, the first queue operation past the cap throws inside a worker
+/// std::thread, which std::terminate()s the whole process with no
+/// indication of why.  Call before spawning `workers` threads that will
+/// touch a queue; one slot is reserved for the calling thread (it
+/// typically registers during prefill or verification).
+inline void check_thread_capacity(unsigned workers) {
+    if (workers >= max_registered_threads)
+        throw std::invalid_argument(
+            "klsm: " + std::to_string(workers) +
+            " worker threads requested, but at most " +
+            std::to_string(max_registered_threads - 1) +
+            " are supported (max_registered_threads = " +
+            std::to_string(max_registered_threads) +
+            " per-thread slots, one reserved for the calling thread)");
+}
+
 /// Dense id of the calling thread; assigned on first call, released at
 /// thread exit.  Never throws once assigned.
 std::uint32_t thread_index();
+
+/// Incarnation counter of the calling thread's slot: bumped every time
+/// the slot is (re)assigned, never zero.  Structures that cache
+/// per-slot state across operations compare this against the stored
+/// value to detect that a slot was recycled to a different thread and
+/// the cached state must be reset.
+std::uint32_t thread_generation();
 
 /// Number of ids ever concurrently live (high-water mark); test helper.
 std::uint32_t thread_index_high_water();

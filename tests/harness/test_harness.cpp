@@ -3,7 +3,11 @@
 #include "harness/workload.hpp"
 
 #include "baselines/spin_heap.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/parallel_sssp.hpp"
 #include "klsm/k_lsm.hpp"
+#include "topo/pinning.hpp"
+#include "util/thread_id.hpp"
 
 #include <gtest/gtest.h>
 
@@ -104,6 +108,66 @@ TEST(Quality, LargerKGivesLargerObservedRankError) {
     EXPECT_LE(small, large + 0.001)
         << "k = 0 should be at least as exact as k = 1024";
     EXPECT_GT(large, 0.5) << "k = 1024 should show measurable relaxation";
+}
+
+TEST(ThreadCapacity, HarnessesFailFastInsteadOfTerminating) {
+    // Requesting more worker threads than the thread-id registry can
+    // seat used to throw inside a worker std::thread, which terminates
+    // the whole process with no diagnostic.  Every harness now rejects
+    // the run up front, on the calling thread.
+    spin_heap<std::uint32_t, std::uint64_t> q;
+
+    throughput_params tp;
+    tp.threads = max_registered_threads;
+    EXPECT_THROW(run_throughput(q, tp), std::invalid_argument);
+
+    quality_params qp;
+    qp.threads = max_registered_threads + 7;
+    EXPECT_THROW(measure_rank_error(q, qp), std::invalid_argument);
+
+    erdos_renyi_params gp;
+    gp.nodes = 10;
+    gp.edge_probability = 0.3;
+    const graph g = make_erdos_renyi(gp);
+    sssp_state state{g.num_nodes()};
+    spin_heap<std::uint64_t, std::uint32_t> pq;
+    EXPECT_THROW(
+        parallel_sssp(pq, g, 0, max_registered_threads, state),
+        std::invalid_argument);
+}
+
+TEST(ThreadCapacity, BoundaryIsOneBelowTheRegistrySize) {
+    EXPECT_NO_THROW(check_thread_capacity(0));
+    EXPECT_NO_THROW(check_thread_capacity(1));
+    EXPECT_NO_THROW(check_thread_capacity(max_registered_threads - 1));
+    EXPECT_THROW(check_thread_capacity(max_registered_threads),
+                 std::invalid_argument);
+    try {
+        check_thread_capacity(max_registered_threads);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The message must name the limit so users know what to change.
+        EXPECT_NE(std::string(e.what()).find(
+                      std::to_string(max_registered_threads)),
+                  std::string::npos);
+    }
+}
+
+TEST(Throughput, PinnedWorkersMatchUnpinnedSemantics) {
+    // Pinning must not change what the benchmark computes, only where
+    // it runs: counts stay consistent with every policy order.
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 1000, 6);
+    throughput_params params;
+    params.threads = 2;
+    params.duration_s = 0.05;
+    params.pin_cpus =
+        topo::cpu_order(topo::topology::system(), topo::pin_policy::compact);
+    ASSERT_FALSE(params.pin_cpus.empty());
+    const auto res = run_throughput(q, params);
+    EXPECT_GT(res.total_ops, 0u);
+    EXPECT_EQ(res.total_ops,
+              res.inserts + res.deletes + res.failed_deletes);
 }
 
 TEST(Quality, HistogramSumsToDeletes) {

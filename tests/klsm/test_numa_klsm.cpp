@@ -1,0 +1,248 @@
+// numa_klsm: NUMA-sharded k-LSM.
+//
+// Multi-node behavior is modeled on any host by discovering the
+// checked-in 2-node fake sysfs tree and routing threads explicitly with
+// set_home_shard; the single-node path is exercised with a fallback
+// topology (the shape every container CI host has).
+
+#include "klsm/numa_klsm.hpp"
+
+#include <atomic>
+#include <iterator>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace {
+
+topo::topology two_node_topology() {
+    auto t = topo::topology::discover(
+        std::string(KLSM_TOPO_FIXTURE_DIR) + "/fake_sysfs");
+    EXPECT_EQ(t.num_nodes(), 2u);
+    return t;
+}
+
+TEST(NumaKlsm, SingleNodeFallbackHasOneShard) {
+    const auto t = topo::topology::fallback(4);
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    EXPECT_EQ(q.num_shards(), 1u);
+    q.insert(3, 30);
+    q.insert(1, 10);
+    q.insert(2, 20);
+    std::uint32_t k, v;
+    std::set<std::uint32_t> seen;
+    while (q.try_delete_min(k, v)) {
+        EXPECT_EQ(v, k * 10);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen, (std::set<std::uint32_t>{1, 2, 3}));
+    EXPECT_FALSE(q.try_delete_min(k, v));
+}
+
+TEST(NumaKlsm, TwoShardsEveryItemRecoveredExactlyOnce) {
+    const auto t = two_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{16, t};
+    ASSERT_EQ(q.num_shards(), 2u);
+    constexpr std::uint32_t n = 4000;
+    // Route half the inserts to each shard from this one thread.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        q.set_home_shard(i % 2);
+        q.insert(i, i + 1);
+    }
+    EXPECT_GE(q.size_hint(), n);
+    std::vector<bool> seen(n, false);
+    std::uint32_t k, v;
+    std::uint32_t count = 0;
+    while (q.try_delete_min(k, v)) {
+        ASSERT_LT(k, n);
+        ASSERT_EQ(v, k + 1);
+        ASSERT_FALSE(seen[k]) << "duplicate delivery of key " << k;
+        seen[k] = true;
+        ++count;
+    }
+    EXPECT_EQ(count, n);
+}
+
+TEST(NumaKlsm, DrainsRemoteShardWhenLocalIsEmpty) {
+    const auto t = two_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    // Fill only shard 1, then consume with home shard 0: every delete
+    // goes through the local-miss sweep and must still find the items.
+    q.set_home_shard(1);
+    for (std::uint32_t i = 0; i < 500; ++i)
+        q.insert(i, i);
+    q.set_home_shard(0);
+    std::uint32_t k, v;
+    std::uint32_t count = 0;
+    while (q.try_delete_min(k, v))
+        ++count;
+    EXPECT_EQ(count, 500u);
+}
+
+TEST(NumaKlsm, TryFindMinSeesAllShards) {
+    const auto t = two_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    std::uint32_t k, v;
+    EXPECT_FALSE(q.try_find_min(k, v));
+    q.set_home_shard(0);
+    q.insert(50, 1);
+    q.set_home_shard(1);
+    q.insert(7, 2);
+    ASSERT_TRUE(q.try_find_min(k, v));
+    // The smaller key lives in shard 1; a global find-min must see it.
+    EXPECT_EQ(k, 7u);
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(NumaKlsm, ConcurrentInsertDeleteConservesItems) {
+    const auto t = two_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{64, t};
+    constexpr unsigned threads = 4;
+    constexpr std::uint32_t per_thread = 20000;
+    std::atomic<std::uint64_t> deleted{0};
+    std::vector<std::thread> ts;
+    for (unsigned w = 0; w < threads; ++w) {
+        ts.emplace_back([&, w] {
+            q.set_home_shard(w % 2);
+            xoroshiro128 rng{1234 + w};
+            std::uint32_t k, v;
+            std::uint64_t my_deleted = 0;
+            for (std::uint32_t i = 0; i < per_thread; ++i) {
+                if (rng.bounded(2) == 0) {
+                    const auto key_in = static_cast<std::uint32_t>(
+                        rng.bounded(1 << 20));
+                    q.insert(key_in, w);
+                } else if (q.try_delete_min(k, v)) {
+                    ++my_deleted;
+                }
+            }
+            deleted.fetch_add(my_deleted);
+        });
+    }
+    std::uint64_t inserted = 0;
+    for (unsigned w = 0; w < threads; ++w) {
+        ts[w].join();
+    }
+    // Count inserts deterministically from the same RNG streams.
+    for (unsigned w = 0; w < threads; ++w) {
+        xoroshiro128 rng{1234 + w};
+        for (std::uint32_t i = 0; i < per_thread; ++i) {
+            if (rng.bounded(2) == 0) {
+                rng.bounded(1 << 20);
+                ++inserted;
+            }
+        }
+    }
+    // Drain the remainder single-threadedly.
+    std::uint32_t k, v;
+    std::uint64_t drained = 0;
+    while (q.try_delete_min(k, v))
+        ++drained;
+    EXPECT_EQ(deleted.load() + drained, inserted);
+    EXPECT_FALSE(q.try_delete_min(k, v));
+}
+
+// The composed bound rho <= nodes * (T*k + k) under balanced routing
+// (the regime the structure is designed for — each worker inserts and
+// deletes on its own home shard): a serialized mirror workload as in
+// harness/quality.hpp, with workers split across both shards so
+// cross-shard skew is actually exercised.  See numa_klsm.hpp for why
+// adversarially skewed routing is excluded from the guarantee.
+TEST(NumaKlsm, RankErrorWithinComposedBound) {
+    const auto t = two_node_topology();
+    constexpr std::size_t k = 32;
+    constexpr unsigned threads = 4;
+    numa_klsm<std::uint32_t, std::uint32_t> q{k, t};
+
+    std::multiset<std::uint32_t> mirror;
+    std::mutex mtx;
+    std::atomic<std::uint64_t> rank_max{0};
+    std::atomic<std::uint64_t> deletes{0};
+
+    std::vector<std::thread> ts;
+    for (unsigned w = 0; w < threads; ++w) {
+        ts.emplace_back([&, w] {
+            q.set_home_shard(w % 2);
+            xoroshiro128 rng{977 + 31 * w};
+            std::uint32_t key, value;
+            for (std::uint32_t i = 0; i < 10000; ++i) {
+                if (rng.bounded(2) == 0) {
+                    const auto key_in =
+                        static_cast<std::uint32_t>(rng.bounded(1 << 20));
+                    std::lock_guard<std::mutex> g(mtx);
+                    q.insert(key_in, 0);
+                    mirror.insert(key_in);
+                } else {
+                    std::lock_guard<std::mutex> g(mtx);
+                    if (!q.try_delete_min(key, value))
+                        continue;
+                    const auto it = mirror.find(key);
+                    ASSERT_NE(it, mirror.end());
+                    const auto rank = static_cast<std::uint64_t>(
+                        std::distance(mirror.begin(), it));
+                    std::uint64_t cur = rank_max.load();
+                    while (rank > cur &&
+                           !rank_max.compare_exchange_weak(cur, rank)) {
+                    }
+                    deletes.fetch_add(1);
+                    mirror.erase(it);
+                }
+            }
+        });
+    }
+    for (auto &th : ts)
+        th.join();
+
+    EXPECT_GT(deletes.load(), 0u);
+    const std::uint64_t rho =
+        numa_rank_error_bound(t.num_nodes(), threads, k);
+    EXPECT_LE(rank_max.load(), rho)
+        << "observed rank error beyond the composed "
+           "nodes*(T*k + k) bound";
+}
+
+TEST(NumaKlsm, HomeShardPinDoesNotSurviveSlotRecycling) {
+    const auto t = two_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    // Thread A pins itself to shard 1 and exits, releasing its dense
+    // thread-id slot.
+    std::thread a([&] {
+        q.set_home_shard(1);
+        q.insert(100, 0);
+    });
+    a.join();
+    ASSERT_GE(q.shard(1).size_hint(), 1u);
+    // Thread B reuses a recycled slot (ids are handed out
+    // smallest-free-first).  Its insert must be routed from its own
+    // cpu, not inherit A's stale pin to shard 1.
+    std::uint32_t expected = 0;
+    std::thread b([&] {
+        const auto cpu = topo::current_cpu();
+        expected = t.node_index(t.node_of(cpu ? *cpu : 0));
+        q.insert(200, 0);
+    });
+    b.join();
+    // Only discriminating when B's own cpu maps to shard 0 (true on
+    // single-cpu CI hosts; on exotic hosts the check is vacuous).
+    if (expected == 0) {
+        EXPECT_GE(q.shard(0).size_hint(), 1u)
+            << "recycled slot inherited the dead thread's pin";
+    }
+}
+
+TEST(NumaKlsm, ComposedBoundFormula) {
+    // nodes * ((T+1)*k + k), T = worker threads (prefill counts once).
+    EXPECT_EQ(numa_rank_error_bound(1, 3, 8), (4 * 8 + 8) * 1u);
+    EXPECT_EQ(numa_rank_error_bound(2, 3, 8), (4 * 8 + 8) * 2u);
+    EXPECT_EQ(numa_rank_error_bound(4, 0, 16), (16 + 16) * 4u);
+    EXPECT_EQ(numa_rank_error_bound(2, 3, 0), 0u);
+}
+
+} // namespace
+} // namespace klsm

@@ -63,6 +63,55 @@ TEST(Cli, StringListParsing) {
     EXPECT_EQ(v[1], "dlsm");
 }
 
+TEST(Cli, Uint64FullRange) {
+    // Seeds are full 64-bit hashes; get_int (stoll) cannot represent
+    // values above INT64_MAX.  get_uint64 must.
+    cli_parser p("test");
+    p.add_flag("seed", "1", "rng seed");
+    char prog[] = "prog", f[] = "--seed=18446744073709551615";
+    char *argv[] = {prog, f};
+    p.parse(2, argv);
+    EXPECT_EQ(p.get_uint64("seed"), 18446744073709551615ULL);
+}
+
+TEST(Cli, Uint64AboveIntMax) {
+    cli_parser p("test");
+    // 2^31 and 2^63 - 1: both overflow the old int cast path.
+    p.add_flag("seed", "9223372036854775807", "rng seed");
+    char prog[] = "prog";
+    char *argv[] = {prog};
+    p.parse(1, argv);
+    EXPECT_EQ(p.get_uint64("seed"), 9223372036854775807ULL);
+}
+
+TEST(CliDeathTest, Uint64RejectsGarbage) {
+    // Strict parse: trailing garbage, scientific notation, negatives
+    // and overflow all exit(2) instead of silently truncating/wrapping.
+    for (const char *bad : {"1e6", "12abc", "-1", "+1", "", " -1", " 5",
+                            "18446744073709551616"}) {
+        cli_parser p("test");
+        p.add_flag("seed", "1", "rng seed");
+        std::string arg = std::string("--seed=") + bad;
+        std::vector<char> buf(arg.begin(), arg.end());
+        buf.push_back('\0');
+        char prog[] = "prog";
+        char *argv[] = {prog, buf.data()};
+        p.parse(2, argv);
+        EXPECT_EXIT(p.get_uint64("seed"), ::testing::ExitedWithCode(2),
+                    "--seed")
+            << "input: " << bad;
+    }
+}
+
+TEST(CliDeathTest, IntStillRejectsTrailingGarbage) {
+    cli_parser p = make_parser();
+    char prog[] = "prog", f[] = "--threads=1e6";
+    char *argv[] = {prog, f};
+    p.parse(2, argv);
+    EXPECT_EXIT(p.get_int("threads"), ::testing::ExitedWithCode(2),
+                "--threads");
+}
+
 TEST(Cli, BoolVariants) {
     for (const char *val : {"1", "true", "yes", "on"}) {
         cli_parser p = make_parser();
