@@ -41,6 +41,8 @@
 #include "harness/throughput.hpp"
 #include "klsm/k_lsm.hpp"
 #include "klsm/numa_klsm.hpp"
+#include "stats/latency_recorder.hpp"
+#include "stats/latency_report.hpp"
 #include "topo/pinning.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -65,6 +67,9 @@ struct bench_config {
     std::uint32_t nodes = 1000;
     double edge_prob = 0.05;
     std::uint64_t seed = 1;
+    /// Per-op latency sampling stride: 0 = off, 1 = every op, N = every
+    /// Nth op.  --smoke turns it on (stride 4) when left unset.
+    std::uint64_t latency_sample = 0;
     bool smoke = false;
     bool csv = false;
     /// --json-out '-': the JSON report owns stdout, tables go to stderr.
@@ -143,6 +148,9 @@ int run_throughput_workload(const bench_config &cfg,
                         params.insert_percent = cfg.insert_percent;
                         params.seed = cfg.seed;
                         params.pin_cpus = cpus;
+                        klsm::stats::latency_recorder_set recs{
+                            threads, cfg.latency_sample};
+                        params.latency = &recs;
                         const auto res = klsm::run_throughput(q, params);
                         report.row(name, pin, threads, cfg.prefill,
                                    res.ops_per_sec(),
@@ -160,6 +168,9 @@ int run_throughput_workload(const bench_config &cfg,
                         rec.set("pin_failures", res.pin_failures);
                         rec.set("elapsed_s", res.elapsed_s);
                         rec.set("ops_per_sec", res.ops_per_sec());
+                        if (recs.enabled())
+                            rec.set_raw("latency",
+                                        klsm::stats::latency_json(recs));
                     });
                 if (!ok)
                     return 2;
@@ -189,6 +200,9 @@ int run_quality_workload(const bench_config &cfg,
                         params.ops_per_thread = cfg.ops_per_thread;
                         params.seed = cfg.seed;
                         params.pin_cpus = cpus;
+                        klsm::stats::latency_recorder_set recs{
+                            threads, cfg.latency_sample};
+                        params.latency = &recs;
                         const auto res = klsm::measure_rank_error(q, params);
                         // Lemma 2: the k-LSM guarantees at most T*k
                         // smaller keys are skipped.  numa_klsm's
@@ -225,6 +239,9 @@ int run_quality_workload(const bench_config &cfg,
                         rec.set("mean_rank", res.mean_rank());
                         rec.set("max_rank", res.rank_max);
                         rec.set("pin_failures", res.pin_failures);
+                        if (recs.enabled())
+                            rec.set_raw("latency",
+                                        klsm::stats::latency_json(recs));
                         if (has_rho) {
                             rec.set("rho", rho);
                             rec.set("rho_hard", hard);
@@ -273,9 +290,11 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
                        const std::vector<std::uint32_t> &cpus,
                        unsigned threads, klsm::sssp_state &state,
                        auto &q) {
+        klsm::stats::latency_recorder_set recs{threads,
+                                               cfg.latency_sample};
         klsm::wall_timer timer;
         const auto stats =
-            klsm::parallel_sssp(q, g, 0, threads, state, cpus);
+            klsm::parallel_sssp(q, g, 0, threads, state, cpus, &recs);
         const double seconds = timer.elapsed_s();
         std::uint64_t mismatches = 0;
         for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
@@ -291,6 +310,8 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
         rec.set("stale_pops", stats.stale_pops);
         rec.set("pin_failures", stats.pin_failures);
         rec.set("mismatches", mismatches);
+        if (recs.enabled())
+            rec.set_raw("latency", klsm::stats::latency_json(recs));
         if (mismatches) {
             std::cerr << "SSSP MISMATCH: " << name << " with " << threads
                       << " threads disagrees with Dijkstra on "
@@ -350,6 +371,9 @@ int main(int argc, char **argv) {
     cli.add_flag("nodes", "1000", "sssp: graph size");
     cli.add_flag("edge-prob", "0.05", "sssp: edge probability");
     cli.add_flag("seed", "1", "base RNG seed");
+    cli.add_flag("latency-sample", "0",
+                 "per-op latency sampling stride: 0 = off, 1 = every "
+                 "op, N = every Nth op (--smoke raises 0 to 4)");
     cli.add_bool_flag("smoke", false,
                       "tiny parameters, all checks on: the CI smoke mode");
     cli.add_flag("json-out", "",
@@ -370,6 +394,7 @@ int main(int argc, char **argv) {
     cfg.nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
     cfg.edge_prob = cli.get_double("edge-prob");
     cfg.seed = cli.get_uint64("seed");
+    cfg.latency_sample = cli.get_uint64("latency-sample");
     cfg.smoke = cli.get_bool("smoke");
     cfg.csv = cli.get_bool("csv");
     cfg.json_to_stdout = cli.get("json-out") == "-";
@@ -412,12 +437,17 @@ int main(int argc, char **argv) {
             cfg.threads_list.resize(2);
         for (auto &t : cfg.threads_list)
             t = std::min<std::int64_t>(t, 4);
+        // Smoke doubles as the CI perf probe: latency capture is on by
+        // default so every smoke JSON carries a `latency` object.
+        if (cfg.latency_sample == 0)
+            cfg.latency_sample = 4;
     }
 
     klsm::json_reporter json(cfg.workload);
     json.meta().set("k", cfg.k);
     json.meta().set("seed", cfg.seed);
     json.meta().set("smoke", cfg.smoke);
+    json.meta().set("latency_sample", cfg.latency_sample);
     // The discovered machine layout: without it, cross-machine JSON
     // reports are not comparable (arXiv:1603.05047's central lesson).
     const auto &sys = klsm::topo::topology::system();

@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""Diff two klsm_bench JSON reports and flag perf regressions.
+
+The primitive the CI perf lane is built from:
+
+    scripts/compare_bench.py baseline.json candidate.json
+
+compares every record the two reports share — matched on
+(benchmark, structure, pin, threads) — and exits nonzero when the
+candidate regresses beyond the configured thresholds:
+
+  * throughput workload: ops_per_sec dropping by more than
+    --throughput-tolerance (fraction, default 0.25);
+  * sssp workload: time_s growing by more than the same tolerance;
+  * any workload with a `latency` object: insert / delete_min
+    percentiles (--percentiles, default p50,p99,max) growing by more
+    than --latency-tolerance (default 0.50) AND by more than
+    --latency-floor-ns (default 500ns, so nanosecond jitter on fast
+    paths never trips the gate).
+
+`--warn-only` prints the same comparison but always exits 0 — the
+advisory mode CI uses on pull requests, where runner-to-runner noise
+makes a hard gate unfair.  `--self-test` runs the built-in check suite
+(no input files needed); CTest invokes it so the gate's own logic is
+covered by `ctest -L tier1`.
+
+The latency schema (README "Latency metrics"): percentiles are
+precomputed by the C++ side, and the sparse `buckets` array plus
+`sub_bucket_bits` fully determine the histogram layout.  This script
+re-derives percentiles from the buckets when asked (--recompute), which
+doubles as a cross-check that the exported buckets are self-consistent.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_PERCENTILES = "p50,p99,max"
+OPS = ("insert", "delete_min")
+
+
+# ---------------------------------------------------------------------------
+# Histogram bucket math — mirrors src/stats/latency_histogram.hpp.
+
+def bucket_lower(index, sub_bits):
+    sub_count = 1 << sub_bits
+    group = index >> sub_bits
+    if group == 0:
+        return index
+    shift = group - 1
+    sub = index & (sub_count - 1)
+    return (sub_count + sub) << shift
+
+
+def bucket_upper(index, sub_bits):
+    group = index >> sub_bits
+    if group == 0:
+        return index
+    shift = group - 1
+    return bucket_lower(index, sub_bits) + (1 << shift) - 1
+
+
+def percentile_from_buckets(op_stats, sub_bits, p):
+    """Re-derive a percentile from the sparse bucket array, matching the
+    C++ definition: upper edge of the bucket holding the sample of rank
+    round(p/100 * count), clamped to the recorded max."""
+    count = op_stats["count"]
+    if count == 0:
+        return 0
+    rank = max(1, min(count, int(p / 100.0 * count + 0.5)))
+    seen = 0
+    for index, bucket_count in op_stats["buckets"]:
+        seen += bucket_count
+        if seen >= rank:
+            return min(bucket_upper(index, sub_bits), op_stats["max"])
+    return op_stats["max"]
+
+
+# ---------------------------------------------------------------------------
+# Report access.
+
+def load_report(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def record_key(report, record):
+    return (
+        report.get("benchmark", "?"),
+        record.get("structure", "?"),
+        record.get("pin", "?"),
+        record.get("threads", "?"),
+    )
+
+
+def index_records(report):
+    out = {}
+    for record in report.get("records", []):
+        out[record_key(report, record)] = record
+    return out
+
+
+def fmt_key(key):
+    benchmark, structure, pin, threads = key
+    return f"{benchmark} {structure}/pin={pin}/t={threads}"
+
+
+def fmt_value(value, unit):
+    if unit == "ops/s":
+        return f"{value:,.0f} ops/s"
+    return f"{value:,.0f} ns"
+
+
+# ---------------------------------------------------------------------------
+# Comparison core.  Each finding is (severity, message) with severity in
+# {"ok", "warn", "regression"}.
+
+def compare_metric(findings, key, metric, base, cand, tolerance,
+                   higher_is_worse, unit, floor=0):
+    if base is None or cand is None:
+        return
+    if higher_is_worse:
+        degraded = cand > base * (1 + tolerance) and cand - base > floor
+        change = (cand - base) / base if base else 0.0
+    else:
+        degraded = cand < base * (1 - tolerance)
+        change = (cand - base) / base if base else 0.0
+    severity = "regression" if degraded else "ok"
+    findings.append((
+        severity,
+        f"{fmt_key(key)} {metric}: {fmt_value(base, unit)} -> "
+        f"{fmt_value(cand, unit)} ({change:+.1%}, tolerance "
+        f"{'+' if higher_is_worse else '-'}{tolerance:.0%})",
+    ))
+
+
+def compare_latency(findings, key, base_lat, cand_lat, percentiles,
+                    tolerance, floor, recompute):
+    for op in OPS:
+        base_op = base_lat.get(op)
+        cand_op = cand_lat.get(op)
+        if not base_op or not cand_op:
+            continue
+        if base_op["count"] == 0 or cand_op["count"] == 0:
+            findings.append((
+                "warn",
+                f"{fmt_key(key)} {op}: empty latency histogram "
+                f"(base count {base_op['count']}, candidate count "
+                f"{cand_op['count']}); skipping",
+            ))
+            continue
+        for pct in percentiles:
+            if recompute and pct.startswith("p"):
+                p = float(pct[1:].replace("_", "."))
+                if pct == "p999":
+                    p = 99.9
+                base_value = percentile_from_buckets(
+                    base_op, base_lat.get("sub_bucket_bits", 5), p)
+                cand_value = percentile_from_buckets(
+                    cand_op, cand_lat.get("sub_bucket_bits", 5), p)
+            else:
+                base_value = base_op.get(pct)
+                cand_value = cand_op.get(pct)
+            compare_metric(findings, key, f"{op} {pct}", base_value,
+                           cand_value, tolerance, True, "ns", floor)
+
+
+def compare_reports(base, cand, args):
+    findings = []
+    base_records = index_records(base)
+    cand_records = index_records(cand)
+
+    for key in base_records.keys() - cand_records.keys():
+        findings.append(
+            ("warn", f"{fmt_key(key)}: in baseline but not in candidate"))
+    for key in cand_records.keys() - base_records.keys():
+        findings.append(
+            ("warn", f"{fmt_key(key)}: in candidate but not in baseline"))
+
+    for key in sorted(base_records.keys() & cand_records.keys(),
+                      key=fmt_key):
+        base_record = base_records[key]
+        cand_record = cand_records[key]
+        benchmark = key[0]
+        if benchmark == "throughput":
+            compare_metric(findings, key, "ops_per_sec",
+                           base_record.get("ops_per_sec"),
+                           cand_record.get("ops_per_sec"),
+                           args.throughput_tolerance, False, "ops/s")
+        elif benchmark == "sssp":
+            base_time = base_record.get("time_s")
+            cand_time = cand_record.get("time_s")
+            if base_time is not None and cand_time is not None:
+                compare_metric(findings, key, "time_s",
+                               base_time * 1e9, cand_time * 1e9,
+                               args.throughput_tolerance, True, "ns")
+        base_lat = base_record.get("latency")
+        cand_lat = cand_record.get("latency")
+        if base_lat and cand_lat:
+            compare_latency(findings, key, base_lat, cand_lat,
+                            args.percentile_list, args.latency_tolerance,
+                            args.latency_floor_ns, args.recompute)
+        elif base_lat and not cand_lat:
+            findings.append((
+                "warn",
+                f"{fmt_key(key)}: baseline has latency data, candidate "
+                f"does not (run with --latency-sample)",
+            ))
+    return findings
+
+
+def print_findings(findings, verbose):
+    tags = {"ok": "[ok]  ", "warn": "[warn]", "regression": "[REGR]"}
+    for severity, message in findings:
+        if severity == "ok" and not verbose:
+            continue
+        print(f"{tags[severity]} {message}")
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic reports through the real comparison path.
+
+def _report(benchmark, ops_per_sec=None, latency=None, time_s=None,
+            structure="klsm"):
+    record = {"structure": structure, "pin": "none", "threads": 2}
+    if ops_per_sec is not None:
+        record["ops_per_sec"] = ops_per_sec
+    if time_s is not None:
+        record["time_s"] = time_s
+    if latency is not None:
+        record["latency"] = latency
+    return {"benchmark": benchmark, "records": [record]}
+
+
+def _latency(p50, p99, mx, count=1000):
+    op = {"count": count, "mean": p50, "min": 1, "p50": p50, "p90": p99,
+          "p99": p99, "p999": mx, "max": mx, "buckets": []}
+    return {"unit": "ns", "sample_stride": 4, "sub_bucket_bits": 5,
+            "insert": dict(op), "delete_min": dict(op)}
+
+
+def self_test(args_factory):
+    failures = []
+
+    def check(name, findings, expect_regression):
+        got = any(s == "regression" for s, _ in findings)
+        status = "pass" if got == expect_regression else "FAIL"
+        print(f"self-test {status}: {name}")
+        if got != expect_regression:
+            failures.append(name)
+
+    args = args_factory([])
+
+    base = _report("throughput", ops_per_sec=1e6,
+                   latency=_latency(100, 500, 10000))
+    check("identical reports are clean",
+          compare_reports(base, base, args), False)
+
+    slower = _report("throughput", ops_per_sec=0.5e6,
+                     latency=_latency(100, 500, 10000))
+    check("halved throughput regresses",
+          compare_reports(base, slower, args), True)
+
+    wiggle = _report("throughput", ops_per_sec=0.9e6,
+                     latency=_latency(110, 520, 11000))
+    check("noise within tolerance is clean",
+          compare_reports(base, wiggle, args), False)
+
+    lat_regr = _report("throughput", ops_per_sec=1e6,
+                       latency=_latency(100, 5000, 10000))
+    check("10x p99 latency regresses",
+          compare_reports(base, lat_regr, args), True)
+
+    tiny = _report("throughput", ops_per_sec=1e6,
+                   latency=_latency(100, 500, 10000))
+    tiny_base = _report("throughput", ops_per_sec=1e6,
+                        latency=_latency(20, 60, 10000))
+    # 20ns -> 100ns is a 5x blowup but under the 500ns absolute floor.
+    check("sub-floor nanosecond jitter is clean",
+          compare_reports(tiny_base, tiny, args), False)
+
+    faster = _report("throughput", ops_per_sec=2e6,
+                     latency=_latency(50, 250, 5000))
+    check("improvement is clean",
+          compare_reports(base, faster, args), False)
+
+    missing = {"benchmark": "throughput", "records": []}
+    findings = compare_reports(base, missing, args)
+    check("missing record warns but does not regress", findings, False)
+    if not any(s == "warn" for s, _ in findings):
+        print("self-test FAIL: missing record produced no warning")
+        failures.append("missing-record-warning")
+
+    sssp_base = _report("sssp", time_s=0.1)
+    sssp_slow = _report("sssp", time_s=0.5)
+    check("5x sssp time regresses",
+          compare_reports(sssp_base, sssp_slow, args), True)
+    check("sssp self-comparison is clean",
+          compare_reports(sssp_base, sssp_base, args), False)
+
+    warn_args = args_factory(["--warn-only"])
+    assert warn_args.warn_only
+
+    # Bucket math round-trip against the C++ layout: every index in the
+    # first few groups maps back into its own [lower, upper] range.
+    for sub_bits in (1, 5, 8):
+        for index in range(0, (1 << sub_bits) * 8):
+            lo = bucket_lower(index, sub_bits)
+            hi = bucket_upper(index, sub_bits)
+            if not (lo <= hi):
+                print(f"self-test FAIL: bucket {index} empty range")
+                failures.append("bucket-range")
+                break
+
+    # Percentile re-derivation: a histogram with 100 width-1 samples.
+    op = {"count": 100, "max": 99,
+          "buckets": [[i, 1] for i in range(100)]}
+    for p, expect in ((1, 0), (50, 49), (100, 99)):
+        got = percentile_from_buckets(op, 5, p)
+        # width-1 buckets only exist below 2^(sub_bits+1); above that the
+        # upper edge is coarser, hence <=.
+        if not (expect <= got <= bucket_upper(got, 5)):
+            print(f"self-test FAIL: p{p} -> {got}, expected ~{expect}")
+            failures.append(f"percentile-p{p}")
+
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline klsm_bench JSON report")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate klsm_bench JSON report")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.25,
+                        help="allowed fractional ops_per_sec drop "
+                             "(also the sssp time_s growth budget)")
+    parser.add_argument("--latency-tolerance", type=float, default=0.50,
+                        help="allowed fractional latency percentile growth")
+    parser.add_argument("--latency-floor-ns", type=float, default=500,
+                        help="latency growth below this many ns never "
+                             "counts as a regression")
+    parser.add_argument("--percentiles", default=DEFAULT_PERCENTILES,
+                        help="comma-separated latency metrics to compare")
+    parser.add_argument("--recompute", action="store_true",
+                        help="re-derive percentiles from the raw buckets "
+                             "instead of trusting the precomputed fields")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print non-regressed comparisons")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in check suite and exit")
+    return parser
+
+
+def parse_args(argv):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.percentile_list = [p.strip() for p in args.percentiles.split(",")
+                            if p.strip()]
+    return args
+
+
+def main(argv):
+    args = parse_args(argv)
+    if args.self_test:
+        return self_test(parse_args)
+    if not args.baseline or not args.candidate:
+        build_parser().error("baseline and candidate reports are required")
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    findings = compare_reports(base, cand, args)
+    print_findings(findings, args.verbose)
+
+    regressions = sum(1 for s, _ in findings if s == "regression")
+    compared = len(findings)
+    if regressions:
+        print(f"compare_bench: {regressions} regression(s) across "
+              f"{compared} comparison(s)"
+              + (" [warn-only: exiting 0]" if args.warn_only else ""))
+        return 0 if args.warn_only else 1
+    print(f"compare_bench: no regressions across {compared} "
+          f"comparison(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

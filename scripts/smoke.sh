@@ -23,6 +23,21 @@ check_json() {
     fi
 }
 
+# Smoke runs capture per-op latency by default; every record must carry
+# the full latency schema (README "Latency metrics").
+check_latency() {
+    command -v python3 > /dev/null || return 0
+    python3 - "$1" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for record in report["records"]:
+    lat = record["latency"]
+    for op in ("insert", "delete_min"):
+        for field in ("count", "p50", "p99", "max", "buckets"):
+            assert field in lat[op], f"latency.{op}.{field} missing"
+EOF
+}
+
 echo "== examples =="
 "$BUILD_DIR/examples/quickstart" > /dev/null
 "$BUILD_DIR/examples/task_scheduler" > /dev/null
@@ -60,5 +75,19 @@ json="$REPORT_DIR/pin-sweep.json"
     --structure numa_klsm --pin compact,scatter --threads 1,2 \
     --json-out "$json" > /dev/null
 check_json "$json"
+check_latency "$json"
 echo "smoke OK: pin sweep"
+
+echo "== pinned sweeps: compact + scatter across every workload =="
+# ROADMAP's pinned-CI item: keep the placement paths exercised on every
+# push, for all three workloads, not just throughput.
+for w in throughput quality sssp; do
+    json="$REPORT_DIR/pin-sweep-$w.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload "$w" \
+        --structure klsm,numa_klsm --pin compact,scatter --threads 2 \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    check_latency "$json"
+    echo "smoke OK: pinned sweep $w"
+done
 echo "smoke stage passed (reports in $REPORT_DIR)"

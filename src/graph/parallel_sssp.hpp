@@ -27,6 +27,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
 #include "klsm/item.hpp"
+#include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_id.hpp"
@@ -112,11 +113,14 @@ struct sssp_lazy {
 /// Run label-correcting SSSP on `pq` with `threads` workers.  The queue
 /// must be empty; keys are distances, values are node ids.  A non-empty
 /// `pin_cpus` (a topo::cpu_order placement) pins worker t to
-/// pin_cpus[t % size()] before it starts popping.
+/// pin_cpus[t % size()] before it starts popping.  A non-null `latency`
+/// recorder set (sized for `threads`) captures per-op insert and
+/// successful-pop latencies at its sampling stride.
 template <typename PQ>
 sssp_stats parallel_sssp(PQ &pq, const graph &g, graph::node_id source,
                          unsigned threads, sssp_state &state,
-                         const std::vector<std::uint32_t> &pin_cpus = {}) {
+                         const std::vector<std::uint32_t> &pin_cpus = {},
+                         stats::latency_recorder_set *latency = nullptr) {
     check_thread_capacity(threads);
     std::atomic<std::int64_t> &pending = state.pending();
     std::atomic<std::uint64_t> expansions{0};
@@ -141,12 +145,15 @@ sssp_stats parallel_sssp(PQ &pq, const graph &g, graph::node_id source,
         graph::node_id u;
         exp_backoff backoff;
         for (;;) {
+            stats::op_sample pop_sample{latency, t,
+                                        stats::op_kind::delete_min};
             if (!pq.try_delete_min(d, u)) {
                 if (pending.load(std::memory_order_acquire) == 0)
                     return;
                 backoff();
                 continue;
             }
+            pop_sample.commit();
             backoff.reset();
             if (d > state.dist(u)) {
                 // Stale entry (lazy deletion).
@@ -161,7 +168,10 @@ sssp_stats parallel_sssp(PQ &pq, const graph &g, graph::node_id source,
                 const std::uint64_t nd = d + weights[i];
                 if (state.relax(neighbors[i], nd)) {
                     pending.fetch_add(1, std::memory_order_acq_rel);
+                    stats::op_sample ins_sample{latency, t,
+                                                stats::op_kind::insert};
                     pq.insert(nd, neighbors[i]);
+                    ins_sample.commit();
                 }
             }
             pending.fetch_sub(1, std::memory_order_acq_rel);

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
@@ -70,6 +71,12 @@ struct quality_params {
     /// Placement order from topo::cpu_order: worker t pins itself to
     /// pin_cpus[t % size()] before operating.  Empty: no pinning.
     std::vector<std::uint32_t> pin_cpus;
+    /// Optional per-op latency capture (src/stats/).  Only the queue
+    /// operation itself is stamped, not the mirror bookkeeping, so the
+    /// numbers are comparable with the throughput harness — though the
+    /// serializing lock still changes contention, which is this
+    /// harness's documented trade-off.  Must be sized for `threads`.
+    stats::latency_recorder_set *latency = nullptr;
 };
 
 /// Drive `q` with a serialized 50/50 workload and measure delete-min
@@ -108,12 +115,18 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
                     const auto k = static_cast<typename PQ::key_type>(
                         rng.bounded(params.key_range));
                     std::lock_guard<std::mutex> g(mtx);
+                    stats::op_sample sample{params.latency, t,
+                                            stats::op_kind::insert};
                     q.insert(k, value);
+                    sample.commit();
                     mirror.insert(k);
                 } else {
                     std::lock_guard<std::mutex> g(mtx);
+                    stats::op_sample sample{params.latency, t,
+                                            stats::op_kind::delete_min};
                     if (!q.try_delete_min(key, value))
                         continue;
+                    sample.commit();
                     auto it = mirror.find(key);
                     if (it == mirror.end())
                         continue; // should not happen; be safe

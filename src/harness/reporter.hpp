@@ -99,6 +99,14 @@ public:
         fields_.emplace_back(name, std::to_string(v));
     }
 
+    /// Attach an already-serialized JSON value (object or array)
+    /// verbatim — how records embed nested structure like the `latency`
+    /// object (src/stats/latency_report.hpp) without this reporter
+    /// growing a full JSON tree model.  The caller owns validity.
+    void set_raw(const std::string &name, std::string json_value) {
+        fields_.emplace_back(name, std::move(json_value));
+    }
+
     void write(std::ostream &os) const {
         os << "{";
         for (std::size_t i = 0; i < fields_.size(); ++i)

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
@@ -71,15 +72,25 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
             sync.arrive_and_wait();
             while (!stop.load(std::memory_order_relaxed)) {
                 if (rng.bounded(100) < params.insert_percent) {
+                    stats::op_sample sample{params.latency, t,
+                                            stats::op_kind::insert};
                     q.insert(
                         static_cast<typename PQ::key_type>(rng() & mask),
                         value);
+                    sample.commit();
                     ++my_inserts;
                 } else {
-                    if (q.try_delete_min(key, value))
+                    stats::op_sample sample{params.latency, t,
+                                            stats::op_kind::delete_min};
+                    if (q.try_delete_min(key, value)) {
+                        // Only successful deletes are recorded: a failed
+                        // probe of an empty queue is a different (much
+                        // cheaper) code path and would skew the tail.
+                        sample.commit();
                         ++my_deletes;
-                    else
+                    } else {
                         ++my_failed;
+                    }
                 }
             }
             inserts.fetch_add(my_inserts);

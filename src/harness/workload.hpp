@@ -12,6 +12,10 @@
 
 namespace klsm {
 
+namespace stats {
+class latency_recorder_set;
+}
+
 struct throughput_params {
     std::size_t prefill = 1000000; ///< keys inserted before timing
     double duration_s = 1.0;       ///< timed benchmark window
@@ -23,6 +27,10 @@ struct throughput_params {
     /// Placement order from topo::cpu_order: worker t pins itself to
     /// pin_cpus[t % size()] before the start barrier.  Empty: no pinning.
     std::vector<std::uint32_t> pin_cpus;
+    /// Optional per-op latency capture (src/stats/): worker t records
+    /// into latency->slot(t).  Null or stride-0: no capture, and the
+    /// hot loop pays only a branch.  Must be sized for `threads`.
+    stats::latency_recorder_set *latency = nullptr;
 };
 
 /// Prefill `q` with uniformly random keys using several helper threads

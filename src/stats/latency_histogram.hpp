@@ -1,0 +1,188 @@
+#pragma once
+
+// HDR-style log-linear latency histogram.
+//
+// "Benchmarking Concurrent Priority Queues" (arXiv:1603.05047) makes the
+// case that mean throughput hides exactly the effects that distinguish
+// relaxed designs; what is needed is the full per-operation latency
+// distribution.  Recording every sample exactly is too expensive on a
+// hot path, so we use the standard HDR compromise: bucket values so that
+// every bucket's width is a fixed *fraction* of its lower edge, giving a
+// bounded relative error (2^-SubBits, ~3% at the default precision)
+// across the whole 1ns..100s range with ~1k fixed-size buckets.
+//
+// Layout (log-linear, the HdrHistogram scheme):
+//   - values < 2^(SubBits+1) get exact width-1 buckets (the linear head);
+//   - above that, each power-of-two octave is split into 2^SubBits
+//     sub-buckets of width 2^(octave - SubBits).
+// The layout is a pure function of SubBits, so histograms with the same
+// precision merge by adding bucket counts — no rebinning, no iteration
+// order concerns.  That is what makes per-thread recording + end-of-run
+// merge cheap and exact (see latency_recorder.hpp).
+//
+// The histogram itself is NOT thread-safe: one writer per instance.
+// Sharing is handled a level up by giving each thread its own instance.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.hpp"
+
+namespace klsm {
+namespace stats {
+
+/// Log-linear histogram over [0, max_trackable] with relative bucket
+/// error bounded by 2^-SubBits.  Tracks exact count/sum/min/max beside
+/// the buckets so mean and extremes never suffer bucketing error.
+template <unsigned SubBits = 5>
+class basic_latency_histogram {
+    static_assert(SubBits >= 1 && SubBits <= 12,
+                  "SubBits outside the sensible precision range");
+
+public:
+    using count_type = std::uint64_t;
+
+    static constexpr unsigned sub_bits = SubBits;
+    static constexpr std::uint64_t sub_count = std::uint64_t{1} << SubBits;
+
+    /// 100 seconds in nanoseconds: the top of the trackable range.
+    /// Anything slower than that is a hang, not a latency.
+    static constexpr std::uint64_t max_trackable = 100'000'000'000ull;
+
+    /// Index of the highest bucket group (one group per octave above the
+    /// linear head).
+    static constexpr unsigned max_group =
+        log2_floor(max_trackable) - SubBits + 1;
+
+    static constexpr std::size_t bucket_count =
+        (static_cast<std::size_t>(max_group) + 1) * sub_count;
+
+    // -- bucket layout (static; shared by recorders, tests, tooling) ----
+
+    /// Bucket index for value `v` (saturates at max_trackable).
+    static constexpr std::size_t bucket_index(std::uint64_t v) {
+        if (v > max_trackable)
+            v = max_trackable;
+        if (v < 2 * sub_count)
+            return static_cast<std::size_t>(v); // linear head, width 1
+        const unsigned octave = log2_floor(v);
+        const unsigned shift = octave - SubBits;
+        return (static_cast<std::size_t>(shift + 1) << SubBits) +
+               static_cast<std::size_t>((v >> shift) & (sub_count - 1));
+    }
+
+    /// Smallest value mapping to bucket `i`.
+    static constexpr std::uint64_t bucket_lower(std::size_t i) {
+        const std::size_t group = i >> SubBits;
+        if (group == 0)
+            return i;
+        const unsigned shift = static_cast<unsigned>(group - 1);
+        const std::uint64_t sub = i & (sub_count - 1);
+        return (sub_count + sub) << shift;
+    }
+
+    /// Largest value mapping to bucket `i`.
+    static constexpr std::uint64_t bucket_upper(std::size_t i) {
+        const std::size_t group = i >> SubBits;
+        if (group == 0)
+            return i;
+        const unsigned shift = static_cast<unsigned>(group - 1);
+        return bucket_lower(i) + (std::uint64_t{1} << shift) - 1;
+    }
+
+    // -- recording ------------------------------------------------------
+
+    void record(std::uint64_t v) {
+        ++buckets_[bucket_index(v)];
+        ++count_;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+        if (v < min_)
+            min_ = v;
+    }
+
+    /// Add `other`'s counts into this histogram (same layout by type).
+    void merge(const basic_latency_histogram &other) {
+        for (std::size_t i = 0; i < bucket_count; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        if (other.count_ && other.min_ < min_)
+            min_ = other.min_;
+    }
+
+    void reset() { *this = basic_latency_histogram{}; }
+
+    // -- extraction -----------------------------------------------------
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    bool empty() const { return count_ == 0; }
+
+    double mean() const {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /// Value at percentile `p` in [0, 100]: the upper edge of the bucket
+    /// holding the sample of rank ceil(p/100 * count), clamped to the
+    /// observed max so p100 is exact.  Returns 0 on an empty histogram.
+    std::uint64_t percentile(double p) const {
+        if (count_ == 0)
+            return 0;
+        if (p <= 0.0)
+            return min();
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            p / 100.0 * static_cast<double>(count_) + 0.5);
+        if (rank < 1)
+            rank = 1;
+        if (rank > count_)
+            rank = count_;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < bucket_count; ++i) {
+            seen += buckets_[i];
+            if (seen >= rank) {
+                const std::uint64_t upper = bucket_upper(i);
+                // The bucket spanning max_trackable absorbs every
+                // saturated sample, whose true value may exceed its
+                // edge: the exact recorded max is all we know there.
+                if (upper >= max_trackable)
+                    return max_;
+                return upper < max_ ? upper : max_;
+            }
+        }
+        return max_; // unreachable when counts are consistent
+    }
+
+    count_type bucket(std::size_t i) const { return buckets_[i]; }
+
+    /// Visit non-empty buckets as (index, count) — the sparse form the
+    /// JSON report exports so offline tooling can re-aggregate.
+    template <typename Fn>
+    void for_each_nonempty(Fn &&fn) const {
+        for (std::size_t i = 0; i < bucket_count; ++i)
+            if (buckets_[i])
+                fn(i, buckets_[i]);
+    }
+
+private:
+    std::array<count_type, bucket_count> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+};
+
+/// The repo-wide default precision: 32 sub-buckets per octave, ~3%
+/// relative error, 1056 buckets (~8.25 KiB) per histogram.
+using latency_histogram = basic_latency_histogram<5>;
+
+} // namespace stats
+} // namespace klsm

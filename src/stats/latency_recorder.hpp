@@ -1,0 +1,122 @@
+#pragma once
+
+// Per-thread latency recording with stride sampling.
+//
+// The record path must not perturb the benchmark it measures, so the
+// design is share-nothing: each worker owns a cache-line-aligned slot
+// holding one histogram per operation kind plus its sampling countdown.
+// Recording touches only that slot — no atomics, no shared cache lines —
+// and the per-run cost is two `now_ns()` stamps on every stride'th
+// operation.  A merge step at the end of the run (single-threaded, after
+// the workers have joined) folds the slots into one histogram per op.
+//
+// Stride semantics: stride N samples every Nth *attempted* operation of
+// that kind (1 = every op, 0 = recording disabled and the fast path
+// collapses to one branch).  Sampling by stride rather than by clock
+// keeps the decision allocation-free and deterministic per thread.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/latency_histogram.hpp"
+#include "util/align.hpp"
+#include "util/timer.hpp"
+
+namespace klsm {
+namespace stats {
+
+/// The two operation kinds every harness distinguishes.  Kept as an enum
+/// (not a string) so the record path indexes an array.
+enum class op_kind : unsigned { insert = 0, delete_min = 1 };
+inline constexpr unsigned op_kinds = 2;
+
+inline const char *op_name(op_kind op) {
+    return op == op_kind::insert ? "insert" : "delete_min";
+}
+
+/// One worker's private recording slot.  Aligned so adjacent slots never
+/// share a cache line (the histograms are KiB-sized, so only the edges
+/// could ever collide — alignment removes even those).
+struct alignas(cache_line_size) thread_latency_slot {
+    latency_histogram hist[op_kinds];
+    std::uint64_t countdown[op_kinds] = {1, 1};
+
+    /// Decide whether this op should be stamped; called once per op with
+    /// the set's stride.  Advances the stride phase either way.
+    bool should_sample(op_kind op, std::uint64_t stride) {
+        auto &cd = countdown[static_cast<unsigned>(op)];
+        if (--cd != 0)
+            return false;
+        cd = stride;
+        return true;
+    }
+
+    void record(op_kind op, std::uint64_t ns) {
+        hist[static_cast<unsigned>(op)].record(ns);
+    }
+};
+
+/// A set of per-thread slots for one benchmark run.  Construct before
+/// the workers start, hand worker t `slot(t)`, merge after they join.
+class latency_recorder_set {
+public:
+    /// `stride` 0 disables recording entirely (enabled() is false and
+    /// no slots are allocated).
+    explicit latency_recorder_set(unsigned threads, std::uint64_t stride)
+        : stride_(stride), slots_(stride ? threads : 0) {}
+
+    bool enabled() const { return stride_ != 0; }
+    std::uint64_t stride() const { return stride_; }
+    unsigned threads() const {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    thread_latency_slot &slot(unsigned t) { return slots_[t]; }
+
+    /// Fold all per-thread histograms for `op` into one.  Exact: the
+    /// bucket layout is shared, so merge is bucket-wise addition.
+    latency_histogram merged(op_kind op) const {
+        latency_histogram out;
+        for (const auto &s : slots_)
+            out.merge(s.hist[static_cast<unsigned>(op)]);
+        return out;
+    }
+
+private:
+    std::uint64_t stride_;
+    std::vector<thread_latency_slot> slots_;
+};
+
+/// Stamp-and-record helper for harness loops: constructed per operation
+/// from the (possibly null) recorder set the caller was handed, samples
+/// iff the slot's stride countdown fires, records on commit().  Kept
+/// trivial so the disabled path is one predictable branch.
+class op_sample {
+public:
+    op_sample(latency_recorder_set *set, unsigned thread, op_kind op) {
+        if (set && set->enabled()) {
+            auto &slot = set->slot(thread);
+            if (slot.should_sample(op, set->stride())) {
+                slot_ = &slot;
+                op_ = op;
+                start_ns_ = now_ns();
+            }
+        }
+    }
+
+    /// Record the elapsed time; call only when the operation counts
+    /// (e.g. skip failed delete-mins so the distribution is over real
+    /// operations, not empty-queue probes).
+    void commit() {
+        if (slot_)
+            slot_->record(op_, now_ns() - start_ns_);
+    }
+
+private:
+    thread_latency_slot *slot_ = nullptr;
+    op_kind op_ = op_kind::insert;
+    std::uint64_t start_ns_ = 0;
+};
+
+} // namespace stats
+} // namespace klsm

@@ -1,0 +1,69 @@
+#pragma once
+
+// JSON serialization of merged latency histograms: the `latency` object
+// every klsm_bench record carries when sampling is enabled.
+//
+// Schema (documented in README "Latency metrics"):
+//
+//   "latency": {
+//     "unit": "ns",
+//     "sample_stride": 4,
+//     "sub_bucket_bits": 5,
+//     "insert":     { "count": ..., "mean": ..., "min": ..., "p50": ...,
+//                     "p90": ..., "p99": ..., "p999": ..., "max": ...,
+//                     "buckets": [[index, count], ...] },
+//     "delete_min": { ... same shape ... }
+//   }
+//
+// Percentiles are precomputed for at-a-glance reading; the sparse
+// `buckets` array is the ground truth — with `sub_bucket_bits` it fully
+// determines the bucket edges (latency_histogram.hpp's bucket_lower/
+// bucket_upper), so offline tooling (scripts/compare_bench.py among
+// them) can re-aggregate, re-percentile, or merge across records
+// without C++.
+
+#include <sstream>
+#include <string>
+
+#include "stats/latency_histogram.hpp"
+#include "stats/latency_recorder.hpp"
+
+namespace klsm {
+namespace stats {
+
+/// One op's stats as a JSON object string.
+inline std::string latency_op_json(const latency_histogram &h) {
+    std::ostringstream os;
+    os << "{\"count\":" << h.count();
+    os << ",\"mean\":" << h.mean();
+    os << ",\"min\":" << h.min();
+    os << ",\"p50\":" << h.percentile(50);
+    os << ",\"p90\":" << h.percentile(90);
+    os << ",\"p99\":" << h.percentile(99);
+    os << ",\"p999\":" << h.percentile(99.9);
+    os << ",\"max\":" << h.max();
+    os << ",\"buckets\":[";
+    bool first = true;
+    h.for_each_nonempty([&](std::size_t i, std::uint64_t c) {
+        os << (first ? "" : ",") << "[" << i << "," << c << "]";
+        first = false;
+    });
+    os << "]}";
+    return os.str();
+}
+
+/// The full `latency` object for one benchmark record.
+inline std::string latency_json(const latency_recorder_set &recs) {
+    std::ostringstream os;
+    os << "{\"unit\":\"ns\",\"sample_stride\":" << recs.stride()
+       << ",\"sub_bucket_bits\":" << latency_histogram::sub_bits;
+    for (unsigned op = 0; op < op_kinds; ++op) {
+        os << ",\"" << op_name(static_cast<op_kind>(op)) << "\":"
+           << latency_op_json(recs.merged(static_cast<op_kind>(op)));
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace stats
+} // namespace klsm

@@ -7,26 +7,37 @@
 
 namespace klsm {
 
+/// Raw monotonic nanosecond stamp, for per-operation latency recording.
+//
+// This is deliberately a free function returning an integer, not a
+// timer object: the latency recorders (src/stats/) stamp the start and
+// end of individual queue operations, where constructing a time_point
+// pair and converting through double seconds — as wall_timer's
+// elapsed_s() does — both costs more and rounds away the sub-microsecond
+// differences that p50 insert latencies live in.  steady_clock on Linux
+// is clock_gettime(CLOCK_MONOTONIC), ~20ns per call with nanosecond
+// resolution; the uint64 difference of two stamps is exact.
+inline std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 class wall_timer {
 public:
-    wall_timer() : start_(clock::now()) {}
+    wall_timer() : start_ns_(now_ns()) {}
 
-    void reset() { start_ = clock::now(); }
+    void reset() { start_ns_ = now_ns(); }
+
+    std::uint64_t elapsed_ns() const { return now_ns() - start_ns_; }
 
     double elapsed_s() const {
-        return std::chrono::duration<double>(clock::now() - start_).count();
-    }
-
-    std::uint64_t elapsed_ns() const {
-        return static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                clock::now() - start_)
-                .count());
+        return static_cast<double>(elapsed_ns()) * 1e-9;
     }
 
 private:
-    using clock = std::chrono::steady_clock;
-    clock::time_point start_;
+    std::uint64_t start_ns_;
 };
 
 } // namespace klsm

@@ -170,6 +170,85 @@ TEST(Throughput, PinnedWorkersMatchUnpinnedSemantics) {
               res.inserts + res.deletes + res.failed_deletes);
 }
 
+TEST(Throughput, LatencyCaptureCountsMatchSampling) {
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 5000, 7);
+    throughput_params params;
+    params.threads = 2;
+    params.duration_s = 0.1;
+    stats::latency_recorder_set recs{params.threads, 2};
+    params.latency = &recs;
+    const auto res = run_throughput(q, params);
+    const auto ins = recs.merged(stats::op_kind::insert);
+    const auto del = recs.merged(stats::op_kind::delete_min);
+    EXPECT_GT(ins.count(), 0u);
+    EXPECT_GT(del.count(), 0u);
+    // Stride 2 samples every second attempt of each kind; failed deletes
+    // consume a sampling tick without recording, hence <=.
+    EXPECT_LE(ins.count(), res.inserts / 2 + params.threads);
+    EXPECT_LE(del.count(), (res.deletes + res.failed_deletes) / 2 +
+                               params.threads);
+    EXPECT_GE(ins.count(), res.inserts / 2 - params.threads);
+    // Real operations take measurable time; percentile ordering holds.
+    EXPECT_GT(ins.mean(), 0.0);
+    EXPECT_LE(ins.percentile(50), ins.percentile(99));
+    EXPECT_LE(ins.percentile(99), ins.max());
+}
+
+TEST(Throughput, NullLatencySetMatchesSeedBehavior) {
+    // The default (no recorder set) path must keep working untouched.
+    spin_heap<std::uint32_t, std::uint64_t> q;
+    prefill_queue(q, 1000, 8);
+    throughput_params params;
+    params.threads = 2;
+    params.duration_s = 0.05;
+    EXPECT_EQ(params.latency, nullptr);
+    const auto res = run_throughput(q, params);
+    EXPECT_GT(res.total_ops, 0u);
+}
+
+TEST(Quality, LatencyCaptureSeparatesOpKinds) {
+    k_lsm<std::uint32_t, std::uint64_t> q{64};
+    quality_params params;
+    params.prefill = 1000;
+    params.ops_per_thread = 2000;
+    params.threads = 2;
+    stats::latency_recorder_set recs{params.threads, 1};
+    params.latency = &recs;
+    const auto res = measure_rank_error(q, params);
+    const auto ins = recs.merged(stats::op_kind::insert);
+    const auto del = recs.merged(stats::op_kind::delete_min);
+    EXPECT_GT(ins.count(), 0u);
+    EXPECT_GT(del.count(), 0u);
+    // Stride 1 on successful deletes only: recorded deletes can never
+    // exceed the harness's delete count.
+    EXPECT_LE(del.count(), res.deletes);
+    EXPECT_GT(ins.mean(), 0.0);
+}
+
+TEST(Sssp, LatencyCaptureRecordsInsertsAndPops) {
+    erdos_renyi_params gp;
+    gp.nodes = 300;
+    gp.edge_probability = 0.1;
+    gp.seed = 5;
+    const graph g = make_erdos_renyi(gp);
+    sssp_state state{g.num_nodes()};
+    spin_heap<std::uint64_t, std::uint32_t> pq;
+    stats::latency_recorder_set recs{2, 1};
+    const auto stats_out =
+        parallel_sssp(pq, g, 0, 2, state, {}, &recs);
+    const auto ins = recs.merged(stats::op_kind::insert);
+    const auto del = recs.merged(stats::op_kind::delete_min);
+    EXPECT_GT(ins.count(), 0u);
+    EXPECT_GT(del.count(), 0u);
+    // Every successful pop is an expansion or a stale skip; only
+    // successful pops are recorded.
+    EXPECT_LE(del.count(), stats_out.expansions + stats_out.stale_pops);
+    // Every queue entry except the seed came from a recorded insert.
+    EXPECT_LE(ins.count(),
+              stats_out.expansions + stats_out.stale_pops);
+}
+
 TEST(Quality, HistogramSumsToDeletes) {
     k_lsm<std::uint32_t, std::uint64_t> q{64};
     quality_params params;

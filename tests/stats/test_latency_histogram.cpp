@@ -1,0 +1,216 @@
+#include "stats/latency_histogram.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace stats {
+namespace {
+
+using hist = latency_histogram;
+
+TEST(LatencyHistogram, LinearHeadIsExact) {
+    // Values below 2^(sub_bits+1) get width-1 buckets: index == value.
+    for (std::uint64_t v = 0; v < 2 * hist::sub_count; ++v) {
+        EXPECT_EQ(hist::bucket_index(v), v);
+        EXPECT_EQ(hist::bucket_lower(v), v);
+        EXPECT_EQ(hist::bucket_upper(v), v);
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundariesRoundTrip) {
+    // Every bucket's lower and upper edge must map back to that bucket,
+    // and consecutive buckets must tile the range with no gap/overlap.
+    const std::size_t top = hist::bucket_index(hist::max_trackable);
+    for (std::size_t i = 0; i <= top; ++i) {
+        EXPECT_EQ(hist::bucket_index(hist::bucket_lower(i)), i)
+            << "lower edge of bucket " << i;
+        EXPECT_EQ(hist::bucket_index(hist::bucket_upper(i)), i)
+            << "upper edge of bucket " << i;
+        if (i > 0) {
+            EXPECT_EQ(hist::bucket_lower(i), hist::bucket_upper(i - 1) + 1)
+                << "gap/overlap between buckets " << i - 1 << " and " << i;
+        }
+    }
+}
+
+TEST(LatencyHistogram, RelativeErrorIsBounded) {
+    // The HDR property: bucket width <= lower_edge * 2^-sub_bits for all
+    // buckets past the linear head (head buckets have width 1).
+    xoroshiro128 rng{42};
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t v = rng() % hist::max_trackable;
+        const std::size_t b = hist::bucket_index(v);
+        const std::uint64_t width =
+            hist::bucket_upper(b) - hist::bucket_lower(b) + 1;
+        EXPECT_LE(width,
+                  std::max<std::uint64_t>(1,
+                                          hist::bucket_lower(b) >>
+                                              hist::sub_bits))
+            << "bucket " << b << " too wide for value " << v;
+        EXPECT_LE(hist::bucket_lower(b), v);
+        EXPECT_GE(hist::bucket_upper(b), v);
+    }
+}
+
+TEST(LatencyHistogram, EmptyHistogram) {
+    hist h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.percentile(100), 0u);
+    bool any = false;
+    h.for_each_nonempty([&](std::size_t, std::uint64_t) { any = true; });
+    EXPECT_FALSE(any);
+}
+
+TEST(LatencyHistogram, ExactStatsBesideBuckets) {
+    hist h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    // Width-1 buckets in the linear head: percentiles are exact.
+    EXPECT_EQ(h.percentile(0), 10u);
+    EXPECT_EQ(h.percentile(50), 20u);
+    EXPECT_EQ(h.percentile(100), 30u);
+}
+
+TEST(LatencyHistogram, SaturatesAboveMaxTrackable) {
+    hist h;
+    const std::uint64_t huge = hist::max_trackable * 3;
+    h.record(huge);
+    h.record(100);
+    // Bucketing saturates, but the exact max survives and p100 reports it.
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_EQ(h.percentile(100), huge);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyHistogram, MergeDisjointRanges) {
+    hist lo, hi, both;
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        lo.record(v);
+        both.record(v);
+    }
+    for (std::uint64_t v = 1000000; v < 1000100; ++v) {
+        hi.record(v);
+        both.record(v);
+    }
+    hist merged = lo;
+    merged.merge(hi);
+    EXPECT_EQ(merged.count(), both.count());
+    EXPECT_EQ(merged.sum(), both.sum());
+    EXPECT_EQ(merged.min(), both.min());
+    EXPECT_EQ(merged.max(), both.max());
+    for (std::size_t i = 0; i < hist::bucket_count; ++i)
+        ASSERT_EQ(merged.bucket(i), both.bucket(i)) << "bucket " << i;
+}
+
+TEST(LatencyHistogram, MergeOverlappingRanges) {
+    xoroshiro128 rng{7};
+    hist a, b, both;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng() % 100000;
+        if (i % 2) {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        both.record(v);
+    }
+    hist merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), both.count());
+    EXPECT_EQ(merged.sum(), both.sum());
+    EXPECT_EQ(merged.min(), both.min());
+    EXPECT_EQ(merged.max(), both.max());
+    for (std::size_t i = 0; i < hist::bucket_count; ++i)
+        ASSERT_EQ(merged.bucket(i), both.bucket(i)) << "bucket " << i;
+    // Percentiles of the merge match the all-in-one histogram exactly
+    // (same buckets, same counts).
+    for (double p : {50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(merged.percentile(p), both.percentile(p));
+}
+
+TEST(LatencyHistogram, MergeWithEmpty) {
+    hist empty, h;
+    h.record(17);
+    hist merged = h;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), 1u);
+    EXPECT_EQ(merged.min(), 17u);
+    hist merged2 = empty;
+    merged2.merge(h);
+    EXPECT_EQ(merged2.count(), 1u);
+    EXPECT_EQ(merged2.min(), 17u);
+    EXPECT_EQ(merged2.max(), 17u);
+}
+
+TEST(LatencyHistogram, PercentileAgainstSortedOracle) {
+    // Log-uniform samples across the whole range, compared against the
+    // sorted-vector nearest-rank oracle: the histogram may only round a
+    // value *up*, and by at most one bucket width (2^-sub_bits relative,
+    // plus 1 for integer edges).
+    xoroshiro128 rng{12345};
+    hist h;
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned magnitude = static_cast<unsigned>(rng.bounded(34));
+        const std::uint64_t v = rng() & ((std::uint64_t{1} << magnitude) |
+                                         ((std::uint64_t{1} << magnitude) -
+                                          1));
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+        // Same rank convention as hist::percentile (round-half-up).
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            p / 100.0 * static_cast<double>(samples.size()) + 0.5);
+        rank = std::max<std::uint64_t>(1,
+                                       std::min<std::uint64_t>(
+                                           rank, samples.size()));
+        const std::uint64_t oracle = samples[rank - 1];
+        const std::uint64_t got = h.percentile(p);
+        EXPECT_GE(got, oracle) << "p" << p;
+        const double rel_slack =
+            1.0 + 1.0 / static_cast<double>(hist::sub_count);
+        EXPECT_LE(static_cast<double>(got),
+                  static_cast<double>(oracle) * rel_slack + 1.0)
+            << "p" << p;
+    }
+    EXPECT_EQ(h.percentile(100), samples.back());
+    EXPECT_EQ(h.percentile(0), samples.front());
+}
+
+TEST(LatencyHistogram, PrecisionIsConfigurable) {
+    // A coarser histogram (fewer sub-buckets) must still round-trip its
+    // layout; its relative error degrades to 2^-2.
+    using coarse = basic_latency_histogram<2>;
+    const std::size_t top = coarse::bucket_index(coarse::max_trackable);
+    for (std::size_t i = 0; i <= top; ++i) {
+        ASSERT_EQ(coarse::bucket_index(coarse::bucket_lower(i)), i);
+        ASSERT_EQ(coarse::bucket_index(coarse::bucket_upper(i)), i);
+    }
+    // Finer precision means no fewer buckets.
+    static_assert(basic_latency_histogram<8>::bucket_count >
+                  coarse::bucket_count);
+}
+
+} // namespace
+} // namespace stats
+} // namespace klsm
