@@ -22,11 +22,16 @@
 // doubles as an end-to-end test.
 
 #include <algorithm>
+#include <cstddef>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <set>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "adapt/adaptive.hpp"
 #include "baselines/centralized_k.hpp"
 #include "baselines/hybrid_k.hpp"
 #include "baselines/linden.hpp"
@@ -70,6 +75,14 @@ struct bench_config {
     /// Per-op latency sampling stride: 0 = off, 1 = every op, N = every
     /// Nth op.  --smoke turns it on (stride 4) when left unset.
     std::uint64_t latency_sample = 0;
+    /// Adaptive relaxation (src/adapt/): walk k online in
+    /// [k_min, k_max] from observed contention, one controller per
+    /// shard.  Structures without dynamic k run fixed as before.
+    bool adaptive = false;
+    std::size_t k_min = 16;
+    std::size_t k_max = 4096;
+    std::uint64_t rank_budget = 0; ///< 0 = no budget clamp
+    double adapt_interval_ms = 5.0;
     bool smoke = false;
     bool csv = false;
     /// --json-out '-': the JSON report owns stdout, tables go to stderr.
@@ -127,6 +140,54 @@ std::vector<std::uint32_t> pin_order(const std::string &policy) {
     return order ? *order : std::vector<std::uint32_t>{};
 }
 
+/// The k the structure is constructed with: adaptive runs start
+/// dynamic-k structures at --k clamped into [k_min, k_max] and walk
+/// from there — up under publish contention, down when the contention
+/// signal stays quiet (so the trajectory moves in both regimes); every
+/// other combination keeps the fixed --k.
+std::size_t build_k(const bench_config &cfg, const std::string &name) {
+    const bool dynamic = name == "klsm" || name == "numa_klsm";
+    if (!cfg.adaptive || !dynamic)
+        return cfg.k;
+    return std::clamp(cfg.k, cfg.k_min, cfg.k_max);
+}
+
+/// Run `body(adaptor)` with an adaptive-k control loop attached when
+/// --adaptive is on and the structure supports dynamic k; `body`
+/// receives a queue_adaptor pointer, or nullptr (as std::nullptr_t)
+/// when running fixed-k.  The adaptor outlives the body, so hooks that
+/// capture it (harness tickers) stay valid for the whole run.
+template <typename PQ, typename Body>
+void with_adaptation(PQ &q, const bench_config &cfg,
+                     const std::string &name, unsigned threads,
+                     Body &&body) {
+    if constexpr (klsm::adapt::adaptive_capable<PQ>) {
+        if (cfg.adaptive) {
+            klsm::adapt::k_controller_config acfg;
+            acfg.k_min = cfg.k_min;
+            acfg.k_max = cfg.k_max;
+            acfg.rank_budget = cfg.rank_budget;
+            klsm::adapt::queue_adaptor<PQ> adaptor{q, acfg, threads};
+            body(&adaptor);
+            return;
+        }
+    } else {
+        // Once per structure, not once per (pin, threads) sweep point:
+        // the note would otherwise drown real warnings in a big sweep.
+        static std::set<std::string> noted;
+        if (cfg.adaptive && noted.insert(name).second)
+            std::cerr << "note: " << name
+                      << " has no dynamic k; --adaptive runs it fixed\n";
+    }
+    body(nullptr);
+}
+
+/// True iff `adaptor` (from with_adaptation) is a live adaptor rather
+/// than the fixed-k nullptr.
+template <typename A>
+constexpr bool is_adaptor_v =
+    !std::is_same_v<std::decay_t<A>, std::nullptr_t>;
+
 int run_throughput_workload(const bench_config &cfg,
                             klsm::json_reporter &json) {
     klsm::table_reporter report({"structure", "pin", "threads", "prefill",
@@ -139,8 +200,10 @@ int run_throughput_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, cfg.k, [&](auto &q) {
+                    name, threads, build_k(cfg, name), [&](auto &q) {
                         klsm::prefill_queue(q, cfg.prefill, cfg.seed);
+                        with_adaptation(q, cfg, name, threads, [&](
+                                            auto adaptor) {
                         klsm::throughput_params params;
                         params.prefill = cfg.prefill;
                         params.threads = threads;
@@ -151,6 +214,13 @@ int run_throughput_workload(const bench_config &cfg,
                         klsm::stats::latency_recorder_set recs{
                             threads, cfg.latency_sample};
                         params.latency = &recs;
+                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
+                            params.on_adapt_tick = [adaptor] {
+                                adaptor->tick();
+                            };
+                            params.adapt_tick_s =
+                                cfg.adapt_interval_ms / 1000.0;
+                        }
                         const auto res = klsm::run_throughput(q, params);
                         report.row(name, pin, threads, cfg.prefill,
                                    res.ops_per_sec(),
@@ -171,6 +241,9 @@ int run_throughput_workload(const bench_config &cfg,
                         if (recs.enabled())
                             rec.set_raw("latency",
                                         klsm::stats::latency_json(recs));
+                        if constexpr (is_adaptor_v<decltype(adaptor)>)
+                            rec.set_raw("adaptation", adaptor->json());
+                        });
                     });
                 if (!ok)
                     return 2;
@@ -193,7 +266,9 @@ int run_quality_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, cfg.k, [&](auto &q) {
+                    name, threads, build_k(cfg, name), [&](auto &q) {
+                        with_adaptation(q, cfg, name, threads, [&](
+                                            auto adaptor) {
                         klsm::quality_params params;
                         params.threads = threads;
                         params.prefill = cfg.prefill;
@@ -203,6 +278,13 @@ int run_quality_workload(const bench_config &cfg,
                         klsm::stats::latency_recorder_set recs{
                             threads, cfg.latency_sample};
                         params.latency = &recs;
+                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
+                            params.on_adapt_tick = [adaptor] {
+                                adaptor->tick();
+                            };
+                            params.adapt_tick_s =
+                                cfg.adapt_interval_ms / 1000.0;
+                        }
                         const auto res = klsm::measure_rank_error(q, params);
                         // Lemma 2: the k-LSM guarantees at most T*k
                         // smaller keys are skipped.  numa_klsm's
@@ -212,18 +294,32 @@ int run_quality_workload(const bench_config &cfg,
                         // it for locality, so there it is reported and
                         // checked advisorily, without failing the run.
                         // The relaxed comparators offer no bound at all.
+                        // Adaptive runs check against the *maximum* k
+                        // the controller ever set — correct for every
+                        // delete that completed under that k, advisory
+                        // for the run as a whole (ops in flight across
+                        // a k change straddle two bounds), mirroring
+                        // the rho_hard split.
                         const std::uint32_t numa_nodes =
                             klsm::topo::topology::system().num_nodes();
                         const bool has_rho =
                             name == "klsm" || name == "numa_klsm";
+                        std::uint64_t k_bound = cfg.k;
+                        bool adaptive_run = false;
+                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
+                            k_bound = adaptor->max_k_seen();
+                            adaptive_run = true;
+                        }
                         const bool hard =
-                            name == "klsm" ||
-                            (name == "numa_klsm" && numa_nodes == 1);
+                            !adaptive_run &&
+                            (name == "klsm" ||
+                             (name == "numa_klsm" && numa_nodes == 1));
                         const std::uint64_t rho =
                             name == "numa_klsm"
                                 ? klsm::numa_rank_error_bound(
-                                      numa_nodes, threads, cfg.k)
-                                : klsm::rank_error_bound(threads, cfg.k);
+                                      numa_nodes, threads, k_bound)
+                                : klsm::rank_error_bound(threads,
+                                                         k_bound);
                         std::string bound_cell = "none";
                         if (has_rho)
                             bound_cell = "rho=" + std::to_string(rho) +
@@ -242,6 +338,8 @@ int run_quality_workload(const bench_config &cfg,
                         if (recs.enabled())
                             rec.set_raw("latency",
                                         klsm::stats::latency_json(recs));
+                        if constexpr (is_adaptor_v<decltype(adaptor)>)
+                            rec.set_raw("adaptation", adaptor->json());
                         if (has_rho) {
                             rec.set("rho", rho);
                             rec.set("rho_hard", hard);
@@ -250,13 +348,14 @@ int run_quality_workload(const bench_config &cfg,
                                     << (hard ? "BOUND VIOLATION: "
                                              : "advisory bound "
                                                "exceeded: ")
-                                    << name << " k=" << cfg.k
+                                    << name << " k=" << k_bound
                                     << " max rank " << res.rank_max
                                     << " > " << rho << "\n";
                                 if (hard)
                                     status = 1;
                             }
                         }
+                        });
                     });
                 if (!ok)
                     return 2;
@@ -289,12 +388,16 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
     auto run_one = [&](const std::string &name, const std::string &pin,
                        const std::vector<std::uint32_t> &cpus,
                        unsigned threads, klsm::sssp_state &state,
-                       auto &q) {
+                       auto &q, auto adaptor) {
         klsm::stats::latency_recorder_set recs{threads,
                                                cfg.latency_sample};
+        std::function<void()> adapt_tick;
+        if constexpr (is_adaptor_v<decltype(adaptor)>)
+            adapt_tick = [adaptor] { adaptor->tick(); };
         klsm::wall_timer timer;
-        const auto stats =
-            klsm::parallel_sssp(q, g, 0, threads, state, cpus, &recs);
+        const auto stats = klsm::parallel_sssp(
+            q, g, 0, threads, state, cpus, &recs, adapt_tick,
+            cfg.adapt_interval_ms / 1000.0);
         const double seconds = timer.elapsed_s();
         std::uint64_t mismatches = 0;
         for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
@@ -312,6 +415,8 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
         rec.set("mismatches", mismatches);
         if (recs.enabled())
             rec.set_raw("latency", klsm::stats::latency_json(recs));
+        if constexpr (is_adaptor_v<decltype(adaptor)>)
+            rec.set_raw("adaptation", adaptor->json());
         if (mismatches) {
             std::cerr << "SSSP MISMATCH: " << name << " with " << threads
                       << " threads disagrees with Dijkstra on "
@@ -330,15 +435,23 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
                     klsm::sssp_state state{g.num_nodes()};
                     klsm::k_lsm<std::uint64_t, std::uint32_t,
                                 klsm::sssp_lazy>
-                        q{cfg.k, klsm::sssp_lazy{&state}};
-                    run_one(name, pin, cpus, threads, state, q);
+                        q{build_k(cfg, name), klsm::sssp_lazy{&state}};
+                    with_adaptation(q, cfg, name, threads,
+                                    [&](auto adaptor) {
+                                        run_one(name, pin, cpus, threads,
+                                                state, q, adaptor);
+                                    });
                     continue;
                 }
                 klsm::sssp_state state{g.num_nodes()};
                 const bool ok =
                     with_structure<std::uint64_t, std::uint32_t>(
-                        name, threads, cfg.k, [&](auto &q) {
-                            run_one(name, pin, cpus, threads, state, q);
+                        name, threads, build_k(cfg, name), [&](auto &q) {
+                            with_adaptation(
+                                q, cfg, name, threads, [&](auto adaptor) {
+                                    run_one(name, pin, cpus, threads,
+                                            state, q, adaptor);
+                                });
                         });
                 if (!ok)
                     return 2;
@@ -356,6 +469,8 @@ int main(int argc, char **argv) {
         "workload, one JSON report per invocation");
     cli.add_flag("workload", "throughput",
                  "workload: throughput | quality | sssp");
+    cli.add_flag("benchmark", "",
+                 "alias for --workload (overrides it when set)");
     cli.add_flag("structure", "klsm",
                  "comma-separated: klsm,dlsm,multiqueue,linden,"
                  "spraylist,heap,centralized,hybrid,numa_klsm");
@@ -374,6 +489,18 @@ int main(int argc, char **argv) {
     cli.add_flag("latency-sample", "0",
                  "per-op latency sampling stride: 0 = off, 1 = every "
                  "op, N = every Nth op (--smoke raises 0 to 4)");
+    cli.add_bool_flag("adaptive", false,
+                      "adapt k online from observed contention "
+                      "(klsm/numa_klsm; others run fixed)");
+    cli.add_flag("k-min", "16",
+                 "adaptive: lower bound on k (the walk starts at --k "
+                 "clamped into [k-min, k-max])");
+    cli.add_flag("k-max", "4096", "adaptive: upper bound on k");
+    cli.add_flag("rank-budget", "0",
+                 "adaptive: keep rho = T*k + k within this budget "
+                 "(0 = unconstrained)");
+    cli.add_flag("adapt-interval-ms", "5",
+                 "adaptive: controller tick period in milliseconds");
     cli.add_bool_flag("smoke", false,
                       "tiny parameters, all checks on: the CI smoke mode");
     cli.add_flag("json-out", "",
@@ -382,7 +509,8 @@ int main(int argc, char **argv) {
     cli.parse(argc, argv);
 
     bench_config cfg;
-    cfg.workload = cli.get("workload");
+    cfg.workload = cli.get("benchmark").empty() ? cli.get("workload")
+                                                : cli.get("benchmark");
     cfg.structures = cli.get_list("structure");
     cfg.pins = cli.get_list("pin");
     cfg.threads_list = cli.get_int_list("threads");
@@ -395,10 +523,26 @@ int main(int argc, char **argv) {
     cfg.edge_prob = cli.get_double("edge-prob");
     cfg.seed = cli.get_uint64("seed");
     cfg.latency_sample = cli.get_uint64("latency-sample");
+    cfg.adaptive = cli.get_bool("adaptive");
+    cfg.k_min = static_cast<std::size_t>(cli.get_uint64("k-min"));
+    cfg.k_max = static_cast<std::size_t>(cli.get_uint64("k-max"));
+    cfg.rank_budget = cli.get_uint64("rank-budget");
+    cfg.adapt_interval_ms = cli.get_double("adapt-interval-ms");
     cfg.smoke = cli.get_bool("smoke");
     cfg.csv = cli.get_bool("csv");
     cfg.json_to_stdout = cli.get("json-out") == "-";
 
+    if (cfg.adaptive) {
+        if (cfg.k_min < 1 || cfg.k_min > cfg.k_max) {
+            std::cerr << "--k-min " << cfg.k_min << " must be in [1, "
+                         "--k-max] (" << cfg.k_max << ")\n";
+            return 2;
+        }
+        if (cfg.adapt_interval_ms <= 0) {
+            std::cerr << "--adapt-interval-ms must be positive\n";
+            return 2;
+        }
+    }
     for (const auto &pin : cfg.pins) {
         if (!klsm::topo::parse_pin_policy(pin)) {
             std::cerr << "unknown pin policy: " << pin
@@ -448,6 +592,14 @@ int main(int argc, char **argv) {
     json.meta().set("seed", cfg.seed);
     json.meta().set("smoke", cfg.smoke);
     json.meta().set("latency_sample", cfg.latency_sample);
+    json.meta().set("adaptive", cfg.adaptive);
+    if (cfg.adaptive) {
+        json.meta().set("k_min", cfg.k_min);
+        json.meta().set("k_max", cfg.k_max);
+        json.meta().set("adapt_interval_ms", cfg.adapt_interval_ms);
+        if (cfg.rank_budget)
+            json.meta().set("rank_budget", cfg.rank_budget);
+    }
     // The discovered machine layout: without it, cross-machine JSON
     // reports are not comparable (arXiv:1603.05047's central lesson).
     const auto &sys = klsm::topo::topology::system();

@@ -18,6 +18,13 @@ candidate regresses beyond the configured thresholds:
     --latency-floor-ns (default 500ns, so nanosecond jitter on fast
     paths never trips the gate).
 
+`--sweep` additionally bucket-merges every matched record of a
+(benchmark, structure) group — across threads and pin policies — and
+compares percentiles re-derived from the merged buckets, so a whole
+sweep is judged as one distribution.  The merge is exact (the bucket
+layout is shared, identical to the C++ merge), which is what the sparse
+`buckets` export exists for.
+
 `--warn-only` prints the same comparison but always exits 0 — the
 advisory mode CI uses on pull requests, where runner-to-runner noise
 makes a hard gate unfair.  `--self-test` runs the built-in check suite
@@ -74,6 +81,60 @@ def percentile_from_buckets(op_stats, sub_bits, p):
         if seen >= rank:
             return min(bucket_upper(index, sub_bits), op_stats["max"])
     return op_stats["max"]
+
+
+def merge_op_stats(op_stats_list):
+    """Exact bucket-wise merge of several per-op latency objects (the
+    same addition the C++ merge performs, so whole-sweep percentiles can
+    be re-derived from the result).  Empty inputs merge to a count-0
+    stub."""
+    merged = {"count": 0, "min": None, "max": 0, "mean": 0.0,
+              "dropped_intervals": 0, "buckets": []}
+    buckets = {}
+    total_sum = 0.0
+    for op_stats in op_stats_list:
+        count = op_stats.get("count", 0)
+        if count == 0:
+            continue
+        merged["count"] += count
+        total_sum += op_stats.get("mean", 0.0) * count
+        merged["max"] = max(merged["max"], op_stats.get("max", 0))
+        op_min = op_stats.get("min", 0)
+        merged["min"] = op_min if merged["min"] is None else min(
+            merged["min"], op_min)
+        merged["dropped_intervals"] += op_stats.get("dropped_intervals", 0)
+        for index, bucket_count in op_stats.get("buckets", []):
+            buckets[index] = buckets.get(index, 0) + bucket_count
+    merged["min"] = merged["min"] or 0
+    if merged["count"]:
+        merged["mean"] = total_sum / merged["count"]
+    merged["buckets"] = sorted(buckets.items())
+    return merged
+
+
+def merge_latency(records):
+    """Merge the `latency` objects of several records into one aggregate
+    per op kind.  Returns (merged_by_op, sub_bits) or (None, reason) when
+    the records cannot be merged (no latency data, or mixed bucket
+    layouts)."""
+    sub_bits = None
+    per_op = {op: [] for op in OPS}
+    for record in records:
+        lat = record.get("latency")
+        if not lat:
+            continue
+        bits = lat.get("sub_bucket_bits", 5)
+        if sub_bits is None:
+            sub_bits = bits
+        elif bits != sub_bits:
+            return None, "mixed sub_bucket_bits across records"
+        for op in OPS:
+            if lat.get(op):
+                per_op[op].append(lat[op])
+    if sub_bits is None:
+        return None, "no latency data in any record"
+    return {op: merge_op_stats(stats) for op, stats in per_op.items()}, \
+        sub_bits
 
 
 # ---------------------------------------------------------------------------
@@ -206,7 +267,62 @@ def compare_reports(base, cand, args):
                 f"{fmt_key(key)}: baseline has latency data, candidate "
                 f"does not (run with --latency-sample)",
             ))
+
+    if args.sweep:
+        compare_sweeps(findings, base_records, cand_records, args)
     return findings
+
+
+def compare_sweeps(findings, base_records, cand_records, args):
+    """Whole-sweep latency comparison: bucket-merge every matched record
+    of a (benchmark, structure) group on each side, then compare
+    percentiles re-derived from the merged buckets.  This is how a sweep
+    over threads/pins is judged as one distribution instead of
+    record-by-record (where per-point noise dominates)."""
+    groups = {}
+    for key in base_records.keys() & cand_records.keys():
+        groups.setdefault((key[0], key[1]), []).append(key)
+    for (benchmark, structure), keys in sorted(groups.items()):
+        base_merged, base_bits = merge_latency(
+            [base_records[k] for k in keys])
+        cand_merged, cand_bits = merge_latency(
+            [cand_records[k] for k in keys])
+        label = (benchmark, structure, "sweep",
+                 f"x{len(keys)}")
+        if base_merged is None or cand_merged is None:
+            findings.append((
+                "warn",
+                f"{fmt_key(label)}: cannot merge "
+                f"({base_bits if base_merged is None else cand_bits})",
+            ))
+            continue
+        if base_bits != cand_bits:
+            findings.append((
+                "warn",
+                f"{fmt_key(label)}: sub_bucket_bits differ "
+                f"({base_bits} vs {cand_bits}); skipping",
+            ))
+            continue
+        for op in OPS:
+            base_op = base_merged[op]
+            cand_op = cand_merged[op]
+            if base_op["count"] == 0 or cand_op["count"] == 0:
+                continue
+            for pct in args.percentile_list:
+                if pct.startswith("p"):
+                    p = 99.9 if pct == "p999" else float(
+                        pct[1:].replace("_", "."))
+                    base_value = percentile_from_buckets(
+                        base_op, base_bits, p)
+                    cand_value = percentile_from_buckets(
+                        cand_op, cand_bits, p)
+                else:
+                    base_value = base_op.get(pct)
+                    cand_value = cand_op.get(pct)
+                compare_metric(findings, label, f"{op} {pct}",
+                               base_value, cand_value,
+                               args.latency_tolerance, True, "ns",
+                               args.latency_floor_ns)
 
 
 def print_findings(findings, verbose):
@@ -323,6 +439,57 @@ def self_test(args_factory):
             print(f"self-test FAIL: p{p} -> {got}, expected ~{expect}")
             failures.append(f"percentile-p{p}")
 
+    # Bucket merge: two disjoint halves must re-derive the same
+    # percentiles as the all-in-one histogram (the C++ merge oracle).
+    half_a = {"count": 50, "mean": 24.5, "min": 0, "max": 49,
+              "buckets": [[i, 1] for i in range(50)]}
+    half_b = {"count": 50, "mean": 74.5, "min": 50, "max": 99,
+              "buckets": [[i, 1] for i in range(50, 100)]}
+    merged = merge_op_stats([half_a, half_b])
+    ok = (merged["count"] == 100 and merged["min"] == 0
+          and merged["max"] == 99
+          and abs(merged["mean"] - 49.5) < 1e-9)
+    for p in (1, 50, 100):
+        if percentile_from_buckets(merged, 5, p) != \
+                percentile_from_buckets(op, 5, p):
+            ok = False
+    # Overlapping buckets must add counts, not duplicate entries.
+    overlap = merge_op_stats([half_a, half_a])
+    if overlap["count"] != 100 or overlap["buckets"] != \
+            [(i, 2) for i in range(50)]:
+        ok = False
+    print(f"self-test {'pass' if ok else 'FAIL'}: bucket merge matches "
+          f"the all-in-one oracle")
+    if not ok:
+        failures.append("bucket-merge")
+
+    # Whole-sweep comparison: per-record percentiles are identical (and
+    # clean), but the merged distribution shifted an octave — only
+    # --sweep sees it.
+    def _sweep_report(bucket_index):
+        records = []
+        for threads in (1, 2):
+            rec_op = {"count": 100, "mean": 50.0, "min": 1, "p50": 1,
+                      "p90": 1, "p99": 1, "p999": 1, "max": 40000,
+                      "buckets": [[bucket_index, 100]]}
+            records.append({
+                "structure": "klsm", "pin": "none", "threads": threads,
+                "latency": {"unit": "ns", "sample_stride": 4,
+                            "sub_bucket_bits": 5,
+                            "insert": dict(rec_op),
+                            "delete_min": dict(rec_op)}})
+        return {"benchmark": "throughput", "records": records}
+
+    sweep_args = args_factory(["--sweep"])
+    sweep_base = _sweep_report(10)     # ~10ns bucket
+    sweep_slow = _sweep_report(200)    # ~1.3us bucket
+    check("sweep self-comparison is clean",
+          compare_reports(sweep_base, sweep_base, sweep_args), False)
+    check("sweep-merged octave shift regresses",
+          compare_reports(sweep_base, sweep_slow, sweep_args), True)
+    check("without --sweep the same shift passes record checks",
+          compare_reports(sweep_base, sweep_slow, args), False)
+
     if failures:
         print(f"self-test: {len(failures)} failure(s)")
         return 1
@@ -353,6 +520,10 @@ def build_parser():
     parser.add_argument("--recompute", action="store_true",
                         help="re-derive percentiles from the raw buckets "
                              "instead of trusting the precomputed fields")
+    parser.add_argument("--sweep", action="store_true",
+                        help="additionally bucket-merge all matched "
+                             "records per (benchmark, structure) and "
+                             "compare whole-sweep percentiles")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but always exit 0")
     parser.add_argument("--verbose", action="store_true",

@@ -33,8 +33,45 @@ report = json.load(open(sys.argv[1]))
 for record in report["records"]:
     lat = record["latency"]
     for op in ("insert", "delete_min"):
-        for field in ("count", "p50", "p99", "max", "buckets"):
+        for field in ("count", "p50", "p99", "max", "dropped_intervals",
+                      "buckets"):
             assert field in lat[op], f"latency.{op}.{field} missing"
+EOF
+}
+
+# Adaptive runs must carry the full `adaptation` schema on every
+# dynamic-k record (README "Adaptive relaxation"): a well-formed
+# k_trajectory inside [k_min, k_max] with monotone ticks, the
+# contention telemetry block, and per-shard decision logs.
+check_adaptation() {
+    command -v python3 > /dev/null || return 0
+    python3 - "$1" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["adaptive"] is True, "adaptive meta flag missing"
+checked = 0
+for record in report["records"]:
+    if record["structure"] not in ("klsm", "numa_klsm"):
+        continue
+    a = record["adaptation"]
+    for field in ("k_min", "k_max", "ticks", "shards", "k_initial",
+                  "k_final", "k_max_seen", "k_trajectory", "contention",
+                  "shard_decisions"):
+        assert field in a, f"adaptation.{field} missing"
+    traj = a["k_trajectory"]
+    assert traj and traj[0][0] == 0, "trajectory must start at tick 0"
+    last_tick = -1
+    for tick, k in traj:
+        assert tick > last_tick, "trajectory ticks must be monotone"
+        assert a["k_min"] <= k <= a["k_max"], f"k {k} outside bounds"
+        last_tick = tick
+    assert a["k_max_seen"] == max(k for _, k in traj)
+    for field in ("publishes", "publish_retries", "fail_rate_ewma",
+                  "shared_hits", "local_hits", "spies"):
+        assert field in a["contention"], f"contention.{field} missing"
+    assert len(a["shard_decisions"]) == a["shards"]
+    checked += 1
+assert checked, "no adaptation objects found in an adaptive report"
 EOF
 }
 
@@ -77,6 +114,34 @@ json="$REPORT_DIR/pin-sweep.json"
 check_json "$json"
 check_latency "$json"
 echo "smoke OK: pin sweep"
+
+echo "== adaptive relaxation: one sweep per workload =="
+# Adaptive k (src/adapt/): the controller must run green on every
+# workload and emit schema-complete k_trajectory + contention objects.
+for w in throughput quality sssp; do
+    json="$REPORT_DIR/adaptive-$w.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload "$w" \
+        --structure klsm,numa_klsm --threads 2 --adaptive \
+        --k-min 16 --k-max 4096 --json-out "$json" > /dev/null
+    check_json "$json"
+    check_adaptation "$json"
+    echo "smoke OK: adaptive $w"
+done
+# The acceptance shape (--benchmark alias included): adaptive vs the
+# same structure fixed, diffed advisorily as a whole sweep.
+json="$REPORT_DIR/adaptive-accept.json"
+"$BUILD_DIR/bench/klsm_bench" --benchmark throughput \
+    --structure klsm,numa_klsm --adaptive --k-min 16 --k-max 4096 \
+    --threads 1,2 --smoke --json-out "$json" > /dev/null
+check_json "$json"
+check_adaptation "$json"
+check_latency "$json"
+if command -v python3 > /dev/null; then
+    python3 "$(dirname "$0")/compare_bench.py" \
+        "$REPORT_DIR/klsm-throughput.json" "$json" \
+        --warn-only --sweep > /dev/null
+fi
+echo "smoke OK: adaptive acceptance sweep"
 
 echo "== pinned sweeps: compact + scatter across every workload =="
 # ROADMAP's pinned-CI item: keep the placement paths exercised on every

@@ -1,0 +1,253 @@
+#pragma once
+
+// Adaptive-relaxation runtime: binds contention monitors and k
+// controllers to a live queue, one control loop per shard.
+//
+// The pieces compose as
+//
+//     queue hot paths --count()--> contention_monitor   (per shard)
+//     ticker --sample_window()--> k_controller.tick()   (per shard)
+//            --set_relaxation()--> queue/shard
+//
+// A `queue_adaptor` owns the monitors and controllers, attaches them
+// in its constructor, and detaches on destruction, so the queue never
+// outlives dangling telemetry pointers as long as the adaptor is
+// destroyed first (harness scope guarantees this: the adaptor lives on
+// the benchmark's stack around the run).
+//
+// Plain k_lsm gets one loop; numa_klsm gets one loop per NUMA shard,
+// so a hot node can run with a large k while an idle node keeps its
+// quality headroom — the per-shard policy ROADMAP's "Adaptive k" item
+// asks for.  tick() is driven by a single ticker thread (the harness's
+// on_adapt_tick hook); it is not thread-safe against itself.
+
+#include <cstddef>
+#include <cstdint>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adapt/contention_monitor.hpp"
+#include "adapt/k_controller.hpp"
+
+namespace klsm {
+namespace adapt {
+
+/// A queue whose relaxation can be retuned online and which accepts
+/// contention telemetry (k_lsm).
+template <typename PQ>
+concept adaptable =
+    requires(PQ &q, std::size_t k, contention_monitor *m) {
+        { q.relaxation() } -> std::convertible_to<std::size_t>;
+        { q.max_relaxation_seen() } -> std::convertible_to<std::size_t>;
+        q.set_relaxation(k);
+        q.set_monitor(m);
+    };
+
+/// A sharded queue whose shards are individually adaptable (numa_klsm).
+template <typename PQ>
+concept sharded_adaptable = requires(PQ &q, std::uint32_t s) {
+    { q.num_shards() } -> std::convertible_to<std::uint32_t>;
+    requires adaptable<std::remove_reference_t<decltype(q.shard(s))>>;
+};
+
+/// Anything the adaptor can drive.
+template <typename PQ>
+concept adaptive_capable = adaptable<PQ> || sharded_adaptable<PQ>;
+
+/// One trajectory point: the queue-wide k (max across shards) after
+/// the change at `tick` (tick 0 is the initial state).
+struct k_point {
+    std::uint64_t tick = 0;
+    std::size_t k = 0;
+};
+
+template <typename PQ>
+    requires adaptive_capable<PQ>
+class queue_adaptor {
+public:
+    /// Attaches monitors and aligns every shard's k with its
+    /// controller's (clamped) starting point.  `threads` is the
+    /// participant count T used by the rank-budget clamp.
+    queue_adaptor(PQ &q, const k_controller_config &cfg, unsigned threads,
+                  double ewma_alpha = 0.25)
+        : q_(q), threads_(threads) {
+        const std::uint32_t n = num_targets();
+        loops_.reserve(n);
+        for (std::uint32_t s = 0; s < n; ++s) {
+            auto l = std::make_unique<loop>(ewma_alpha, cfg,
+                                            target(s).relaxation());
+            target(s).set_relaxation(l->ctrl.k());
+            target(s).set_monitor(&l->monitor);
+            loops_.push_back(std::move(l));
+        }
+        trajectory_.push_back({0, current_k()});
+    }
+
+    ~queue_adaptor() {
+        for (std::uint32_t s = 0; s < num_targets(); ++s)
+            target(s).set_monitor(nullptr);
+    }
+
+    queue_adaptor(const queue_adaptor &) = delete;
+    queue_adaptor &operator=(const queue_adaptor &) = delete;
+
+    /// Bound on recorded trajectory points, mirroring the controller's
+    /// decision-log cap: a controller legally flip-flopping at the
+    /// cooldown rate must not grow memory (or the JSON report) without
+    /// limit on a long run.  The initial point is always kept.
+    static constexpr std::size_t max_trajectory_points = 4096;
+
+    /// One control round over every shard: sample its window, run its
+    /// controller, apply a changed k.  Ticker-thread only.
+    void tick() {
+        ++ticks_;
+        bool changed = false;
+        for (std::uint32_t s = 0; s < num_targets(); ++s) {
+            loop &l = *loops_[s];
+            const contention_window w = l.monitor.sample_window();
+            const std::size_t old_k = l.ctrl.k();
+            const std::size_t new_k = l.ctrl.tick(w, threads_);
+            if (new_k != old_k) {
+                target(s).set_relaxation(new_k);
+                changed = true;
+            }
+        }
+        if (changed) {
+            if (trajectory_.size() >= max_trajectory_points)
+                trajectory_.erase(trajectory_.begin() + 1);
+            trajectory_.push_back({ticks_, current_k()});
+        }
+    }
+
+    std::uint64_t ticks() const { return ticks_; }
+    std::uint32_t shards() const {
+        return static_cast<std::uint32_t>(loops_.size());
+    }
+    const k_controller &controller(std::uint32_t s) const {
+        return loops_[s]->ctrl;
+    }
+
+    /// Queue-wide current k (max across shards).
+    std::size_t current_k() const {
+        std::size_t k = 0;
+        for (const auto &l : loops_)
+            if (l->ctrl.k() > k)
+                k = l->ctrl.k();
+        return k;
+    }
+
+    /// Largest k any shard ever ran with — what rank-error bounds must
+    /// be computed from after the run.
+    std::size_t max_k_seen() const {
+        std::size_t k = 0;
+        for (const auto &l : loops_)
+            if (l->ctrl.max_k_seen() > k)
+                k = l->ctrl.max_k_seen();
+        return k;
+    }
+
+    const std::vector<k_point> &trajectory() const { return trajectory_; }
+
+    /// The `adaptation` JSON object klsm_bench embeds per record:
+    /// config, the queue-wide k trajectory, aggregate contention
+    /// telemetry, and per-shard decision logs.
+    std::string json() const {
+        std::ostringstream os;
+        os << std::setprecision(6);
+        const k_controller_config &cfg = loops_[0]->ctrl.config();
+        os << "{\"k_min\":" << cfg.k_min << ",\"k_max\":" << cfg.k_max;
+        if (cfg.rank_budget)
+            os << ",\"rank_budget\":" << cfg.rank_budget;
+        os << ",\"ticks\":" << ticks_ << ",\"shards\":" << loops_.size()
+           << ",\"k_initial\":" << trajectory_.front().k
+           << ",\"k_final\":" << current_k()
+           << ",\"k_max_seen\":" << max_k_seen();
+        os << ",\"k_trajectory\":[";
+        for (std::size_t i = 0; i < trajectory_.size(); ++i)
+            os << (i ? "," : "") << "[" << trajectory_[i].tick << ","
+               << trajectory_[i].k << "]";
+        os << "]";
+
+        // Aggregate contention: counter sums across shards; for the
+        // EWMAs the hottest shard is the binding signal, so report the
+        // max.
+        contention_window sum;
+        for (const auto &l : loops_) {
+            const contention_window t = l->monitor.totals();
+            sum.publishes += t.publishes;
+            sum.publish_retries += t.publish_retries;
+            sum.shared_hits += t.shared_hits;
+            sum.local_hits += t.local_hits;
+            sum.spies += t.spies;
+            if (t.fail_rate_ewma > sum.fail_rate_ewma)
+                sum.fail_rate_ewma = t.fail_rate_ewma;
+            if (t.shared_fraction_ewma > sum.shared_fraction_ewma)
+                sum.shared_fraction_ewma = t.shared_fraction_ewma;
+        }
+        os << ",\"contention\":{\"publishes\":" << sum.publishes
+           << ",\"publish_retries\":" << sum.publish_retries
+           << ",\"fail_rate\":" << sum.fail_rate()
+           << ",\"fail_rate_ewma\":" << sum.fail_rate_ewma
+           << ",\"shared_hits\":" << sum.shared_hits
+           << ",\"local_hits\":" << sum.local_hits
+           << ",\"shared_fraction_ewma\":" << sum.shared_fraction_ewma
+           << ",\"spies\":" << sum.spies << "}";
+
+        os << ",\"shard_decisions\":[";
+        for (std::size_t s = 0; s < loops_.size(); ++s) {
+            os << (s ? "," : "") << "{\"shard\":" << s << ",\"k_final\":"
+               << loops_[s]->ctrl.k() << ",\"k_max_seen\":"
+               << loops_[s]->ctrl.max_k_seen() << ",\"decisions\":[";
+            const auto &log = loops_[s]->ctrl.log();
+            for (std::size_t i = 0; i < log.size(); ++i) {
+                const k_decision &d = log[i];
+                os << (i ? "," : "") << "{\"tick\":" << d.tick
+                   << ",\"from\":" << d.old_k << ",\"to\":" << d.new_k
+                   << ",\"reason\":\"" << d.reason
+                   << "\",\"fail_rate_ewma\":" << d.fail_rate_ewma
+                   << ",\"shared_fraction_ewma\":"
+                   << d.shared_fraction_ewma << "}";
+            }
+            os << "]}";
+        }
+        os << "]}";
+        return os.str();
+    }
+
+private:
+    struct loop {
+        contention_monitor monitor;
+        k_controller ctrl;
+        loop(double alpha, const k_controller_config &cfg,
+             std::size_t initial_k)
+            : monitor(alpha), ctrl(cfg, initial_k) {}
+    };
+
+    std::uint32_t num_targets() const {
+        if constexpr (sharded_adaptable<PQ>)
+            return q_.num_shards();
+        else
+            return 1;
+    }
+
+    auto &target(std::uint32_t s) {
+        if constexpr (sharded_adaptable<PQ>)
+            return q_.shard(s);
+        else
+            return q_;
+    }
+
+    PQ &q_;
+    const unsigned threads_;
+    std::uint64_t ticks_ = 0;
+    // unique_ptr: monitors are address-stable while attached.
+    std::vector<std::unique_ptr<loop>> loops_;
+    std::vector<k_point> trajectory_;
+};
+
+} // namespace adapt
+} // namespace klsm

@@ -1,0 +1,189 @@
+#pragma once
+
+// Online per-shard controller for the k-LSM relaxation parameter.
+//
+// The paper fixes k at construction, but its own evaluation (and the
+// follow-up "Benchmarking Concurrent Priority Queues", arXiv:1603.05047)
+// shows the best k varies by orders of magnitude with thread count and
+// workload; "Engineering MultiQueues" (arXiv:2504.11652) makes the case
+// that online tuning of the quality/throughput knob is what makes
+// relaxed queues practical without per-machine calibration.
+//
+// Control law (documented in README "Adaptive relaxation"):
+//
+//   * GROW  k <- min(2k, k_max)  when the EWMA failed-publish-CAS rate
+//     crosses `grow_fail_rate` — the shared serialization point is the
+//     bottleneck, so buy throughput with relaxation;
+//   * SHRINK k <- max(k/2, k_min) when the EWMA falls below
+//     `shrink_fail_rate` — contention has subsided, so give quality
+//     headroom back;
+//   * BUDGET k is additionally clamped so the configured rank budget
+//     rho = T*k + k keeps headroom: k <= rank_budget / (T + 1).  The
+//     budget clamp overrides growth and forces shrinks.
+//
+// Hysteresis comes from two sources: the dead band between the two
+// thresholds (no decision fires inside it), and `cooldown_ticks`
+// between consecutive changes so one noisy window cannot make the
+// controller oscillate.  The walk is the classic AIMD shape adapted to
+// a parameter whose useful range spans orders of magnitude: both steps
+// are multiplicative so [16, 4096] is walked in 8 decisions.
+//
+// Every change is appended to a bounded decision log — the raw material
+// for the `k_trajectory` JSON object klsm_bench emits per record, and
+// for offline analysis of the control behavior.
+//
+// The controller is driven by one ticker thread and is not itself
+// thread-safe; the queue side (set_relaxation) is, so applying the
+// returned k concurrently with queue operations is always safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "adapt/contention_monitor.hpp"
+
+namespace klsm {
+namespace adapt {
+
+struct k_controller_config {
+    std::size_t k_min = 16;
+    std::size_t k_max = 4096;
+    /// Grow when the EWMA failed-publish-CAS rate reaches this.
+    double grow_fail_rate = 0.05;
+    /// Shrink when it falls below this (the gap is the dead band).
+    double shrink_fail_rate = 0.01;
+    /// Minimum ticks between two consecutive k changes.
+    unsigned cooldown_ticks = 2;
+    /// Rank budget rho = T*k + k the controller must keep k inside;
+    /// 0 disables the clamp.
+    std::uint64_t rank_budget = 0;
+};
+
+/// One recorded control decision (only changes are logged; `tick` is
+/// the tick count at which the new k took effect).
+struct k_decision {
+    std::uint64_t tick = 0;
+    double fail_rate_ewma = 0.0;
+    double shared_fraction_ewma = 0.0;
+    std::size_t old_k = 0;
+    std::size_t new_k = 0;
+    /// "grow" | "shrink" | "budget" (static strings, never owned).
+    const char *reason = "";
+};
+
+class k_controller {
+public:
+    /// The log is bounded so a long adaptive run cannot grow without
+    /// limit; beyond this, oldest entries are dropped (the trajectory
+    /// keeps its initial point separately).
+    static constexpr std::size_t max_log_entries = 4096;
+
+    k_controller(const k_controller_config &cfg, std::size_t initial_k)
+        : cfg_(sanitize(cfg)),
+          k_(clamp(initial_k, cfg_.k_min, cfg_.k_max)), max_k_seen_(k_) {}
+
+    std::size_t k() const { return k_; }
+    std::size_t max_k_seen() const { return max_k_seen_; }
+    std::uint64_t ticks() const { return ticks_; }
+    const k_controller_config &config() const { return cfg_; }
+    const std::vector<k_decision> &log() const { return log_; }
+
+    /// One control decision from the newest window; `threads` is the
+    /// current participant count T for the rank-budget clamp.  Returns
+    /// the (possibly unchanged) target k; the caller applies it to the
+    /// queue via set_relaxation.
+    std::size_t tick(const contention_window &w, unsigned threads) {
+        ++ticks_;
+
+        // The budget clamp is not subject to hysteresis: a violated
+        // budget must be corrected now, not after a cooldown.
+        const std::size_t budget_cap = budget_limit(threads);
+        if (k_ > budget_cap) {
+            change(largest_step_within(budget_cap), w, "budget");
+            return k_;
+        }
+        if (ticks_ - last_change_tick_ < cfg_.cooldown_ticks &&
+            last_change_tick_ != 0)
+            return k_;
+        if (w.idle())
+            return k_;
+
+        if (w.fail_rate_ewma >= cfg_.grow_fail_rate) {
+            // budget_cap is already clamped to k_max.
+            const std::size_t target =
+                clamp(k_ * 2, cfg_.k_min, budget_cap);
+            if (target > k_)
+                change(target, w, "grow");
+        } else if (w.fail_rate_ewma < cfg_.shrink_fail_rate) {
+            const std::size_t target = clamp(k_ / 2, cfg_.k_min, cfg_.k_max);
+            if (target < k_)
+                change(target, w, "shrink");
+        }
+        // Inside the dead band: hold k (hysteresis).
+        return k_;
+    }
+
+private:
+    static std::size_t clamp(std::size_t v, std::size_t lo,
+                             std::size_t hi) {
+        return v < lo ? lo : (v > hi ? hi : v);
+    }
+
+    static k_controller_config sanitize(k_controller_config cfg) {
+        if (cfg.k_min == 0)
+            cfg.k_min = 1; // k == 0 degenerates to the shared LSM alone
+        if (cfg.k_max < cfg.k_min)
+            cfg.k_max = cfg.k_min;
+        if (cfg.shrink_fail_rate > cfg.grow_fail_rate)
+            cfg.shrink_fail_rate = cfg.grow_fail_rate;
+        return cfg;
+    }
+
+    /// Largest k allowed by the rank budget for T = `threads`
+    /// participants: T*k + k <= rank_budget.  k_min wins over the
+    /// budget — the structure needs some relaxation to function, and a
+    /// budget below T*k_min is a configuration contradiction resolved
+    /// in favor of the structural floor.
+    std::size_t budget_limit(unsigned threads) const {
+        if (cfg_.rank_budget == 0)
+            return cfg_.k_max;
+        const std::uint64_t per_k =
+            static_cast<std::uint64_t>(threads) + 1;
+        const std::size_t cap =
+            static_cast<std::size_t>(cfg_.rank_budget / per_k);
+        return clamp(cap, cfg_.k_min, cfg_.k_max);
+    }
+
+    /// Walk toward `cap` multiplicatively (halving), so a budget
+    /// correction follows the same step shape as regular shrinks.
+    std::size_t largest_step_within(std::size_t cap) const {
+        std::size_t k = k_;
+        while (k / 2 >= cfg_.k_min && k > cap)
+            k /= 2;
+        return clamp(k, cfg_.k_min, cap > cfg_.k_min ? cap : cfg_.k_min);
+    }
+
+    void change(std::size_t new_k, const contention_window &w,
+                const char *reason) {
+        if (new_k == k_)
+            return;
+        if (log_.size() >= max_log_entries)
+            log_.erase(log_.begin());
+        log_.push_back({ticks_, w.fail_rate_ewma, w.shared_fraction_ewma,
+                        k_, new_k, reason});
+        k_ = new_k;
+        if (k_ > max_k_seen_)
+            max_k_seen_ = k_;
+        last_change_tick_ = ticks_;
+    }
+
+    const k_controller_config cfg_;
+    std::size_t k_;
+    std::size_t max_k_seen_;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t last_change_tick_ = 0;
+    std::vector<k_decision> log_;
+};
+
+} // namespace adapt
+} // namespace klsm

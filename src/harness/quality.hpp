@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "topo/pinning.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
+#include "util/ticker.hpp"
 
 namespace klsm {
 
@@ -77,6 +79,13 @@ struct quality_params {
     /// serializing lock still changes contention, which is this
     /// harness's documented trade-off.  Must be sized for `threads`.
     stats::latency_recorder_set *latency = nullptr;
+    /// Optional adaptive-relaxation hook (src/adapt/): a ticker thread
+    /// calls it every `adapt_tick_s` seconds while the workers run.
+    /// The tick runs concurrently with the serialized queue operations
+    /// — deliberately, so adaptive runs exercise set_relaxation racing
+    /// real inserts and deletes.
+    std::function<void()> on_adapt_tick;
+    double adapt_tick_s = 0.005;
 };
 
 /// Drive `q` with a serialized 50/50 workload and measure delete-min
@@ -100,6 +109,7 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
     }
 
     std::atomic<std::uint64_t> pin_failures{0};
+    periodic_ticker ticker{params.on_adapt_tick, params.adapt_tick_s};
     std::vector<std::thread> ts;
     for (unsigned t = 0; t < params.threads; ++t) {
         ts.emplace_back([&, t] {

@@ -24,8 +24,10 @@
 // stateful predicate consulted whenever items are copied between blocks
 // (see lazy.hpp); the default never deletes.
 
+#include <atomic>
 #include <cstdint>
 
+#include "adapt/contention_monitor.hpp"
 #include "klsm/dist_lsm.hpp"
 #include "klsm/item.hpp"
 #include "klsm/lazy.hpp"
@@ -45,7 +47,7 @@ public:
     /// the rho + 1 smallest keys, rho = T*k.  k == 0 degenerates to the
     /// shared LSM alone (every insert publishes immediately).
     explicit k_lsm(std::size_t k, Lazy lazy = {})
-        : k_(k), lazy_(lazy), shared_(k) {
+        : k_(k), max_k_seen_(k), lazy_(lazy), shared_(k) {
         for (auto &d : dist_)
             d = std::make_unique<dist_lsm_local<K, V>>();
     }
@@ -53,12 +55,43 @@ public:
     k_lsm(const k_lsm &) = delete;
     k_lsm &operator=(const k_lsm &) = delete;
 
-    std::size_t relaxation() const { return k_; }
+    std::size_t relaxation() const {
+        return k_.load(std::memory_order_relaxed);
+    }
+
+    /// Change the relaxation parameter online (src/adapt/'s controller
+    /// drives this).  Safe against concurrent inserts/deletes: every
+    /// hot path reads k once, and any mix of old and new values is a
+    /// valid relaxation.  The worst-case rank bound for a run whose k
+    /// changed is rho = T * max_relaxation_seen().
+    void set_relaxation(std::size_t k) {
+        k_.store(k, std::memory_order_relaxed);
+        shared_.set_relaxation(k);
+        std::size_t cur = max_k_seen_.load(std::memory_order_relaxed);
+        while (k > cur && !max_k_seen_.compare_exchange_weak(
+                              cur, k, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
+        }
+    }
+
+    /// The largest k this queue has ever run with — what rank-error
+    /// bounds must be computed against after an adaptive run.
+    std::size_t max_relaxation_seen() const {
+        return max_k_seen_.load(std::memory_order_relaxed);
+    }
+
+    /// Attach (or detach, with nullptr) contention telemetry: publish
+    /// CAS outcomes, the shared/local delete-hit mix, and spy events
+    /// are reported to the monitor.
+    void set_monitor(adapt::contention_monitor *m) {
+        monitor_.store(m, std::memory_order_relaxed);
+        shared_.set_monitor(m);
+    }
 
     void insert(const K &key, const V &value) {
         const std::uint32_t slot = dir_.register_self();
         dist_[slot]->insert(
-            key, value, slot, k_, lazy_,
+            key, value, slot, k_.load(std::memory_order_relaxed), lazy_,
             [this](block<K, V> *b, std::uint32_t filled) {
                 shared_.insert(b, filled, lazy_);
             });
@@ -76,9 +109,12 @@ public:
                 // Listing 5: consult both components, prefer the smaller.
                 item_ref<K, V> cand = mine.find_min(lazy_);
                 item_ref<K, V> shared_cand = shared_.find_min(slot, lazy_);
+                bool from_shared = false;
                 if (!shared_cand.empty() &&
-                    (cand.empty() || shared_cand.key < cand.key))
+                    (cand.empty() || shared_cand.key < cand.key)) {
                     cand = shared_cand;
+                    from_shared = true;
+                }
                 if (cand.empty())
                     break; // both empty: try spying
                 // Read the payload before the take; CAS success certifies
@@ -87,6 +123,8 @@ public:
                 if (cand.take()) {
                     key = cand.key;
                     value = v;
+                    note(from_shared ? adapt::event::delete_hit_shared
+                                     : adapt::event::delete_hit_local);
                     return true;
                 }
                 // Someone else deleted it first; that thread made
@@ -134,25 +172,45 @@ private:
     bool spy(std::uint32_t slot) {
         // Bound the copy to k items (Section 4.2's space bound); always
         // allow at least one so spying makes progress for k == 0.
-        const std::size_t cap = k_ > 0 ? k_ : 1;
+        const std::size_t k = k_.load(std::memory_order_relaxed);
+        const std::size_t cap = k > 0 ? k : 1;
         // Random victim first (the paper's scheme), then one sweep over
         // all registered slots so a false return means every DistLSM was
         // observed empty — spurious failures stay possible but rare.
         const std::uint32_t victim = dir_.random_victim(slot);
         if (victim < max_registered_threads && victim != slot &&
-            dist_[slot]->spy_from(*dist_[victim], cap))
+            dist_[slot]->spy_from(*dist_[victim], cap)) {
+            note(adapt::event::spy);
             return true;
+        }
         const std::uint32_t n = dir_.size();
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint32_t s = dir_.at(i);
             if (s != slot && s != victim &&
-                dist_[slot]->spy_from(*dist_[s], cap))
+                dist_[slot]->spy_from(*dist_[s], cap)) {
+                note(adapt::event::spy);
                 return true;
+            }
         }
         return false;
     }
 
-    const std::size_t k_;
+    /// One predictable branch when no monitor is attached.
+    void note(adapt::event e) {
+        adapt::contention_monitor *m =
+            monitor_.load(std::memory_order_relaxed);
+        if (m)
+            m->count(e);
+    }
+
+    /// Relaxed-atomic so the adaptive-k controller can retune a live
+    /// queue; hot paths load it once per operation.
+    std::atomic<std::size_t> k_;
+    /// High-water mark of k_ (set_relaxation maintains it): the value
+    /// rank bounds are computed from after an adaptive run.
+    std::atomic<std::size_t> max_k_seen_;
+    /// Contention telemetry sink; null when no controller is attached.
+    std::atomic<adapt::contention_monitor *> monitor_{nullptr};
     Lazy lazy_;
     shared_lsm<K, V> shared_;
     std::unique_ptr<dist_lsm_local<K, V>> dist_[max_registered_threads];

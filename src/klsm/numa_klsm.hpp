@@ -12,9 +12,11 @@
 //     slot via sched_getcpu and cached; re-checked cheaply on every
 //     operation so migrated threads re-home),
 //   * try_delete_min services the local shard first and, on a randomized
-//     period (expected every `remote_poll_period` deletes), polls the
-//     best remote shard first instead, so no node's keys are starved and
-//     cross-node skew stays bounded in practice,
+//     period (expected every `remote_poll_period` deletes), polls a
+//     remote shard instead — chosen best-of-two (sample two distinct
+//     remote shards, take from the one with the smaller observed
+//     minimum), so no node's keys are starved and cross-node skew stays
+//     bounded in practice at two probes per poll,
 //   * when the local shard looks empty the delete sweeps *all* shards,
 //     preferring the shard whose observed minimum is smallest, so the
 //     queue drains globally and a false return means every shard was
@@ -79,8 +81,7 @@ public:
     explicit numa_klsm(std::size_t k,
                        const topo::topology &t = topo::topology::system(),
                        Lazy lazy = {})
-        : topo_(t), k_(k),
-          num_shards_(t.num_nodes() ? t.num_nodes() : 1) {
+        : topo_(t), num_shards_(t.num_nodes() ? t.num_nodes() : 1) {
         shards_ = std::make_unique<std::unique_ptr<k_lsm<K, V, Lazy>>[]>(
             num_shards_);
         for (std::uint32_t s = 0; s < num_shards_; ++s)
@@ -91,7 +92,36 @@ public:
     numa_klsm &operator=(const numa_klsm &) = delete;
 
     std::uint32_t num_shards() const { return num_shards_; }
-    std::size_t relaxation() const { return k_; }
+
+    /// Largest current per-shard relaxation (shards may diverge when
+    /// the adaptive controller runs one loop per shard).
+    std::size_t relaxation() const {
+        std::size_t k = 0;
+        for (std::uint32_t s = 0; s < num_shards_; ++s)
+            if (shards_[s]->relaxation() > k)
+                k = shards_[s]->relaxation();
+        return k;
+    }
+
+    /// Set every shard's relaxation.  Per-shard control goes through
+    /// shard(s).set_relaxation() instead — the adaptive runtime runs
+    /// one controller per shard (see src/adapt/).
+    void set_relaxation(std::size_t k) {
+        for (std::uint32_t s = 0; s < num_shards_; ++s)
+            shards_[s]->set_relaxation(k);
+    }
+
+    /// Largest k any shard has ever run with; the composed rank bound
+    /// after an adaptive run is nodes * (T + 1) * max_relaxation_seen()
+    /// + nodes * max_relaxation_seen() (numa_rank_error_bound with this
+    /// k).
+    std::size_t max_relaxation_seen() const {
+        std::size_t k = 0;
+        for (std::uint32_t s = 0; s < num_shards_; ++s)
+            if (shards_[s]->max_relaxation_seen() > k)
+                k = shards_[s]->max_relaxation_seen();
+        return k;
+    }
 
     /// Force the calling thread's home shard (dense node index).  Used
     /// by tests that model a multi-node machine on a single-node host,
@@ -123,10 +153,14 @@ public:
         const std::uint32_t local = home_shard();
 
         // Randomized periodic remote poll: expected once every
-        // remote_poll_period deletes, drain the globally-smallest shard
-        // instead of the local one.
+        // remote_poll_period deletes, drain a remote shard instead of
+        // the local one.  Best-of-two (power of two choices): sample
+        // two distinct remote shards and take from the one whose
+        // observed minimum is smaller — near-optimal victim choice at
+        // two probes instead of a full sweep, so the poll stays cheap
+        // as the shard count grows.
         if (thread_rng().bounded(remote_poll_period) == 0 &&
-            take_from_best(key, value))
+            poll_remote_best_of_two(local, key, value))
             return true;
 
         if (shard(local).try_delete_min(key, value))
@@ -167,6 +201,45 @@ public:
 
     /// Shard by dense node index, for white-box tests and diagnostics.
     k_lsm<K, V, Lazy> &shard(std::uint32_t s) { return *shards_[s]; }
+
+    /// The periodic remote poll (public for white-box tests): sample
+    /// two distinct remote shards uniformly, observe each one's relaxed
+    /// minimum, and delete from the shard whose minimum is smaller —
+    /// the classic power-of-two-choices victim selection, near-optimal
+    /// at two probes where the previous policy swept every shard.
+    /// Returns false when the sampled shards look empty or the take
+    /// races; the caller falls back to its local shard and, on a local
+    /// miss, to the best-of-all sweep, so a false return never loses a
+    /// key.
+    bool poll_remote_best_of_two(std::uint32_t local, K &key, V &value) {
+        if (num_shards_ < 2)
+            return false;
+        const std::uint32_t remotes = num_shards_ - 1;
+        // Dense remote index -> shard index, skipping the local shard.
+        const auto nth_remote = [&](std::uint32_t r) {
+            return r >= local ? r + 1 : r;
+        };
+        const auto ra = static_cast<std::uint32_t>(
+            thread_rng().bounded(remotes));
+        std::uint32_t chosen = nth_remote(ra);
+        K ka{};
+        V va{};
+        bool have = shards_[chosen]->try_find_min(ka, va);
+        if (remotes >= 2) {
+            auto rb = static_cast<std::uint32_t>(
+                thread_rng().bounded(remotes - 1));
+            if (rb >= ra)
+                ++rb; // distinct second sample
+            const std::uint32_t b = nth_remote(rb);
+            K kb{};
+            V vb{};
+            if (shards_[b]->try_find_min(kb, vb) && (!have || kb < ka)) {
+                chosen = b;
+                have = true;
+            }
+        }
+        return have && shards_[chosen]->try_delete_min(key, value);
+    }
 
 private:
     static constexpr std::uint32_t unknown_cpu = 0xffffffffu;
@@ -235,7 +308,6 @@ private:
     };
 
     const topo::topology &topo_;
-    const std::size_t k_;
     const std::uint32_t num_shards_;
     std::unique_ptr<std::unique_ptr<k_lsm<K, V, Lazy>>[]> shards_;
     home_entry home_[max_registered_threads];

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/contention_monitor.hpp"
 #include "klsm/block.hpp"
 #include "klsm/block_array.hpp"
 #include "klsm/block_pool.hpp"
@@ -57,7 +58,25 @@ public:
     shared_lsm(const shared_lsm &) = delete;
     shared_lsm &operator=(const shared_lsm &) = delete;
 
-    std::size_t relaxation() const { return k_; }
+    std::size_t relaxation() const {
+        return k_.load(std::memory_order_relaxed);
+    }
+
+    /// Change the relaxation parameter online (the adaptive-k control
+    /// plane, src/adapt/).  Safe against concurrent operations: k is
+    /// read once per pivot calculation, so any operation sees either
+    /// the old or the new value — both of which are valid relaxations,
+    /// and the rank bound during a run is governed by the maximum k
+    /// that was ever set (see k_lsm::max_relaxation_seen).
+    void set_relaxation(std::size_t k) {
+        k_.store(k, std::memory_order_relaxed);
+    }
+
+    /// Attach (or detach, with nullptr) a contention monitor; the
+    /// publish CAS loop reports publishes and retries to it.
+    void set_monitor(adapt::contention_monitor *m) {
+        monitor_.store(m, std::memory_order_relaxed);
+    }
 
     /// Insert the contents of `src[0, src_filled)` (a sealed block owned
     /// by the calling thread's DistLSM) as a new block (Listing 3's
@@ -105,10 +124,12 @@ public:
             }
             if (push_snapshot(ts, snap, v)) {
                 commit_created(ts);
+                note(adapt::event::shared_publish);
                 return;
             }
             rollback_created(ts);
             ts.snapshot = nullptr;
+            note(adapt::event::shared_publish_retry);
             backoff();
         }
     }
@@ -221,6 +242,14 @@ private:
     };
 
     thread_state &self() { return *threads_[thread_index()]; }
+
+    /// One predictable branch when no monitor is attached.
+    void note(adapt::event e) {
+        adapt::contention_monitor *m =
+            monitor_.load(std::memory_order_relaxed);
+        if (m)
+            m->count(e);
+    }
 
     // ---- snapshot management ----------------------------------------------
 
@@ -508,7 +537,7 @@ private:
             if (has_next[i])
                 next_key[i] = b->load_entry(cur[i] - 1).key;
         }
-        std::size_t remaining = k_ + 1;
+        std::size_t remaining = k_.load(std::memory_order_relaxed) + 1;
         while (remaining > 0) {
             std::uint32_t best = max_blocks;
             for (std::uint32_t i = 0; i < n; ++i) {
@@ -603,7 +632,11 @@ private:
         return chosen;
     }
 
-    const std::size_t k_;
+    /// Relaxed-atomic so the adaptive-k controller can retune a live
+    /// queue; hot paths read it once per operation.
+    std::atomic<std::size_t> k_;
+    /// Contention telemetry sink; null when no controller is attached.
+    std::atomic<adapt::contention_monitor *> monitor_{nullptr};
     atomic_stamped_ptr<arr> shared_;
     std::unique_ptr<thread_state> threads_[max_registered_threads];
 };

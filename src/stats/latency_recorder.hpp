@@ -14,6 +14,15 @@
 // that kind (1 = every op, 0 = recording disabled and the fast path
 // collapses to one branch).  Sampling by stride rather than by clock
 // keeps the decision allocation-free and deterministic per thread.
+//
+// Coordinated omission: stride sampling under-weights stalls, because
+// an operation stuck behind a stall suppresses the issue of the
+// operations that would have been sampled during it.  Rather than
+// synthesizing the missing samples (which would need an intended-rate
+// model the harnesses don't have), each slot keeps a cheap streaming
+// p99 estimate per op kind and counts every sample exceeding 10x that
+// estimate as a `dropped_intervals` event — so stalls are at least
+// visible in the report even though the histogram under-weights them.
 
 #include <cstdint>
 #include <vector>
@@ -40,6 +49,20 @@ inline const char *op_name(op_kind op) {
 struct alignas(cache_line_size) thread_latency_slot {
     latency_histogram hist[op_kinds];
     std::uint64_t countdown[op_kinds] = {1, 1};
+    /// Streaming p99 estimate (stochastic approximation: +99 units on
+    /// a sample above, -1 unit on one below, no move on a tie, with
+    /// unit ~ estimate/8192 — balanced when ~1% of samples land
+    /// above), used only to flag stalls — the histogram holds the
+    /// exact p99.
+    std::uint64_t p99_estimate[op_kinds] = {0, 0};
+    /// Samples exceeding stall_factor x the p99 estimate: the visible
+    /// trace of coordinated omission (see the header comment).
+    std::uint64_t dropped_intervals[op_kinds] = {0, 0};
+
+    /// A sample this many times the running p99 estimate counts as a
+    /// stall, once `stall_warmup` samples have seeded the estimate.
+    static constexpr std::uint64_t stall_factor = 10;
+    static constexpr std::uint64_t stall_warmup = 16;
 
     /// Decide whether this op should be stamped; called once per op with
     /// the set's stride.  Advances the stride phase either way.
@@ -52,7 +75,33 @@ struct alignas(cache_line_size) thread_latency_slot {
     }
 
     void record(op_kind op, std::uint64_t ns) {
-        hist[static_cast<unsigned>(op)].record(ns);
+        const unsigned i = static_cast<unsigned>(op);
+        std::uint64_t &est = p99_estimate[i];
+        if (hist[i].count() >= stall_warmup && est > 0 &&
+            ns > stall_factor * est)
+            ++dropped_intervals[i];
+        if (est == 0) {
+            est = ns > 0 ? ns : 1; // seed from the first sample
+        } else if (hist[i].count() < stall_warmup) {
+            // Warmup: move halfway toward each sample.  Outlier-robust
+            // in both directions — a one-off stall as the seed decays
+            // geometrically instead of wedging the estimate high, and
+            // a single fast sample shifts it by at most half instead
+            // of collapsing it (which would flag the ordinary bulk as
+            // phantom stalls).  The stochastic approximation refines
+            // from this median-ish start after warmup.
+            est = (est + (ns > 0 ? ns : 1)) / 2;
+        } else if (ns > est) {
+            // 99:1 up/down asymmetry in integer units so the ratio
+            // survives small estimates (a fractional down-step would
+            // round up to the up-step's size below a few us); ties
+            // move nothing, so a constant stream holds steady.
+            est += 99 * ((est >> 13) + 1);
+        } else if (ns < est) {
+            const std::uint64_t unit = (est >> 13) + 1;
+            est = est > unit ? est - unit : 1;
+        }
+        hist[i].record(ns);
     }
 };
 
@@ -80,6 +129,15 @@ public:
         for (const auto &s : slots_)
             out.merge(s.hist[static_cast<unsigned>(op)]);
         return out;
+    }
+
+    /// Total stall events for `op` across all slots (see
+    /// thread_latency_slot::dropped_intervals).
+    std::uint64_t dropped_intervals(op_kind op) const {
+        std::uint64_t total = 0;
+        for (const auto &s : slots_)
+            total += s.dropped_intervals[static_cast<unsigned>(op)];
+        return total;
     }
 
 private:

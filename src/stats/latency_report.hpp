@@ -11,9 +11,15 @@
 //     "sub_bucket_bits": 5,
 //     "insert":     { "count": ..., "mean": ..., "min": ..., "p50": ...,
 //                     "p90": ..., "p99": ..., "p999": ..., "max": ...,
+//                     "dropped_intervals": ...,
 //                     "buckets": [[index, count], ...] },
 //     "delete_min": { ... same shape ... }
 //   }
+//
+// `dropped_intervals` counts samples that exceeded 10x the recorder's
+// running p99 estimate — the coordinated-omission tell: each such stall
+// suppressed op issue, so the histogram under-weights it (see
+// latency_recorder.hpp).
 //
 // Percentiles are precomputed for at-a-glance reading; the sparse
 // `buckets` array is the ground truth — with `sub_bucket_bits` it fully
@@ -32,7 +38,8 @@ namespace klsm {
 namespace stats {
 
 /// One op's stats as a JSON object string.
-inline std::string latency_op_json(const latency_histogram &h) {
+inline std::string latency_op_json(const latency_histogram &h,
+                                   std::uint64_t dropped_intervals = 0) {
     std::ostringstream os;
     os << "{\"count\":" << h.count();
     os << ",\"mean\":" << h.mean();
@@ -42,6 +49,7 @@ inline std::string latency_op_json(const latency_histogram &h) {
     os << ",\"p99\":" << h.percentile(99);
     os << ",\"p999\":" << h.percentile(99.9);
     os << ",\"max\":" << h.max();
+    os << ",\"dropped_intervals\":" << dropped_intervals;
     os << ",\"buckets\":[";
     bool first = true;
     h.for_each_nonempty([&](std::size_t i, std::uint64_t c) {
@@ -58,8 +66,10 @@ inline std::string latency_json(const latency_recorder_set &recs) {
     os << "{\"unit\":\"ns\",\"sample_stride\":" << recs.stride()
        << ",\"sub_bucket_bits\":" << latency_histogram::sub_bits;
     for (unsigned op = 0; op < op_kinds; ++op) {
-        os << ",\"" << op_name(static_cast<op_kind>(op)) << "\":"
-           << latency_op_json(recs.merged(static_cast<op_kind>(op)));
+        const auto kind = static_cast<op_kind>(op);
+        os << ",\"" << op_name(kind) << "\":"
+           << latency_op_json(recs.merged(kind),
+                              recs.dropped_intervals(kind));
     }
     os << "}";
     return os.str();

@@ -1,0 +1,67 @@
+#pragma once
+
+// A background thread that invokes a callback on a fixed period — the
+// drive shaft of the adaptive-relaxation control loop (src/adapt/), but
+// deliberately generic: it knows nothing about queues or controllers.
+//
+// RAII: the thread starts on construction (when a callback is given)
+// and is stopped and joined by the destructor, so a harness can scope
+// the ticker to its measurement window with a local.  The wait is
+// interruptible (condition variable, not a bare sleep): destruction
+// returns promptly even with a long interval, instead of blocking a
+// sweep's teardown for up to one period per benchmark point.  An empty
+// callback constructs a no-op ticker, which keeps call sites
+// branch-free.
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace klsm {
+
+class periodic_ticker {
+public:
+    periodic_ticker() = default;
+
+    /// Start calling `fn` every `interval_s` seconds until destruction.
+    /// An empty `fn` starts nothing.
+    periodic_ticker(std::function<void()> fn, double interval_s) {
+        if (!fn)
+            return;
+        thread_ = std::thread([this, fn = std::move(fn), interval_s] {
+            std::unique_lock<std::mutex> lock(mtx_);
+            while (!cv_.wait_for(
+                lock, std::chrono::duration<double>(interval_s),
+                [this] { return stop_; })) {
+                // Timed out with stop_ still false: one tick, without
+                // holding the lock (the callback may be slow).
+                lock.unlock();
+                fn();
+                lock.lock();
+            }
+        });
+    }
+
+    periodic_ticker(const periodic_ticker &) = delete;
+    periodic_ticker &operator=(const periodic_ticker &) = delete;
+
+    ~periodic_ticker() {
+        {
+            std::lock_guard<std::mutex> g(mtx_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+private:
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace klsm

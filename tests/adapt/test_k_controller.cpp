@@ -1,0 +1,171 @@
+// k_controller: trace-driven unit tests of the control law — the
+// controller is purely functional over (window, threads), so scripted
+// contention traces exercise every decision path deterministically.
+
+#include "adapt/k_controller.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace klsm {
+namespace adapt {
+namespace {
+
+/// A non-idle window whose EWMA fail rate is scripted.
+contention_window window(double fail_rate_ewma) {
+    contention_window w;
+    w.publishes = 100;
+    w.publish_retries = 0;
+    w.shared_hits = 50;
+    w.local_hits = 50;
+    w.fail_rate_ewma = fail_rate_ewma;
+    w.shared_fraction_ewma = 0.5;
+    return w;
+}
+
+k_controller_config config(std::size_t k_min = 16,
+                           std::size_t k_max = 4096) {
+    k_controller_config cfg;
+    cfg.k_min = k_min;
+    cfg.k_max = k_max;
+    cfg.grow_fail_rate = 0.05;
+    cfg.shrink_fail_rate = 0.01;
+    cfg.cooldown_ticks = 2;
+    return cfg;
+}
+
+TEST(KController, InitialKIsClampedIntoRange) {
+    EXPECT_EQ(k_controller(config(16, 4096), 4).k(), 16u);
+    EXPECT_EQ(k_controller(config(16, 4096), 100000).k(), 4096u);
+    EXPECT_EQ(k_controller(config(16, 4096), 256).k(), 256u);
+}
+
+TEST(KController, SustainedContentionGrowsMonotonicallyToKMax) {
+    k_controller ctrl{config(), 16};
+    std::size_t prev = ctrl.k();
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t k = ctrl.tick(window(0.5), 8);
+        ASSERT_GE(k, prev) << "growth trace shrank k at tick " << i;
+        ASSERT_LE(k, 4096u);
+        prev = k;
+    }
+    EXPECT_EQ(ctrl.k(), 4096u);
+    EXPECT_EQ(ctrl.max_k_seen(), 4096u);
+    for (const k_decision &d : ctrl.log()) {
+        EXPECT_STREQ(d.reason, "grow");
+        EXPECT_EQ(d.new_k, d.old_k * 2);
+    }
+}
+
+TEST(KController, QuietTraceShrinksMonotonicallyToKMin) {
+    k_controller ctrl{config(), 4096};
+    std::size_t prev = ctrl.k();
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t k = ctrl.tick(window(0.0), 8);
+        ASSERT_LE(k, prev) << "shrink trace grew k at tick " << i;
+        prev = k;
+    }
+    EXPECT_EQ(ctrl.k(), 16u);
+    // max_k_seen never decays: the rank bound covers the whole run.
+    EXPECT_EQ(ctrl.max_k_seen(), 4096u);
+}
+
+TEST(KController, DeadBandHoldsK) {
+    k_controller ctrl{config(), 256};
+    // Between shrink (0.01) and grow (0.05): hysteresis, no decision.
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ctrl.tick(window(0.03), 8), 256u);
+    EXPECT_TRUE(ctrl.log().empty());
+}
+
+TEST(KController, CooldownLimitsChangeRate) {
+    auto cfg = config();
+    cfg.cooldown_ticks = 4;
+    k_controller ctrl{cfg, 16};
+    std::vector<std::uint64_t> change_ticks;
+    for (int i = 0; i < 20; ++i)
+        ctrl.tick(window(0.9), 8);
+    for (const k_decision &d : ctrl.log())
+        change_ticks.push_back(d.tick);
+    ASSERT_GE(change_ticks.size(), 2u);
+    for (std::size_t i = 1; i < change_ticks.size(); ++i)
+        EXPECT_GE(change_ticks[i] - change_ticks[i - 1], 4u)
+            << "two changes inside one cooldown window";
+}
+
+TEST(KController, IdleWindowsChangeNothing) {
+    k_controller ctrl{config(), 256};
+    contention_window idle; // all zero
+    idle.fail_rate_ewma = 0.9; // stale EWMA must not fire on idle
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(ctrl.tick(idle, 8), 256u);
+    EXPECT_TRUE(ctrl.log().empty());
+}
+
+TEST(KController, RankBudgetCapsGrowth) {
+    auto cfg = config();
+    // rho = T*k + k <= 1024 with T = 7 workers + 1 -> k <= 113.
+    cfg.rank_budget = 1024;
+    k_controller ctrl{cfg, 16};
+    for (int i = 0; i < 32; ++i)
+        ctrl.tick(window(0.9), 8);
+    EXPECT_LE(ctrl.k() * (8 + 1), 1024u + ctrl.k())
+        << "budget clamp violated";
+    EXPECT_LE(ctrl.k(), 113u);
+    EXPECT_GT(ctrl.k(), 16u) << "budget should still allow some growth";
+}
+
+TEST(KController, RankBudgetForcesShrinkWhenThreadsRise) {
+    auto cfg = config();
+    cfg.rank_budget = 1024;
+    k_controller ctrl{cfg, 64};
+    // With 255 participants the budget allows only k <= 4 -> k_min.
+    ctrl.tick(window(0.03), 255);
+    EXPECT_EQ(ctrl.k(), 16u); // k_min wins over an impossible budget
+    ASSERT_FALSE(ctrl.log().empty());
+    EXPECT_STREQ(ctrl.log().back().reason, "budget");
+}
+
+TEST(KController, BudgetOverridesCooldown) {
+    // A violated budget must be corrected on the very next tick, even
+    // under an extreme cooldown.
+    auto cfg = config();
+    cfg.cooldown_ticks = 100;
+    cfg.rank_budget = 2048; // T = 15 + 1 -> k <= 128
+    k_controller ctrl{cfg, 4096};
+    ctrl.tick(window(0.03), 15);
+    EXPECT_LE(ctrl.k(), 128u) << "budget correction waited for cooldown";
+}
+
+TEST(KController, SanitizesDegenerateConfig) {
+    k_controller_config cfg;
+    cfg.k_min = 0;
+    cfg.k_max = 0;
+    cfg.grow_fail_rate = 0.01;
+    cfg.shrink_fail_rate = 0.5; // inverted band
+    k_controller ctrl{cfg, 8};
+    EXPECT_EQ(ctrl.k(), 1u);
+    EXPECT_EQ(ctrl.config().k_min, 1u);
+    EXPECT_GE(ctrl.config().k_max, ctrl.config().k_min);
+    EXPECT_LE(ctrl.config().shrink_fail_rate,
+              ctrl.config().grow_fail_rate);
+}
+
+TEST(KController, DecisionLogCarriesTheWindowContext) {
+    k_controller ctrl{config(), 16};
+    ctrl.tick(window(0.8), 8);
+    ctrl.tick(window(0.8), 8);
+    ASSERT_FALSE(ctrl.log().empty());
+    const k_decision &d = ctrl.log().front();
+    EXPECT_EQ(d.old_k, 16u);
+    EXPECT_EQ(d.new_k, 32u);
+    EXPECT_DOUBLE_EQ(d.fail_rate_ewma, 0.8);
+    EXPECT_DOUBLE_EQ(d.shared_fraction_ewma, 0.5);
+    EXPECT_GE(d.tick, 1u);
+}
+
+} // namespace
+} // namespace adapt
+} // namespace klsm

@@ -236,6 +236,70 @@ TEST(NumaKlsm, HomeShardPinDoesNotSurviveSlotRecycling) {
     }
 }
 
+topo::topology four_node_topology() {
+    auto t = topo::topology::discover(
+        std::string(KLSM_TOPO_FIXTURE_DIR) + "/fake_sysfs_4node");
+    EXPECT_EQ(t.num_nodes(), 4u);
+    return t;
+}
+
+TEST(NumaKlsm, FourNodeFixtureDiscovers) {
+    const auto t = four_node_topology();
+    EXPECT_EQ(t.num_cpus(), 4u);
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    EXPECT_EQ(q.num_shards(), 4u);
+}
+
+// Best-of-two remote polling: with remote minima 10 < 20 < 30 in
+// shards 1..3 and home shard 0, every sampled pair contains a shard
+// whose observed minimum beats 30 ({1,2}->10, {1,3}->10, {2,3}->20),
+// so the poll may return 10 or 20 but never 30 — the distinguishing
+// property versus uniform-random victim choice, which returns 30 a
+// third of the time.
+TEST(NumaKlsm, BestOfTwoPollNeverTakesTheWorstRemote) {
+    const auto t = four_node_topology();
+    for (int trial = 0; trial < 200; ++trial) {
+        numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+        for (std::uint32_t s = 1; s < 4; ++s) {
+            q.set_home_shard(s);
+            q.insert(s * 10, s);
+        }
+        q.set_home_shard(0);
+        std::uint32_t k = 0, v = 0;
+        ASSERT_TRUE(q.poll_remote_best_of_two(0, k, v));
+        EXPECT_NE(k, 30u) << "poll took the worst of three remotes";
+        EXPECT_TRUE(k == 10u || k == 20u);
+    }
+}
+
+TEST(NumaKlsm, BestOfTwoPollDrainsTheSingleRemote) {
+    const auto t = two_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    q.set_home_shard(1);
+    q.insert(42, 7);
+    q.set_home_shard(0);
+    std::uint32_t k = 0, v = 0;
+    // One remote shard: best-of-two degenerates to polling it.
+    ASSERT_TRUE(q.poll_remote_best_of_two(0, k, v));
+    EXPECT_EQ(k, 42u);
+    EXPECT_EQ(v, 7u);
+    EXPECT_FALSE(q.poll_remote_best_of_two(0, k, v));
+}
+
+TEST(NumaKlsm, BestOfTwoPollIgnoresTheLocalShard) {
+    const auto t = four_node_topology();
+    numa_klsm<std::uint32_t, std::uint32_t> q{8, t};
+    q.set_home_shard(0);
+    q.insert(1, 1); // only the local shard holds anything
+    std::uint32_t k = 0, v = 0;
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(q.poll_remote_best_of_two(0, k, v))
+            << "remote poll returned the local shard's key";
+    // The ordinary delete path still reaches the local item.
+    EXPECT_TRUE(q.try_delete_min(k, v));
+    EXPECT_EQ(k, 1u);
+}
+
 TEST(NumaKlsm, ComposedBoundFormula) {
     // nodes * ((T+1)*k + k), T = worker threads (prefill counts once).
     EXPECT_EQ(numa_rank_error_bound(1, 3, 8), (4 * 8 + 8) * 1u);

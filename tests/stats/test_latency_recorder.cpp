@@ -125,6 +125,94 @@ TEST(LatencyRecorder, SampledTimingsAreNonzeroAndSane) {
     EXPECT_GT(h.mean(), 0.0);
 }
 
+TEST(LatencyRecorder, StallsCountAsDroppedIntervals) {
+    latency_recorder_set recs{1, 1};
+    auto &slot = recs.slot(0);
+    // Steady 100ns samples seed the streaming p99 estimate near 100ns.
+    for (int i = 0; i < 200; ++i)
+        slot.record(op_kind::insert, 100);
+    EXPECT_EQ(slot.dropped_intervals[0], 0u);
+    // A 100us stall is far beyond 10x the estimate: coordinated
+    // omission made visible.
+    slot.record(op_kind::insert, 100000);
+    EXPECT_EQ(slot.dropped_intervals[0], 1u);
+    EXPECT_EQ(recs.dropped_intervals(op_kind::insert), 1u);
+    EXPECT_EQ(recs.dropped_intervals(op_kind::delete_min), 0u);
+}
+
+TEST(LatencyRecorder, UniformSamplesDropNothing) {
+    latency_recorder_set recs{1, 1};
+    auto &slot = recs.slot(0);
+    xoroshiro128 rng{99};
+    // 2x jitter around 1us never crosses the 10x stall factor.
+    for (int i = 0; i < 5000; ++i)
+        slot.record(op_kind::delete_min, 1000 + rng.bounded(1000));
+    EXPECT_EQ(slot.dropped_intervals[1], 0u);
+}
+
+TEST(LatencyRecorder, StallDetectionHasWarmup) {
+    latency_recorder_set recs{1, 1};
+    auto &slot = recs.slot(0);
+    // The very first samples cannot be judged against an unseeded
+    // estimate, however wild they look.
+    slot.record(op_kind::insert, 50);
+    slot.record(op_kind::insert, 5000000);
+    EXPECT_EQ(slot.dropped_intervals[0], 0u);
+}
+
+TEST(LatencyRecorder, P99EstimateTracksTheTail) {
+    latency_recorder_set recs{1, 1};
+    auto &slot = recs.slot(0);
+    // 99% of samples at 100ns, 1% at 10us: the estimate must settle
+    // between the bulk and the tail (loose factor-of-2 band around
+    // them), not at either extreme.
+    xoroshiro128 rng{7};
+    for (int i = 0; i < 50000; ++i)
+        slot.record(op_kind::insert,
+                    rng.bounded(100) == 0 ? 10000 : 100);
+    // Loose band: above most of the bulk, at most 2x the tail.
+    EXPECT_GE(slot.p99_estimate[0], 90u);
+    EXPECT_LE(slot.p99_estimate[0], 20000u);
+}
+
+TEST(LatencyRecorder, EarlyOutlierSeedRecoversWithinWarmup) {
+    latency_recorder_set recs{1, 1};
+    auto &slot = recs.slot(0);
+    // A 5ms page-fault stall as the very first sample must not wedge
+    // the estimate so high that later genuine stalls go uncounted.
+    slot.record(op_kind::insert, 5000000);
+    for (int i = 0; i < 100; ++i)
+        slot.record(op_kind::insert, 500);
+    EXPECT_LE(slot.p99_estimate[0], 8 * 500u)
+        << "estimate stuck at the outlier seed";
+    slot.record(op_kind::insert, 50000); // a real 100x stall
+    EXPECT_EQ(slot.dropped_intervals[0], 1u);
+}
+
+TEST(LatencyRecorder, FastEarlySampleDoesNotFlagTheBulkAsStalls) {
+    latency_recorder_set recs{1, 1};
+    auto &slot = recs.slot(0);
+    // Bulk ~1ms with one anomalously fast early sample (cache hit):
+    // the estimate must not collapse and brand the ordinary bulk as
+    // phantom dropped intervals.
+    slot.record(op_kind::insert, 1000000);
+    slot.record(op_kind::insert, 10);
+    for (int i = 0; i < 500; ++i)
+        slot.record(op_kind::insert, 1000000);
+    EXPECT_EQ(slot.dropped_intervals[0], 0u);
+}
+
+TEST(LatencyRecorder, DroppedIntervalsSumAcrossSlots) {
+    latency_recorder_set recs{2, 1};
+    for (unsigned t = 0; t < 2; ++t) {
+        auto &slot = recs.slot(t);
+        for (int i = 0; i < 100; ++i)
+            slot.record(op_kind::delete_min, 200);
+        slot.record(op_kind::delete_min, 1000000);
+    }
+    EXPECT_EQ(recs.dropped_intervals(op_kind::delete_min), 2u);
+}
+
 TEST(LatencyReport, JsonShapeIsParseable) {
     latency_recorder_set recs{2, 1};
     recs.slot(0).record(op_kind::insert, 120);
@@ -138,6 +226,7 @@ TEST(LatencyReport, JsonShapeIsParseable) {
     EXPECT_NE(json.find("\"sub_bucket_bits\":5"), std::string::npos);
     EXPECT_NE(json.find("\"insert\":{\"count\":2"), std::string::npos);
     EXPECT_NE(json.find("\"delete_min\":{\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped_intervals\":0"), std::string::npos);
     EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
