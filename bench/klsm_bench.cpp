@@ -46,6 +46,8 @@
 #include "harness/throughput.hpp"
 #include "klsm/k_lsm.hpp"
 #include "klsm/numa_klsm.hpp"
+#include "mm/alloc_stats.hpp"
+#include "mm/placement.hpp"
 #include "stats/latency_recorder.hpp"
 #include "stats/latency_report.hpp"
 #include "topo/pinning.hpp"
@@ -83,23 +85,39 @@ struct bench_config {
     std::size_t k_max = 4096;
     std::uint64_t rank_budget = 0; ///< 0 = no budget clamp
     double adapt_interval_ms = 5.0;
+    /// Pool page placement (mm/placement.hpp) for the k-LSM family:
+    /// numa_klsm binds each shard's pools to that shard's node;
+    /// klsm/dlsm bind to the constructing thread's node.
+    klsm::mm::numa_alloc_policy numa_alloc =
+        klsm::mm::numa_alloc_policy::none;
+    /// Emit a `memory` telemetry object per record (README "Memory
+    /// placement").
+    bool alloc_stats = false;
     bool smoke = false;
     bool csv = false;
     /// --json-out '-': the JSON report owns stdout, tables go to stderr.
     bool json_to_stdout = false;
 };
 
+/// The placement the non-sharded k-LSM structures use: the configured
+/// policy targeted at the constructing thread's current node (the only
+/// sensible single target; numa_klsm overrides per shard).
+klsm::mm::mem_placement family_placement(klsm::mm::numa_alloc_policy p) {
+    return {p, klsm::topo::current_node(klsm::topo::topology::system())};
+}
+
 /// Construct the structure named `name` for key/value types K, V and
 /// invoke `fn(queue)`.  Returns false (after printing to stderr) for an
 /// unknown name so the caller can exit with a usage error.
 template <typename K, typename V, typename Fn>
 bool with_structure(const std::string &name, unsigned threads,
-                    std::size_t k, Fn &&fn) {
+                    std::size_t k, klsm::mm::numa_alloc_policy alloc,
+                    Fn &&fn) {
     if (name == "klsm") {
-        klsm::k_lsm<K, V> q{k};
+        klsm::k_lsm<K, V> q{k, {}, family_placement(alloc)};
         fn(q);
     } else if (name == "dlsm") {
-        klsm::dist_pq<K, V> q;
+        klsm::dist_pq<K, V> q{family_placement(alloc)};
         fn(q);
     } else if (name == "multiqueue") {
         klsm::multiqueue<K, V> q{threads, 2};
@@ -120,7 +138,8 @@ bool with_structure(const std::string &name, unsigned threads,
         klsm::hybrid_k_pq<K, V> q{k};
         fn(q);
     } else if (name == "numa_klsm") {
-        klsm::numa_klsm<K, V> q{k, klsm::topo::topology::system()};
+        klsm::numa_klsm<K, V> q{k, klsm::topo::topology::system(), {},
+                                alloc};
         fn(q);
     } else {
         std::cerr << "unknown structure: " << name
@@ -188,6 +207,21 @@ template <typename A>
 constexpr bool is_adaptor_v =
     !std::is_same_v<std::decay_t<A>, std::nullptr_t>;
 
+/// Attach the `memory` telemetry object to a record when --alloc-stats
+/// is on and the structure exposes pool telemetry (the k-LSM family).
+/// Residency is queried here, after the harness joined its workers, so
+/// the quiescent-only region walk is safe.
+template <typename PQ>
+void attach_memory(klsm::json_record &rec, PQ &q,
+                   const bench_config &cfg) {
+    if (!cfg.alloc_stats)
+        return;
+    if constexpr (requires { q.memory_stats(true); }) {
+        rec.set_raw("memory", klsm::mm::memory_json(q.memory_stats(true),
+                                                    cfg.numa_alloc));
+    }
+}
+
 int run_throughput_workload(const bench_config &cfg,
                             klsm::json_reporter &json) {
     klsm::table_reporter report({"structure", "pin", "threads", "prefill",
@@ -200,7 +234,8 @@ int run_throughput_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), [&](auto &q) {
+                    name, threads, build_k(cfg, name), cfg.numa_alloc,
+                    [&](auto &q) {
                         klsm::prefill_queue(q, cfg.prefill, cfg.seed);
                         with_adaptation(q, cfg, name, threads, [&](
                                             auto adaptor) {
@@ -243,6 +278,7 @@ int run_throughput_workload(const bench_config &cfg,
                                         klsm::stats::latency_json(recs));
                         if constexpr (is_adaptor_v<decltype(adaptor)>)
                             rec.set_raw("adaptation", adaptor->json());
+                        attach_memory(rec, q, cfg);
                         });
                     });
                 if (!ok)
@@ -266,7 +302,8 @@ int run_quality_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), [&](auto &q) {
+                    name, threads, build_k(cfg, name), cfg.numa_alloc,
+                    [&](auto &q) {
                         with_adaptation(q, cfg, name, threads, [&](
                                             auto adaptor) {
                         klsm::quality_params params;
@@ -340,6 +377,7 @@ int run_quality_workload(const bench_config &cfg,
                                         klsm::stats::latency_json(recs));
                         if constexpr (is_adaptor_v<decltype(adaptor)>)
                             rec.set_raw("adaptation", adaptor->json());
+                        attach_memory(rec, q, cfg);
                         if (has_rho) {
                             rec.set("rho", rho);
                             rec.set("rho_hard", hard);
@@ -417,6 +455,7 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
             rec.set_raw("latency", klsm::stats::latency_json(recs));
         if constexpr (is_adaptor_v<decltype(adaptor)>)
             rec.set_raw("adaptation", adaptor->json());
+        attach_memory(rec, q, cfg);
         if (mismatches) {
             std::cerr << "SSSP MISMATCH: " << name << " with " << threads
                       << " threads disagrees with Dijkstra on "
@@ -435,7 +474,8 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
                     klsm::sssp_state state{g.num_nodes()};
                     klsm::k_lsm<std::uint64_t, std::uint32_t,
                                 klsm::sssp_lazy>
-                        q{build_k(cfg, name), klsm::sssp_lazy{&state}};
+                        q{build_k(cfg, name), klsm::sssp_lazy{&state},
+                          family_placement(cfg.numa_alloc)};
                     with_adaptation(q, cfg, name, threads,
                                     [&](auto adaptor) {
                                         run_one(name, pin, cpus, threads,
@@ -446,7 +486,8 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
                 klsm::sssp_state state{g.num_nodes()};
                 const bool ok =
                     with_structure<std::uint64_t, std::uint32_t>(
-                        name, threads, build_k(cfg, name), [&](auto &q) {
+                        name, threads, build_k(cfg, name),
+                        cfg.numa_alloc, [&](auto &q) {
                             with_adaptation(
                                 q, cfg, name, threads, [&](auto adaptor) {
                                     run_one(name, pin, cpus, threads,
@@ -501,6 +542,14 @@ int main(int argc, char **argv) {
                  "(0 = unconstrained)");
     cli.add_flag("adapt-interval-ms", "5",
                  "adaptive: controller tick period in milliseconds");
+    cli.add_flag("numa-alloc", "none",
+                 "pool page placement for the k-LSM family: none | "
+                 "bind (mbind each shard's pools to its node) | "
+                 "firsttouch (pre-fault on the allocating thread)");
+    cli.add_bool_flag("alloc-stats", false,
+                      "emit a `memory` allocation-telemetry object per "
+                      "record (chunks/bytes/reuse per pool, resident-"
+                      "node histogram where move_pages is queryable)");
     cli.add_bool_flag("smoke", false,
                       "tiny parameters, all checks on: the CI smoke mode");
     cli.add_flag("json-out", "",
@@ -528,6 +577,16 @@ int main(int argc, char **argv) {
     cfg.k_max = static_cast<std::size_t>(cli.get_uint64("k-max"));
     cfg.rank_budget = cli.get_uint64("rank-budget");
     cfg.adapt_interval_ms = cli.get_double("adapt-interval-ms");
+    const auto numa_alloc =
+        klsm::mm::parse_numa_alloc_policy(cli.get("numa-alloc"));
+    if (!numa_alloc) {
+        std::cerr << "unknown --numa-alloc policy: "
+                  << cli.get("numa-alloc")
+                  << " (expected none, bind, or firsttouch)\n";
+        return 2;
+    }
+    cfg.numa_alloc = *numa_alloc;
+    cfg.alloc_stats = cli.get_bool("alloc-stats");
     cfg.smoke = cli.get_bool("smoke");
     cfg.csv = cli.get_bool("csv");
     cfg.json_to_stdout = cli.get("json-out") == "-";
@@ -593,6 +652,9 @@ int main(int argc, char **argv) {
     json.meta().set("smoke", cfg.smoke);
     json.meta().set("latency_sample", cfg.latency_sample);
     json.meta().set("adaptive", cfg.adaptive);
+    json.meta().set("numa_alloc",
+                    klsm::mm::numa_alloc_policy_name(cfg.numa_alloc));
+    json.meta().set("alloc_stats", cfg.alloc_stats);
     if (cfg.adaptive) {
         json.meta().set("k_min", cfg.k_min);
         json.meta().set("k_max", cfg.k_max);

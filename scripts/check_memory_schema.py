@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate the `memory` allocation-telemetry object in klsm_bench JSON.
+
+Schema (README "Memory placement"): when a report was produced with
+--alloc-stats, every record of a k-LSM-family structure (klsm, dlsm,
+numa_klsm) must carry
+
+    "memory": {
+      "policy": "none" | "bind" | "firsttouch",
+      "resident_queried": bool,
+      "pools": {
+        "items":         {chunks, bytes, reuse_hits, fresh_allocs,
+                          reuse_hit_rate, growth_beyond_bound,
+                          bound_chunks, prefaulted_chunks
+                          [, resident_nodes, resident_unknown_pages]},
+        "dist_blocks":   {same fields},
+        "shared_blocks": {same fields}
+      }
+    }
+
+with internally consistent values (rates in [0, 1], bound/prefaulted
+counts never exceeding chunks, resident_nodes only when queried).
+
+Usage:
+    check_memory_schema.py report.json [report2.json ...]
+    check_memory_schema.py --bench path/to/klsm_bench
+
+The --bench mode runs the ISSUE's acceptance command end to end
+(--structure numa_klsm --pin compact --smoke --alloc-stats
+--numa-alloc bind --json-out -) and validates its stdout; CTest invokes
+it so the JSON wiring is covered by `ctest -L tier1`.
+"""
+
+import json
+import subprocess
+import sys
+
+FAMILY = ("klsm", "dlsm", "numa_klsm")
+POLICIES = ("none", "bind", "firsttouch")
+COUNTER_FIELDS = ("chunks", "bytes", "reuse_hits", "fresh_allocs",
+                  "growth_beyond_bound", "bound_chunks",
+                  "prefaulted_chunks")
+
+
+def check_pool(where, pool, resident_queried):
+    for field in COUNTER_FIELDS:
+        assert field in pool, f"{where}.{field} missing"
+        value = pool[field]
+        assert isinstance(value, int) and value >= 0, \
+            f"{where}.{field} = {value!r} is not a non-negative integer"
+    rate = pool.get("reuse_hit_rate")
+    assert isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0, \
+        f"{where}.reuse_hit_rate = {rate!r} outside [0, 1]"
+    assert pool["bound_chunks"] <= pool["chunks"], \
+        f"{where}: bound_chunks exceeds chunks"
+    assert pool["prefaulted_chunks"] <= pool["chunks"], \
+        f"{where}: prefaulted_chunks exceeds chunks"
+    if pool["chunks"] > 0:
+        assert pool["bytes"] > 0, f"{where}: chunks without bytes"
+    if resident_queried:
+        assert "resident_nodes" in pool, \
+            f"{where}.resident_nodes missing despite resident_queried"
+        for entry in pool["resident_nodes"]:
+            assert (isinstance(entry, list) and len(entry) == 2
+                    and all(isinstance(x, int) and x >= 0
+                            for x in entry)), \
+                f"{where}.resident_nodes entry {entry!r} malformed"
+        assert pool.get("resident_unknown_pages", 0) >= 0
+    else:
+        assert "resident_nodes" not in pool, \
+            f"{where}: resident_nodes present without a query"
+
+
+def check_report(report, path):
+    assert report.get("alloc_stats") is True, \
+        f"{path}: alloc_stats meta flag missing or false"
+    assert report.get("numa_alloc") in POLICIES, \
+        f"{path}: numa_alloc meta = {report.get('numa_alloc')!r}"
+    checked = 0
+    for record in report.get("records", []):
+        structure = record.get("structure")
+        if structure not in FAMILY:
+            assert "memory" not in record, \
+                f"{path}: {structure} has no pools but emits memory"
+            continue
+        assert "memory" in record, \
+            f"{path}: {structure} record lacks the memory object"
+        memory = record["memory"]
+        assert memory.get("policy") == report["numa_alloc"], \
+            f"{path}: memory.policy disagrees with the meta flag"
+        resident_queried = memory.get("resident_queried")
+        assert isinstance(resident_queried, bool), \
+            f"{path}: memory.resident_queried missing"
+        pools = memory.get("pools")
+        assert isinstance(pools, dict), f"{path}: memory.pools missing"
+        for name in ("items", "dist_blocks", "shared_blocks"):
+            assert name in pools, f"{path}: memory.pools.{name} missing"
+            check_pool(f"{path}:{structure}.memory.pools.{name}",
+                       pools[name], resident_queried)
+        # The paper's four-blocks-per-level bound is structural for the
+        # DistLSM pools; the shared pools' safety valve is exempt.
+        assert pools["dist_blocks"]["growth_beyond_bound"] == 0, \
+            f"{path}: {structure} DistLSM pool grew beyond the bound"
+        checked += 1
+    assert checked, f"{path}: no k-LSM-family records with memory data"
+    return checked
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--bench":
+        cmd = [argv[1], "--structure", "numa_klsm", "--pin", "compact",
+               "--smoke", "--alloc-stats", "--numa-alloc", "bind",
+               "--json-out", "-"]
+        out = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+        checked = check_report(json.loads(out.stdout), "<bench stdout>")
+        print(f"memory schema OK: acceptance run, {checked} record(s)")
+        return 0
+    if not argv:
+        print(__doc__)
+        return 2
+    for path in argv:
+        with open(path) as f:
+            report = json.load(f)
+        checked = check_report(report, path)
+        print(f"memory schema OK: {path} ({checked} record(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

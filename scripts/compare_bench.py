@@ -177,7 +177,8 @@ def fmt_value(value, unit):
 # {"ok", "warn", "regression"}.
 
 def compare_metric(findings, key, metric, base, cand, tolerance,
-                   higher_is_worse, unit, floor=0):
+                   higher_is_worse, unit, floor=0,
+                   regression_severity="regression"):
     if base is None or cand is None:
         return
     if higher_is_worse:
@@ -186,7 +187,7 @@ def compare_metric(findings, key, metric, base, cand, tolerance,
     else:
         degraded = cand < base * (1 - tolerance)
         change = (cand - base) / base if base else 0.0
-    severity = "regression" if degraded else "ok"
+    severity = regression_severity if degraded else "ok"
     findings.append((
         severity,
         f"{fmt_key(key)} {metric}: {fmt_value(base, unit)} -> "
@@ -196,7 +197,8 @@ def compare_metric(findings, key, metric, base, cand, tolerance,
 
 
 def compare_latency(findings, key, base_lat, cand_lat, percentiles,
-                    tolerance, floor, recompute):
+                    tolerance, floor, recompute,
+                    regression_severity="regression"):
     for op in OPS:
         base_op = base_lat.get(op)
         cand_op = cand_lat.get(op)
@@ -223,7 +225,15 @@ def compare_latency(findings, key, base_lat, cand_lat, percentiles,
                 base_value = base_op.get(pct)
                 cand_value = cand_op.get(pct)
             compare_metric(findings, key, f"{op} {pct}", base_value,
-                           cand_value, tolerance, True, "ns", floor)
+                           cand_value, tolerance, True, "ns", floor,
+                           regression_severity)
+
+
+def latency_severity(args):
+    """Latency findings demote to warnings under --latency-warn-only —
+    the mode the CI baseline gate uses: throughput is enforced, but
+    latency percentiles recorded on different hardware stay advisory."""
+    return "warn" if args.latency_warn_only else "regression"
 
 
 def compare_reports(base, cand, args):
@@ -260,7 +270,8 @@ def compare_reports(base, cand, args):
         if base_lat and cand_lat:
             compare_latency(findings, key, base_lat, cand_lat,
                             args.percentile_list, args.latency_tolerance,
-                            args.latency_floor_ns, args.recompute)
+                            args.latency_floor_ns, args.recompute,
+                            latency_severity(args))
         elif base_lat and not cand_lat:
             findings.append((
                 "warn",
@@ -322,7 +333,8 @@ def compare_sweeps(findings, base_records, cand_records, args):
                 compare_metric(findings, label, f"{op} {pct}",
                                base_value, cand_value,
                                args.latency_tolerance, True, "ns",
-                               args.latency_floor_ns)
+                               args.latency_floor_ns,
+                               latency_severity(args))
 
 
 def print_findings(findings, verbose):
@@ -416,6 +428,22 @@ def self_test(args_factory):
 
     warn_args = args_factory(["--warn-only"])
     assert warn_args.warn_only
+
+    # --latency-warn-only: a 10x p99 blowup only warns, but a halved
+    # throughput in the same reports still regresses.
+    lat_warn_args = args_factory(["--latency-warn-only"])
+    lat_only = _report("throughput", ops_per_sec=1e6,
+                       latency=_latency(100, 5000, 10000))
+    findings = compare_reports(base, lat_only, lat_warn_args)
+    check("latency-warn-only demotes latency regressions",
+          findings, False)
+    if not any(s == "warn" for s, _ in findings):
+        print("self-test FAIL: latency-warn-only produced no warning")
+        failures.append("latency-warn-only-warning")
+    both = _report("throughput", ops_per_sec=0.4e6,
+                   latency=_latency(100, 5000, 10000))
+    check("latency-warn-only still enforces throughput",
+          compare_reports(base, both, lat_warn_args), True)
 
     # Bucket math round-trip against the C++ layout: every index in the
     # first few groups maps back into its own [lower, upper] range.
@@ -526,6 +554,10 @@ def build_parser():
                              "compare whole-sweep percentiles")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but always exit 0")
+    parser.add_argument("--latency-warn-only", action="store_true",
+                        help="latency percentile regressions warn "
+                             "instead of failing (throughput and sssp "
+                             "time stay enforcing)")
     parser.add_argument("--verbose", action="store_true",
                         help="also print non-regressed comparisons")
     parser.add_argument("--self-test", action="store_true",

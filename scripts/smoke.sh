@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # CI smoke stage: run every example binary, `klsm_bench --smoke` for
 # every structure x workload, and a pinning-policy pass, failing on the
-# first nonzero exit.  JSON reports are kept under $REPORT_DIR so CI can
-# upload them as workflow artifacts.
+# first nonzero exit.  JSON reports are kept under $REPORT_DIR so CI
+# can upload them as workflow artifacts.
 #
-#   scripts/smoke.sh [build-dir] [report-dir]
+#   scripts/smoke.sh [build-dir] [report-dir] [--memory-only]
 #   (defaults: build, <build-dir>/smoke-reports)
+#
+# --memory-only runs the memory-placement section instead — what the CI
+# `memory-placement` job invokes (in parallel with the smoke job), so
+# the sweep and its schema validator have exactly one definition and
+# run exactly once per pipeline.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 REPORT_DIR="${2:-$BUILD_DIR/smoke-reports}"
+MODE="${3:-full}"
 if [[ ! -x "$BUILD_DIR/bench/klsm_bench" ]]; then
     echo "error: $BUILD_DIR/bench/klsm_bench not found; build first" >&2
     exit 2
@@ -74,6 +80,63 @@ for record in report["records"]:
 assert checked, "no adaptation objects found in an adaptive report"
 EOF
 }
+
+# Allocation-telemetry schema (README "Memory placement"): every
+# k-LSM-family record of an --alloc-stats report must carry the full
+# `memory` object.  The field-level checks live in
+# scripts/check_memory_schema.py so the CTest wiring test and the CI
+# memory-placement job validate against the same definition.
+check_memory() {
+    command -v python3 > /dev/null || return 0
+    python3 "$(dirname "$0")/check_memory_schema.py" "$1" > /dev/null
+}
+
+# Memory placement: node-bound pools behind --numa-alloc, telemetry
+# behind --alloc-stats.  On a single-node runner `bind` exercises the
+# documented fallback path end to end.  Run ONLY via --memory-only (the
+# dedicated CI memory-placement job, in parallel with the smoke job) —
+# appending it to the full flow too would execute the identical sweep
+# twice per pipeline.
+memory_section() {
+    echo "== memory placement: --numa-alloc x --alloc-stats =="
+    # The CI memory-placement sweep: every structure under the bind
+    # policy; the validator checks the k-LSM family's memory objects
+    # and that the others emit none.
+    local json="$REPORT_DIR/memory-bind-all.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload throughput \
+        --structure klsm,dlsm,multiqueue,linden,spraylist,heap,centralized,hybrid,numa_klsm \
+        --threads 1,2 --alloc-stats --numa-alloc bind \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    check_memory "$json"
+    echo "smoke OK: memory bind, all structures"
+    # Every policy through the placement-aware structures.
+    for mp in none bind firsttouch; do
+        json="$REPORT_DIR/memory-$mp.json"
+        "$BUILD_DIR/bench/klsm_bench" --smoke --workload throughput \
+            --structure klsm,dlsm,numa_klsm --threads 2 \
+            --alloc-stats --numa-alloc "$mp" \
+            --json-out "$json" > /dev/null
+        check_json "$json"
+        check_memory "$json"
+        echo "smoke OK: memory policy=$mp"
+    done
+    # The acceptance shape: numa_klsm pinned compact, bind, telemetry.
+    json="$REPORT_DIR/memory-accept.json"
+    "$BUILD_DIR/bench/klsm_bench" --structure numa_klsm --pin compact \
+        --smoke --alloc-stats --numa-alloc bind \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    check_memory "$json"
+    check_latency "$json"
+    echo "smoke OK: memory acceptance shape"
+}
+
+if [[ "$MODE" == "--memory-only" ]]; then
+    memory_section
+    echo "memory placement stage passed (reports in $REPORT_DIR)"
+    exit 0
+fi
 
 echo "== examples =="
 "$BUILD_DIR/examples/quickstart" > /dev/null

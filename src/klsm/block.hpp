@@ -29,10 +29,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <memory>
 
 #include "klsm/item.hpp"
 #include "klsm/lazy.hpp"
+#include "mm/placement.hpp"
 #include "util/bits.hpp"
 #include "util/tabulation_hash.hpp"
 
@@ -55,8 +55,13 @@ public:
         std::atomic<K> key{};
     };
 
-    explicit block(std::uint32_t capacity_pow)
-        : entries_(std::make_unique<entry[]>(std::size_t{1} << capacity_pow)),
+    /// `place` governs where the entry array's pages live
+    /// (mm/placement.hpp); the default is the historical plain heap
+    /// allocation.
+    explicit block(std::uint32_t capacity_pow,
+                   const mm::mem_placement &place = {})
+        : entries_(mm::placed_array<entry>::allocate(
+              std::size_t{1} << capacity_pow, place)),
           capacity_pow_(capacity_pow), level_(capacity_pow) {}
 
     block(const block &) = delete;
@@ -302,8 +307,14 @@ public:
     block_state pool_state() const { return pool_state_; }
     void set_pool_state(block_state s) { pool_state_ = s; }
 
+    /// The entry array's backing storage, for placement telemetry
+    /// (byte footprint, how it was placed, residency-query region).
+    const mm::placed_array<entry> &entry_storage() const {
+        return entries_;
+    }
+
 private:
-    std::unique_ptr<entry[]> entries_;
+    mm::placed_array<entry> entries_;
     const std::uint32_t capacity_pow_;
     std::atomic<std::uint32_t> level_;
     std::atomic<std::uint32_t> filled_{0};

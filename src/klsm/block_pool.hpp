@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "klsm/block.hpp"
+#include "mm/alloc_stats.hpp"
+#include "mm/placement.hpp"
 
 namespace klsm {
 
@@ -43,7 +45,10 @@ public:
     static constexpr std::uint32_t max_levels = 32;
     static constexpr std::size_t blocks_per_level = 4;
 
-    block_pool() = default;
+    /// `place` governs where every block's entry pages live
+    /// (mm/placement.hpp); the default is the historical plain heap
+    /// allocation.
+    explicit block_pool(mm::mem_placement place = {}) : place_(place) {}
     block_pool(const block_pool &) = delete;
     block_pool &operator=(const block_pool &) = delete;
 
@@ -56,10 +61,12 @@ public:
                          Pred &&may_recycle) {
         assert(capacity_pow < max_levels);
         auto &bucket = buckets_[capacity_pow];
+        bool allocated = false;
         if (bucket.empty()) {
             bucket.reserve(blocks_per_level);
             for (std::size_t i = 0; i < blocks_per_level; ++i)
-                bucket.push_back(std::make_unique<block<K, V>>(capacity_pow));
+                push_new_block(bucket, capacity_pow);
+            allocated = true;
         }
         block<K, V> *found = nullptr;
         for (auto &b : bucket) {
@@ -79,10 +86,15 @@ public:
         }
         if (!found) {
             // Safety valve; see header comment.
-            bucket.push_back(std::make_unique<block<K, V>>(capacity_pow));
+            push_new_block(bucket, capacity_pow);
             found = bucket.back().get();
-            ++overflow_allocations_;
+            allocated = true;
+            stats_.count_growth();
         }
+        if (allocated)
+            stats_.count_fresh();
+        else
+            stats_.count_reuse_hit();
         found->set_pool_state(block_state::held);
         found->reuse_begin(level);
         return found;
@@ -108,7 +120,9 @@ public:
 
     /// Number of allocations beyond the paper's four-per-level bound
     /// (tests assert this stays 0 for DistLSM usage).
-    std::size_t overflow_allocations() const { return overflow_allocations_; }
+    std::size_t overflow_allocations() const {
+        return stats_.growth_beyond_bound.load(std::memory_order_relaxed);
+    }
 
     /// Total blocks currently allocated (test/diagnostic helper).
     std::size_t total_blocks() const {
@@ -118,9 +132,39 @@ public:
         return n;
     }
 
+    /// Allocation-placement telemetry (owner increments, any thread may
+    /// snapshot; see mm/alloc_stats.hpp).
+    const mm::alloc_counters &stats() const { return stats_; }
+    const mm::mem_placement &placement() const { return place_; }
+
+    /// Walk every block's page-managed entry region for the residency
+    /// query; `none`-policy blocks are skipped (their entries share
+    /// heap pages with unrelated allocations, so per-page attribution
+    /// would double count).  Quiescent-only: buckets may grow under a
+    /// concurrent acquire.
+    template <typename F>
+    void for_each_region(F &&f) const {
+        for (const auto &bucket : buckets_)
+            for (const auto &b : bucket) {
+                const auto &storage = b->entry_storage();
+                if (storage.page_managed())
+                    f(storage.region(), storage.bytes());
+            }
+    }
+
 private:
+    void push_new_block(
+        std::vector<std::unique_ptr<block<K, V>>> &bucket,
+        std::uint32_t capacity_pow) {
+        bucket.push_back(
+            std::make_unique<block<K, V>>(capacity_pow, place_));
+        const auto &storage = bucket.back()->entry_storage();
+        stats_.count_chunk(storage.bytes(), storage.how_placed());
+    }
+
     std::vector<std::unique_ptr<block<K, V>>> buckets_[max_levels];
-    std::size_t overflow_allocations_ = 0;
+    mm::mem_placement place_;
+    mm::alloc_counters stats_;
 };
 
 } // namespace klsm

@@ -34,7 +34,9 @@
 #include "klsm/block_pool.hpp"
 #include "klsm/item.hpp"
 #include "klsm/lazy.hpp"
+#include "mm/alloc_stats.hpp"
 #include "mm/item_pool.hpp"
+#include "mm/placement.hpp"
 
 namespace klsm {
 
@@ -45,7 +47,10 @@ public:
     static constexpr std::size_t unbounded =
         std::numeric_limits<std::size_t>::max();
 
-    dist_lsm_local() = default;
+    /// `place` governs where this LSM's item and block pages live
+    /// (mm/placement.hpp); numa_klsm passes each shard's node here.
+    explicit dist_lsm_local(mm::mem_placement place = {})
+        : pool_(place), items_(place) {}
     dist_lsm_local(const dist_lsm_local &) = delete;
     dist_lsm_local &operator=(const dist_lsm_local &) = delete;
 
@@ -255,13 +260,20 @@ public:
         return my_n > 0;
     }
 
-    /// Owner: conservative item count (counts logically deleted items
-    /// that have not been trimmed yet).
+    /// Conservative item count (counts logically deleted items that
+    /// have not been trimmed yet).  Callable by ANY thread, not just
+    /// the owner: k_lsm::size_hint and numa_klsm's hot-shard hint read
+    /// other threads' LSMs through it mid-run, so the loads are
+    /// acquire — they synchronize with the owner's release publication
+    /// of each block, which happens after the block's construction and
+    /// seal.  Torn values (a block being concurrently reused) only
+    /// skew the estimate, never safety: blocks are type-stable and
+    /// `filled` is atomic.
     std::size_t item_count_estimate() const {
         std::size_t total = 0;
-        const std::uint32_t n = size_.load(std::memory_order_relaxed);
+        const std::uint32_t n = size_.load(std::memory_order_acquire);
         for (std::uint32_t j = 0; j < n && j < max_levels; ++j) {
-            const block<K, V> *b = blocks_[j].load(std::memory_order_relaxed);
+            const block<K, V> *b = blocks_[j].load(std::memory_order_acquire);
             if (b != nullptr)
                 total += b->filled();
         }
@@ -273,6 +285,27 @@ public:
     }
 
     block_pool<K, V> &pool() { return pool_; }
+    item_pool<K, V> &items() { return items_; }
+    const mm::mem_placement &placement() const {
+        return pool_.placement();
+    }
+
+    /// Fold this LSM's pool telemetry into `out`; with
+    /// `query_residency`, also walk the backing regions through the
+    /// move_pages query (quiescent-only — call after workers joined).
+    void collect_memory(mm::memory_stats &out, bool query_residency) const {
+        out.items.merge(items_.stats().snapshot());
+        out.dist_blocks.merge(pool_.stats().snapshot());
+        if (query_residency) {
+            items_.for_each_region([&](const void *p, std::size_t bytes) {
+                mm::query_resident_nodes(p, bytes, out.items_resident);
+            });
+            pool_.for_each_region([&](const void *p, std::size_t bytes) {
+                mm::query_resident_nodes(p, bytes,
+                                         out.dist_blocks_resident);
+            });
+        }
+    }
 
 private:
     /// Merge `prev` (published) with `b` (held, created this operation)

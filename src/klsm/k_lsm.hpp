@@ -32,6 +32,8 @@
 #include "klsm/item.hpp"
 #include "klsm/lazy.hpp"
 #include "klsm/shared_lsm.hpp"
+#include "mm/alloc_stats.hpp"
+#include "mm/placement.hpp"
 #include "util/slot_directory.hpp"
 #include "util/thread_id.hpp"
 
@@ -46,10 +48,14 @@ public:
     /// `k` is the relaxation parameter: try_delete_min may return any of
     /// the rho + 1 smallest keys, rho = T*k.  k == 0 degenerates to the
     /// shared LSM alone (every insert publishes immediately).
-    explicit k_lsm(std::size_t k, Lazy lazy = {})
-        : k_(k), max_k_seen_(k), lazy_(lazy), shared_(k) {
+    /// `place` governs where every pool's pages live (mm/placement.hpp;
+    /// numa_klsm constructs each shard with that shard's node).
+    explicit k_lsm(std::size_t k, Lazy lazy = {},
+                   mm::mem_placement place = {})
+        : k_(k), max_k_seen_(k), lazy_(lazy), place_(place),
+          shared_(k, place) {
         for (auto &d : dist_)
-            d = std::make_unique<dist_lsm_local<K, V>>();
+            d = std::make_unique<dist_lsm_local<K, V>>(place);
     }
 
     k_lsm(const k_lsm &) = delete;
@@ -168,6 +174,25 @@ public:
         return *dist_[slot];
     }
 
+    /// The placement every pool of this queue was constructed with.
+    const mm::mem_placement &placement() const { return place_; }
+
+    /// Aggregate allocation-placement telemetry over every pool (item
+    /// pools, DistLSM block pools, shared-LSM block pools).  Counter
+    /// reads are safe any time; `query_residency` additionally walks
+    /// the backing regions through move_pages(2), which requires
+    /// quiescence (call after workers have joined).
+    mm::memory_stats memory_stats(bool query_residency = false) const {
+        mm::memory_stats out;
+        const bool query =
+            query_residency && mm::residency_query_supported();
+        for (const auto &d : dist_)
+            d->collect_memory(out, query);
+        shared_.collect_memory(out, query);
+        out.resident_queried = query;
+        return out;
+    }
+
 private:
     bool spy(std::uint32_t slot) {
         // Bound the copy to k items (Section 4.2's space bound); always
@@ -212,6 +237,7 @@ private:
     /// Contention telemetry sink; null when no controller is attached.
     std::atomic<adapt::contention_monitor *> monitor_{nullptr};
     Lazy lazy_;
+    mm::mem_placement place_;
     shared_lsm<K, V> shared_;
     std::unique_ptr<dist_lsm_local<K, V>> dist_[max_registered_threads];
     slot_directory dir_;
@@ -226,9 +252,9 @@ public:
     using key_type = K;
     using value_type = V;
 
-    dist_pq() {
+    explicit dist_pq(mm::mem_placement place = {}) : place_(place) {
         for (auto &d : dist_)
-            d = std::make_unique<dist_lsm_local<K, V>>();
+            d = std::make_unique<dist_lsm_local<K, V>>(place);
     }
 
     dist_pq(const dist_pq &) = delete;
@@ -268,6 +294,19 @@ public:
         return total;
     }
 
+    const mm::mem_placement &placement() const { return place_; }
+
+    /// Aggregate pool telemetry; see k_lsm::memory_stats.
+    mm::memory_stats memory_stats(bool query_residency = false) const {
+        mm::memory_stats out;
+        const bool query =
+            query_residency && mm::residency_query_supported();
+        for (const auto &d : dist_)
+            d->collect_memory(out, query);
+        out.resident_queried = query;
+        return out;
+    }
+
 private:
     bool spy(std::uint32_t slot) {
         const std::uint32_t victim = dir_.random_victim(slot);
@@ -286,6 +325,7 @@ private:
         return false;
     }
 
+    mm::mem_placement place_;
     std::unique_ptr<dist_lsm_local<K, V>> dist_[max_registered_threads];
     slot_directory dir_;
 };

@@ -13,10 +13,11 @@
 //     operation so migrated threads re-home),
 //   * try_delete_min services the local shard first and, on a randomized
 //     period (expected every `remote_poll_period` deletes), polls a
-//     remote shard instead — chosen best-of-two (sample two distinct
-//     remote shards, take from the one with the smaller observed
-//     minimum), so no node's keys are starved and cross-node skew stays
-//     bounded in practice at two probes per poll,
+//     remote shard instead — chosen best-of-two over the fullest-shard
+//     hint plus one distinct random remote (probe both, take from the
+//     one with the smaller observed minimum), so no node's keys are
+//     starved and cross-node skew stays bounded in practice at two
+//     probes per poll,
 //   * when the local shard looks empty the delete sweeps *all* shards,
 //     preferring the shard whose observed minimum is smallest, so the
 //     queue drains globally and a false return means every shard was
@@ -50,6 +51,8 @@
 #include <memory>
 
 #include "klsm/k_lsm.hpp"
+#include "mm/alloc_stats.hpp"
+#include "mm/placement.hpp"
 #include "topo/pinning.hpp"
 #include "topo/topology.hpp"
 #include "util/align.hpp"
@@ -75,17 +78,31 @@ public:
 
     /// Expected number of local deletes between two remote polls.
     static constexpr std::uint32_t remote_poll_period = 32;
+    /// A thread refreshes the hot-shard hint every this many of its own
+    /// inserts (see hot_shard_hint below).
+    static constexpr std::uint32_t hint_update_period = 64;
 
     /// One shard per NUMA node of `t`; `k` is the per-shard relaxation.
-    /// The topology reference must outlive the queue.
-    explicit numa_klsm(std::size_t k,
-                       const topo::topology &t = topo::topology::system(),
-                       Lazy lazy = {})
-        : topo_(t), num_shards_(t.num_nodes() ? t.num_nodes() : 1) {
+    /// The topology reference must outlive the queue.  `alloc` is the
+    /// page-placement policy for every shard's pools: under `bind` (or
+    /// `firsttouch`) shard s's item and block pages target the NUMA
+    /// node shard s serves, so a shard's blocks never live on a remote
+    /// node's memory (ROADMAP "Per-node block pools").
+    explicit numa_klsm(
+        std::size_t k, const topo::topology &t = topo::topology::system(),
+        Lazy lazy = {},
+        mm::numa_alloc_policy alloc = mm::numa_alloc_policy::none)
+        : topo_(t), num_shards_(t.num_nodes() ? t.num_nodes() : 1),
+          alloc_policy_(alloc) {
         shards_ = std::make_unique<std::unique_ptr<k_lsm<K, V, Lazy>>[]>(
             num_shards_);
-        for (std::uint32_t s = 0; s < num_shards_; ++s)
-            shards_[s] = std::make_unique<k_lsm<K, V, Lazy>>(k, lazy);
+        const auto &nodes = t.node_ids();
+        for (std::uint32_t s = 0; s < num_shards_; ++s) {
+            const std::uint32_t node =
+                s < nodes.size() ? nodes[s] : s;
+            shards_[s] = std::make_unique<k_lsm<K, V, Lazy>>(
+                k, lazy, mm::mem_placement{alloc, node});
+        }
     }
 
     numa_klsm(const numa_klsm &) = delete;
@@ -144,7 +161,9 @@ public:
             shards_[0]->insert(key, value);
             return;
         }
-        shard(home_shard()).insert(key, value);
+        const std::uint32_t s = home_shard();
+        shard(s).insert(key, value);
+        maybe_update_hot_hint(s);
     }
 
     bool try_delete_min(K &key, V &value) {
@@ -202,15 +221,41 @@ public:
     /// Shard by dense node index, for white-box tests and diagnostics.
     k_lsm<K, V, Lazy> &shard(std::uint32_t s) { return *shards_[s]; }
 
-    /// The periodic remote poll (public for white-box tests): sample
-    /// two distinct remote shards uniformly, observe each one's relaxed
-    /// minimum, and delete from the shard whose minimum is smaller —
-    /// the classic power-of-two-choices victim selection, near-optimal
-    /// at two probes where the previous policy swept every shard.
-    /// Returns false when the sampled shards look empty or the take
-    /// races; the caller falls back to its local shard and, on a local
-    /// miss, to the best-of-all sweep, so a false return never loses a
-    /// key.
+    /// The page-placement policy every shard's pools were built with.
+    mm::numa_alloc_policy alloc_policy() const { return alloc_policy_; }
+
+    /// Aggregate allocation-placement telemetry over every shard; see
+    /// k_lsm::memory_stats for the quiescence requirement of
+    /// `query_residency`.
+    mm::memory_stats memory_stats(bool query_residency = false) const {
+        mm::memory_stats out;
+        for (std::uint32_t s = 0; s < num_shards_; ++s)
+            out.merge(shards_[s]->memory_stats(query_residency));
+        return out;
+    }
+
+    /// The shared fullest-shard hint (white-box test accessor): a
+    /// relaxed atomic refreshed on the insert path — every
+    /// hint_update_period inserts a thread compares its home shard's
+    /// item-count estimate against the hinted shard's and publishes its
+    /// own shard when fuller.  Racy by design: any shard index is a
+    /// valid hint, and a stale one only costs poll quality, never
+    /// correctness.
+    std::uint32_t hot_shard_hint() const {
+        return hot_shard_.load(std::memory_order_relaxed);
+    }
+
+    /// The periodic remote poll (public for white-box tests): probe the
+    /// hot-shard hint (when it names a remote shard; a uniformly random
+    /// remote otherwise) plus one distinct random remote, observe each
+    /// one's relaxed minimum, and delete from the shard whose minimum
+    /// is smaller.  Hint + random replaces the earlier random + random:
+    /// the power-of-two-choices shape is kept, but the first probe is
+    /// steered at the shard most likely to hold backlog, so drain polls
+    /// stop missing the hot shard as the shard count grows.  Returns
+    /// false when the sampled shards look empty or the take races; the
+    /// caller falls back to its local shard and, on a local miss, to
+    /// the best-of-all sweep, so a false return never loses a key.
     bool poll_remote_best_of_two(std::uint32_t local, K &key, V &value) {
         if (num_shards_ < 2)
             return false;
@@ -219,8 +264,14 @@ public:
         const auto nth_remote = [&](std::uint32_t r) {
             return r >= local ? r + 1 : r;
         };
-        const auto ra = static_cast<std::uint32_t>(
-            thread_rng().bounded(remotes));
+        const std::uint32_t hint =
+            hot_shard_.load(std::memory_order_relaxed);
+        std::uint32_t ra; // dense remote index of the first probe
+        if (hint < num_shards_ && hint != local)
+            ra = hint > local ? hint - 1 : hint;
+        else
+            ra = static_cast<std::uint32_t>(
+                thread_rng().bounded(remotes));
         std::uint32_t chosen = nth_remote(ra);
         K ka{};
         V va{};
@@ -270,6 +321,25 @@ private:
         return h.shard;
     }
 
+    /// Every hint_update_period of this thread's inserts, publish its
+    /// home shard as the hot-shard hint if it looks fuller than the
+    /// currently hinted shard.  The tick lives in the thread's own
+    /// home_entry (no shared state on the common path); the comparison
+    /// uses size_hint, which is O(registered threads) — amortized to
+    /// noise by the period.
+    void maybe_update_hot_hint(std::uint32_t s) {
+        home_entry &h = home_[thread_index()];
+        if (++h.insert_tick < hint_update_period)
+            return;
+        h.insert_tick = 0;
+        const std::uint32_t cur = hot_shard_.load(std::memory_order_relaxed);
+        if (cur == s)
+            return;
+        if (cur >= num_shards_ ||
+            shards_[s]->size_hint() > shards_[cur]->size_hint())
+            hot_shard_.store(s, std::memory_order_relaxed);
+    }
+
     /// Probe every shard's relaxed minimum and delete from the best one;
     /// falls back to any non-empty shard if the chosen take races.
     bool take_from_best(K &key, V &value) {
@@ -305,11 +375,22 @@ private:
         /// thread_generation() of the slot holder that wrote this entry;
         /// 0 (never a real generation) marks a fresh entry.
         std::uint32_t generation = 0;
+        /// Owner-only insert counter driving the hot-shard hint cadence.
+        /// Survives slot recycling uncorrected — that only shifts the
+        /// next refresh, never routing.
+        std::uint32_t insert_tick = 0;
     };
 
     const topo::topology &topo_;
     const std::uint32_t num_shards_;
+    const mm::numa_alloc_policy alloc_policy_;
     std::unique_ptr<std::unique_ptr<k_lsm<K, V, Lazy>>[]> shards_;
+    /// Fullest-shard hint for the remote poll; see hot_shard_hint().
+    /// On its own cache line: hint stores would otherwise invalidate
+    /// the line holding the read-only members above (topo_, shards_)
+    /// that every insert/delete dereferences — reintroducing exactly
+    /// the cross-core bouncing this class exists to avoid.
+    alignas(cache_line_size) std::atomic<std::uint32_t> hot_shard_{0};
     home_entry home_[max_registered_threads];
 };
 

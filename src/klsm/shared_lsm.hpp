@@ -37,6 +37,8 @@
 #include "klsm/block_pool.hpp"
 #include "klsm/item.hpp"
 #include "klsm/lazy.hpp"
+#include "mm/alloc_stats.hpp"
+#include "mm/placement.hpp"
 #include "util/backoff.hpp"
 #include "util/rng.hpp"
 #include "util/stamped_ptr.hpp"
@@ -50,9 +52,12 @@ public:
     using arr = block_array<K, V>;
     static constexpr std::uint32_t max_blocks = arr::max_blocks;
 
-    explicit shared_lsm(std::size_t k) : k_(k) {
+    /// `place` governs where every thread's shared-pool block pages
+    /// live (mm/placement.hpp); numa_klsm passes each shard's node.
+    explicit shared_lsm(std::size_t k, mm::mem_placement place = {})
+        : k_(k) {
         for (auto &s : threads_)
-            s = std::make_unique<thread_state>();
+            s = std::make_unique<thread_state>(place);
     }
 
     shared_lsm(const shared_lsm &) = delete;
@@ -230,8 +235,24 @@ public:
         return n;
     }
 
+    /// Fold every thread's shared-pool telemetry into `out`
+    /// (quiescent-only when `query_residency` walks the regions).
+    void collect_memory(mm::memory_stats &out, bool query_residency) const {
+        for (const auto &s : threads_) {
+            out.shared_blocks.merge(s->pool.stats().snapshot());
+            if (query_residency)
+                s->pool.for_each_region(
+                    [&](const void *p, std::size_t bytes) {
+                        mm::query_resident_nodes(
+                            p, bytes, out.shared_blocks_resident);
+                    });
+        }
+    }
+
 private:
     struct thread_state {
+        explicit thread_state(mm::mem_placement place) : pool(place) {}
+
         std::unique_ptr<arr> arrays[2];
         std::vector<std::unique_ptr<arr>> extra_arrays; // safety valve
         arr *snapshot = nullptr;

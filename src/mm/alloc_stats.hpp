@@ -1,0 +1,200 @@
+#pragma once
+
+// Allocation-placement telemetry for the pool layer.
+//
+// Same shape as the src/stats/ latency recorder: every pool owns one
+// cache-line-aligned counter block that only its owning thread
+// increments (relaxed atomics, so a merge pass — or a curious test —
+// can read mid-run without a data race or a shared cache line on the
+// allocation path).  The queue aggregates all of its pools' counters
+// into one `memory_stats` snapshot after a run; klsm_bench serializes
+// that as the `memory` JSON object when --alloc-stats is on.
+//
+// What is counted, per pool family (item pools vs block pools):
+//   * chunks / bytes        — arena chunks or blocks actually allocated
+//                             from the OS, and their byte footprint;
+//   * reuse_hits            — allocations satisfied by recycling
+//                             (item-pool sweep hit, block-pool bucket
+//                             hit);
+//   * fresh_allocs          — allocations that had to create storage;
+//   * growth_beyond_bound   — block acquisitions beyond the paper's
+//                             four-blocks-per-level bound (Section 4.4).
+//                             Structural for DistLSM pools (tests assert
+//                             it stays 0 there); for shared-LSM pools
+//                             the conservative torn-scan reclamation
+//                             check may refuse a recyclable block under
+//                             churn, so the safety valve firing there is
+//                             by design and merely counted.  Always 0
+//                             for item pools (the paper bounds blocks,
+//                             not items);
+//   * bound/prefaulted_chunks — how many chunks the placement layer
+//                             actually mbind()-ed / pre-faulted, so a
+//                             silent fallback is visible in the report;
+//   * resident histograms   — where the pages ended up, from the
+//                             move_pages(2) query (quiescent-only:
+//                             regions are walked without locks, so
+//                             query after workers have joined).
+
+#include <atomic>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "mm/placement.hpp"
+#include "util/align.hpp"
+
+namespace klsm::mm {
+
+/// Plain (non-atomic) copy of one pool's counters; merges additively.
+struct pool_alloc_snapshot {
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t reuse_hits = 0;
+    std::uint64_t fresh_allocs = 0;
+    std::uint64_t growth_beyond_bound = 0;
+    std::uint64_t bound_chunks = 0;
+    std::uint64_t prefaulted_chunks = 0;
+
+    /// Fraction of allocations satisfied by recycling.
+    double reuse_hit_rate() const {
+        const std::uint64_t total = reuse_hits + fresh_allocs;
+        return total ? static_cast<double>(reuse_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    void merge(const pool_alloc_snapshot &o) {
+        chunks += o.chunks;
+        bytes += o.bytes;
+        reuse_hits += o.reuse_hits;
+        fresh_allocs += o.fresh_allocs;
+        growth_beyond_bound += o.growth_beyond_bound;
+        bound_chunks += o.bound_chunks;
+        prefaulted_chunks += o.prefaulted_chunks;
+    }
+};
+
+/// Owner-increment counter block, one per pool.  Aligned so two pools'
+/// counters never share a cache line; increments are relaxed stores by
+/// the owning thread, reads may come from any thread.
+struct alignas(cache_line_size) alloc_counters {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> reuse_hits{0};
+    std::atomic<std::uint64_t> fresh_allocs{0};
+    std::atomic<std::uint64_t> growth_beyond_bound{0};
+    std::atomic<std::uint64_t> bound_chunks{0};
+    std::atomic<std::uint64_t> prefaulted_chunks{0};
+
+    void count_chunk(std::size_t chunk_bytes, chunk_placement how) {
+        chunks.fetch_add(1, std::memory_order_relaxed);
+        bytes.fetch_add(chunk_bytes, std::memory_order_relaxed);
+        if (how.bound)
+            bound_chunks.fetch_add(1, std::memory_order_relaxed);
+        if (how.prefaulted)
+            prefaulted_chunks.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_reuse_hit() {
+        reuse_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_fresh() {
+        fresh_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_growth() {
+        growth_beyond_bound.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    pool_alloc_snapshot snapshot() const {
+        pool_alloc_snapshot s;
+        s.chunks = chunks.load(std::memory_order_relaxed);
+        s.bytes = bytes.load(std::memory_order_relaxed);
+        s.reuse_hits = reuse_hits.load(std::memory_order_relaxed);
+        s.fresh_allocs = fresh_allocs.load(std::memory_order_relaxed);
+        s.growth_beyond_bound =
+            growth_beyond_bound.load(std::memory_order_relaxed);
+        s.bound_chunks = bound_chunks.load(std::memory_order_relaxed);
+        s.prefaulted_chunks =
+            prefaulted_chunks.load(std::memory_order_relaxed);
+        return s;
+    }
+};
+
+/// One queue's aggregated memory telemetry: item pools, DistLSM block
+/// pools, and shared-LSM block pools summed separately (the paper's
+/// four-per-level bound is structural only for the DistLSM family, so
+/// lumping them together would hide which valve fired), plus — when
+/// requested and queryable — a resident-node histogram per family.
+struct memory_stats {
+    pool_alloc_snapshot items;
+    pool_alloc_snapshot dist_blocks;
+    pool_alloc_snapshot shared_blocks;
+    resident_histogram items_resident;
+    resident_histogram dist_blocks_resident;
+    resident_histogram shared_blocks_resident;
+    /// True iff the residency query was requested and the platform can
+    /// answer it; the histograms are meaningful only then.
+    bool resident_queried = false;
+
+    void merge(const memory_stats &o) {
+        items.merge(o.items);
+        dist_blocks.merge(o.dist_blocks);
+        shared_blocks.merge(o.shared_blocks);
+        items_resident.merge(o.items_resident);
+        dist_blocks_resident.merge(o.dist_blocks_resident);
+        shared_blocks_resident.merge(o.shared_blocks_resident);
+        resident_queried = resident_queried || o.resident_queried;
+    }
+};
+
+namespace detail {
+
+inline void pool_json(std::ostringstream &os, const char *name,
+                      const pool_alloc_snapshot &p,
+                      const resident_histogram &resident,
+                      bool resident_queried) {
+    os << '"' << name << "\":{"
+       << "\"chunks\":" << p.chunks << ",\"bytes\":" << p.bytes
+       << ",\"reuse_hits\":" << p.reuse_hits
+       << ",\"fresh_allocs\":" << p.fresh_allocs << ",\"reuse_hit_rate\":"
+       << std::setprecision(6) << p.reuse_hit_rate()
+       << ",\"growth_beyond_bound\":" << p.growth_beyond_bound
+       << ",\"bound_chunks\":" << p.bound_chunks
+       << ",\"prefaulted_chunks\":" << p.prefaulted_chunks;
+    if (resident_queried) {
+        os << ",\"resident_nodes\":[";
+        bool first = true;
+        for (const auto &[node, pages] : resident.pairs()) {
+            os << (first ? "" : ",") << '[' << node << ',' << pages
+               << ']';
+            first = false;
+        }
+        os << ']' << ",\"resident_unknown_pages\":"
+           << resident.unknown_pages();
+    }
+    os << '}';
+}
+
+} // namespace detail
+
+/// Serialize a memory_stats as the `memory` JSON object klsm_bench
+/// embeds per record (README "Memory placement" documents the schema).
+inline std::string memory_json(const memory_stats &m,
+                               numa_alloc_policy policy) {
+    std::ostringstream os;
+    os << "{\"policy\":\"" << numa_alloc_policy_name(policy) << '"'
+       << ",\"resident_queried\":"
+       << (m.resident_queried ? "true" : "false") << ",\"pools\":{";
+    detail::pool_json(os, "items", m.items, m.items_resident,
+                      m.resident_queried);
+    os << ',';
+    detail::pool_json(os, "dist_blocks", m.dist_blocks,
+                      m.dist_blocks_resident, m.resident_queried);
+    os << ',';
+    detail::pool_json(os, "shared_blocks", m.shared_blocks,
+                      m.shared_blocks_resident, m.resident_queried);
+    os << "}}";
+    return os.str();
+}
+
+} // namespace klsm::mm

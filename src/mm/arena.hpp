@@ -1,6 +1,6 @@
 #pragma once
 
-// Chunked, type-stable arena.
+// Chunked, type-stable arena with optional NUMA placement.
 //
 // The k-LSM's manual memory management (paper Section 4.4) hinges on
 // *type-stable* storage: once an Item or Block has been allocated, its
@@ -10,19 +10,34 @@
 // chunks that are never freed or moved until the arena is destroyed, and
 // supports iteration over all allocated objects (used by the item pool's
 // reuse sweep).
+//
+// Placement: each chunk's backing pages follow the arena's
+// `mem_placement` (mm/placement.hpp) — `none` is the historical plain
+// heap allocation; `bind`/`firsttouch` page-align, optionally mbind to
+// the target node, and pre-fault.  The pools thread a `mem_placement`
+// through this constructor directly (item_pool -> arena, block_pool ->
+// block entries); `numa_arena` below is the equivalent node-bound
+// shorthand for code that uses an arena on its own.  Chunk allocations
+// are reported to an optional `alloc_counters` block so placement
+// telemetry can prove where the bytes went.
 
 #include <cstddef>
-#include <memory>
 #include <stdexcept>
 #include <vector>
+
+#include "mm/alloc_stats.hpp"
+#include "mm/placement.hpp"
 
 namespace klsm {
 
 template <typename T>
 class arena {
 public:
-    explicit arena(std::size_t first_chunk = 64)
-        : next_chunk_size_(first_chunk < 1 ? 1 : first_chunk) {}
+    explicit arena(std::size_t first_chunk = 64,
+                   mm::mem_placement place = {},
+                   mm::alloc_counters *stats = nullptr)
+        : next_chunk_size_(first_chunk < 1 ? 1 : first_chunk),
+          place_(place), stats_(stats) {}
 
     arena(const arena &) = delete;
     arena &operator=(const arena &) = delete;
@@ -30,14 +45,16 @@ public:
     /// Allocate (default-construct) one more T; never invalidates
     /// previously returned pointers.
     T *allocate() {
-        if (chunks_.empty() || used_in_last_ == chunks_.back().size) {
+        if (chunks_.empty() || used_in_last_ == chunks_.back().size()) {
             chunks_.push_back(
-                chunk{std::make_unique<T[]>(next_chunk_size_),
-                      next_chunk_size_});
+                mm::placed_array<T>::allocate(next_chunk_size_, place_));
+            if (stats_ != nullptr)
+                stats_->count_chunk(chunks_.back().bytes(),
+                                    chunks_.back().how_placed());
             used_in_last_ = 0;
             next_chunk_size_ *= 2;
         }
-        return &chunks_.back().data[used_in_last_++];
+        return &chunks_.back()[used_in_last_++];
     }
 
     std::size_t size() const {
@@ -45,42 +62,73 @@ public:
             return 0;
         std::size_t total = 0;
         for (std::size_t i = 0; i + 1 < chunks_.size(); ++i)
-            total += chunks_[i].size;
+            total += chunks_[i].size();
         return total + used_in_last_;
     }
+
+    const mm::mem_placement &placement() const { return place_; }
 
     /// Visit every allocated object.  Order is allocation order.
     template <typename F>
     void for_each(F &&f) {
         for (std::size_t c = 0; c < chunks_.size(); ++c) {
             const std::size_t n =
-                (c + 1 == chunks_.size()) ? used_in_last_ : chunks_[c].size;
+                (c + 1 == chunks_.size()) ? used_in_last_
+                                          : chunks_[c].size();
             for (std::size_t i = 0; i < n; ++i)
-                f(chunks_[c].data[i]);
+                f(chunks_[c][i]);
         }
+    }
+
+    /// Visit every page-managed chunk's backing region as
+    /// (start, bytes) — the residency-telemetry walk.  `none`-policy
+    /// chunks are skipped: they share heap pages with unrelated
+    /// allocations, so per-page residency attribution would double
+    /// count (see placed_array::page_managed).  Quiescent-only: the
+    /// chunk vector may grow under a concurrent owner allocation.
+    template <typename F>
+    void for_each_region(F &&f) const {
+        for (const auto &c : chunks_)
+            if (c.page_managed())
+                f(c.region(), c.bytes());
     }
 
     /// Random access by allocation index (test helper; O(#chunks)).
     T &at(std::size_t index) {
         for (std::size_t c = 0; c < chunks_.size(); ++c) {
             const std::size_t n =
-                (c + 1 == chunks_.size()) ? used_in_last_ : chunks_[c].size;
+                (c + 1 == chunks_.size()) ? used_in_last_
+                                          : chunks_[c].size();
             if (index < n)
-                return chunks_[c].data[index];
+                return chunks_[c][index];
             index -= n;
         }
         throw std::out_of_range("arena::at");
     }
 
 private:
-    struct chunk {
-        std::unique_ptr<T[]> data;
-        std::size_t size;
-    };
-
-    std::vector<chunk> chunks_;
+    std::vector<mm::placed_array<T>> chunks_;
     std::size_t used_in_last_ = 0;
     std::size_t next_chunk_size_;
+    mm::mem_placement place_;
+    mm::alloc_counters *stats_;
+};
+
+/// The node-bound arena variant, for standalone arena users (the queue
+/// pools pass a mem_placement to arena's own constructor instead):
+/// every chunk targets one NUMA node.  With `bind` the pages are
+/// mbind()-ed there (works no matter which thread allocates); with
+/// `firsttouch` they are pre-faulted by the allocating thread.  Do not
+/// delete through the base pointer (neither class is polymorphic).
+template <typename T>
+class numa_arena : public arena<T> {
+public:
+    explicit numa_arena(
+        std::uint32_t node,
+        mm::numa_alloc_policy policy = mm::numa_alloc_policy::bind,
+        std::size_t first_chunk = 64,
+        mm::alloc_counters *stats = nullptr)
+        : arena<T>(first_chunk, mm::mem_placement{policy, node}, stats) {}
 };
 
 } // namespace klsm

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "klsm/item.hpp"
+#include "mm/alloc_stats.hpp"
 #include "mm/arena.hpp"
+#include "mm/placement.hpp"
 
 namespace klsm {
 
@@ -32,7 +34,11 @@ public:
     /// logically deleted).
     static constexpr std::size_t sweep_budget = 32;
 
-    item_pool() = default;
+    /// `place` governs where the arena's chunk pages live
+    /// (mm/placement.hpp); the default is the historical plain heap
+    /// allocation.
+    explicit item_pool(mm::mem_placement place = {})
+        : arena_(256, place, &stats_) {}
     item_pool(const item_pool &) = delete;
     item_pool &operator=(const item_pool &) = delete;
 
@@ -41,8 +47,11 @@ public:
     item_ref<K, V> allocate(const K &key, const V &value) {
         item<K, V> *it = find_reusable();
         if (it == nullptr) {
+            stats_.count_fresh();
             it = arena_.allocate();
             all_.push_back(it);
+        } else {
+            stats_.count_reuse_hit();
         }
         const std::uint64_t version = it->publish(key, value);
         return {it, version, key};
@@ -50,6 +59,20 @@ public:
 
     /// Total items ever created by this pool (live + reusable).
     std::size_t capacity() const { return all_.size(); }
+
+    /// Allocation-placement telemetry (owner increments, any thread may
+    /// snapshot; see mm/alloc_stats.hpp).
+    const mm::alloc_counters &stats() const { return stats_; }
+    const mm::mem_placement &placement() const {
+        return arena_.placement();
+    }
+
+    /// Walk the arena's chunk regions for the residency query
+    /// (quiescent-only).
+    template <typename F>
+    void for_each_region(F &&f) const {
+        arena_.for_each_region(f);
+    }
 
 private:
     item<K, V> *find_reusable() {
@@ -67,7 +90,8 @@ private:
         return nullptr;
     }
 
-    arena<item<K, V>> arena_{256};
+    mm::alloc_counters stats_; ///< declared before arena_ (ctor order)
+    arena<item<K, V>> arena_;
     std::vector<item<K, V> *> all_;
     std::size_t cursor_ = 0;
 };

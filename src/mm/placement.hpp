@@ -1,0 +1,356 @@
+#pragma once
+
+// NUMA-aware page placement for the type-stable pools.
+//
+// The paper's manual memory scheme (Section 4.4) makes blocks and items
+// type-stable, but says nothing about *where* their pages live.  On a
+// multi-socket machine that matters more than any queue tweak: a
+// numa_klsm shard pinned to node 1 whose blocks were first-touched on
+// node 0 pays a cross-node round trip on every entry it reads (the
+// k-LSM follow-up benchmarking study, arXiv:1603.05047, attributes the
+// large high-thread-count swings to exactly this).  This header is the
+// placement primitive the pools build on:
+//
+//   * a `mem_placement` policy threaded through every pool constructor
+//     (none | bind | firsttouch) naming a target NUMA node,
+//   * page-granular allocation (`placed_array`) that pre-faults each
+//     chunk and, under `bind`, pins its pages to the target node with
+//     mbind(2) before the first touch,
+//   * a `move_pages(2)` residency query so telemetry can report where
+//     the pages actually ended up (mm/alloc_stats.hpp).
+//
+// Everything degrades gracefully: on non-Linux platforms, in seccomp'd
+// containers that reject the syscalls, or for nodes that do not exist,
+// `bind` silently decays to pre-faulted local allocation and the
+// telemetry records that no chunk was bound.  The syscalls are invoked
+// directly (stable kernel ABI constants below) so no libnuma dependency
+// is introduced.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace klsm::mm {
+
+/// Where a pool's backing pages should live.
+///   none       — plain heap allocation, wherever the allocator and the
+///                kernel's default policy put it (the pre-PR behavior).
+///   bind       — mbind the chunk's pages to the target node before the
+///                first touch; falls back to `firsttouch` when mbind is
+///                unavailable or refuses.
+///   firsttouch — pre-fault every page from the allocating thread, so
+///                pages land on the node that thread runs on (correct
+///                placement whenever the owner allocates from its home
+///                node, which is how the sharded queue routes inserts).
+enum class numa_alloc_policy : std::uint8_t { none, bind, firsttouch };
+
+inline const char *numa_alloc_policy_name(numa_alloc_policy p) {
+    switch (p) {
+    case numa_alloc_policy::none: return "none";
+    case numa_alloc_policy::bind: return "bind";
+    case numa_alloc_policy::firsttouch: return "firsttouch";
+    }
+    return "none";
+}
+
+inline std::optional<numa_alloc_policy>
+parse_numa_alloc_policy(const std::string &s) {
+    if (s == "none")
+        return numa_alloc_policy::none;
+    if (s == "bind")
+        return numa_alloc_policy::bind;
+    if (s == "firsttouch")
+        return numa_alloc_policy::firsttouch;
+    return std::nullopt;
+}
+
+/// The placement a pool (and its arena chunks) should use.  Value type,
+/// threaded through item_pool / block_pool / dist_lsm / shared_lsm /
+/// k_lsm construction; numa_klsm builds one per shard with that shard's
+/// node.
+struct mem_placement {
+    numa_alloc_policy policy = numa_alloc_policy::none;
+    /// Target NUMA node (OS node id) for `bind`; ignored otherwise.
+    std::uint32_t node = 0;
+
+    friend bool operator==(const mem_placement &,
+                           const mem_placement &) = default;
+};
+
+inline std::size_t page_size() {
+#if defined(__linux__)
+    static const std::size_t ps = [] {
+        const long v = ::sysconf(_SC_PAGESIZE);
+        return v > 0 ? static_cast<std::size_t>(v) : 4096;
+    }();
+    return ps;
+#else
+    return 4096;
+#endif
+}
+
+// Kernel ABI constants (include/uapi/linux/mempolicy.h).  Spelled out
+// here instead of including the uapi header so the build does not
+// depend on kernel headers being installed.
+inline constexpr int mpol_bind = 2;            // MPOL_BIND
+inline constexpr unsigned mpol_mf_move = 1u << 1; // MPOL_MF_MOVE
+/// Upper bound on node ids we can express in the mbind nodemask.
+inline constexpr std::uint32_t max_bindable_node = 1023;
+
+/// Bind `[p, p + bytes)` to `node` with mbind(2).  Returns true iff the
+/// kernel accepted the policy; false on non-Linux platforms, filtered
+/// syscalls, or nonexistent nodes — callers treat false as "fall back
+/// to first-touch".
+inline bool bind_region_to_node(void *p, std::size_t bytes,
+                                std::uint32_t node) {
+#if defined(__linux__) && defined(SYS_mbind)
+    if (node > max_bindable_node)
+        return false;
+    constexpr std::size_t bits_per_word = 8 * sizeof(unsigned long);
+    unsigned long mask[(max_bindable_node + 1) / bits_per_word] = {};
+    mask[node / bits_per_word] = 1ul << (node % bits_per_word);
+    // maxnode counts bits and the kernel wants one past the highest.
+    const long rc = ::syscall(SYS_mbind, p, bytes, mpol_bind, mask,
+                              static_cast<unsigned long>(
+                                  max_bindable_node + 2),
+                              mpol_mf_move);
+    return rc == 0;
+#else
+    (void)p;
+    (void)bytes;
+    (void)node;
+    return false;
+#endif
+}
+
+/// True iff this platform can answer "which node is this page on"
+/// (move_pages(2) in query mode).  A true return still allows the
+/// per-call query to fail at runtime; failed pages land in the
+/// histogram's `unknown` bucket.
+inline bool residency_query_supported() {
+#if defined(__linux__) && defined(SYS_move_pages)
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// Pages-per-node counts accumulated over one or more regions.  Node
+/// ids index a dense vector (they are small in practice); pages whose
+/// node could not be determined (not yet faulted, query error) count as
+/// `unknown`.
+class resident_histogram {
+public:
+    void add(std::uint32_t node, std::uint64_t pages = 1) {
+        if (node >= counts_.size())
+            counts_.resize(node + 1, 0);
+        counts_[node] += pages;
+    }
+    void add_unknown(std::uint64_t pages = 1) { unknown_ += pages; }
+
+    void merge(const resident_histogram &o) {
+        for (std::uint32_t n = 0; n < o.counts_.size(); ++n)
+            if (o.counts_[n])
+                add(n, o.counts_[n]);
+        unknown_ += o.unknown_;
+    }
+
+    std::uint64_t pages_on(std::uint32_t node) const {
+        return node < counts_.size() ? counts_[node] : 0;
+    }
+    std::uint64_t unknown_pages() const { return unknown_; }
+    std::uint64_t total_pages() const {
+        std::uint64_t t = unknown_;
+        for (const auto c : counts_)
+            t += c;
+        return t;
+    }
+    bool empty() const { return total_pages() == 0; }
+
+    /// (node, pages) pairs for nodes with at least one page, ascending.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs() const {
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+        for (std::uint32_t n = 0; n < counts_.size(); ++n)
+            if (counts_[n])
+                out.emplace_back(n, counts_[n]);
+        return out;
+    }
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t unknown_ = 0;
+};
+
+/// Ask the kernel which node each page of `[p, p + bytes)` resides on
+/// and accumulate into `out`.  Returns false when the platform cannot
+/// answer at all (the histogram is untouched then).  Addresses are
+/// rounded down to page boundaries; the kernel reports -ENOENT for
+/// pages that were never faulted, which count as unknown.
+inline bool query_resident_nodes(const void *p, std::size_t bytes,
+                                 resident_histogram &out) {
+#if defined(__linux__) && defined(SYS_move_pages)
+    if (bytes == 0)
+        return true;
+    const std::size_t ps = page_size();
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t first = addr - (addr % ps);
+    const std::size_t pages = (addr + bytes - first + ps - 1) / ps;
+    constexpr std::size_t batch = 256;
+    void *page_ptrs[batch];
+    int status[batch];
+    for (std::size_t done = 0; done < pages;) {
+        const std::size_t n = pages - done < batch ? pages - done : batch;
+        for (std::size_t i = 0; i < n; ++i)
+            page_ptrs[i] =
+                reinterpret_cast<void *>(first + (done + i) * ps);
+        const long rc = ::syscall(SYS_move_pages, 0,
+                                  static_cast<unsigned long>(n), page_ptrs,
+                                  nullptr, status, 0);
+        if (rc != 0) {
+            out.add_unknown(pages - done);
+            return true;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (status[i] >= 0)
+                out.add(static_cast<std::uint32_t>(status[i]));
+            else
+                out.add_unknown();
+        }
+        done += n;
+    }
+    return true;
+#else
+    (void)p;
+    (void)bytes;
+    (void)out;
+    return false;
+#endif
+}
+
+/// How one chunk's pages were actually placed (telemetry feedback from
+/// placed_array::allocate).
+struct chunk_placement {
+    bool bound = false;      ///< mbind accepted the target node
+    bool prefaulted = false; ///< pages were touched at allocation time
+};
+
+/// A default-constructed T[n] whose backing pages follow a
+/// mem_placement.  The `none` policy is byte-for-byte the pre-existing
+/// behavior (one operator new[] — same allocator, same touch pattern);
+/// bind/firsttouch allocate page-aligned raw storage, apply the policy,
+/// pre-fault, then construct the elements in place.  Move-only;
+/// elements never move after allocation (type stability).
+template <typename T>
+class placed_array {
+    static_assert(std::is_nothrow_default_constructible_v<T>,
+                  "placed_array elements are constructed in bulk");
+
+public:
+    placed_array() = default;
+    placed_array(const placed_array &) = delete;
+    placed_array &operator=(const placed_array &) = delete;
+
+    placed_array(placed_array &&o) noexcept
+        : data_(std::exchange(o.data_, nullptr)),
+          raw_(std::exchange(o.raw_, nullptr)),
+          count_(std::exchange(o.count_, 0)),
+          bytes_(std::exchange(o.bytes_, 0)), how_(o.how_) {}
+
+    placed_array &operator=(placed_array &&o) noexcept {
+        if (this != &o) {
+            destroy();
+            data_ = std::exchange(o.data_, nullptr);
+            raw_ = std::exchange(o.raw_, nullptr);
+            count_ = std::exchange(o.count_, 0);
+            bytes_ = std::exchange(o.bytes_, 0);
+            how_ = o.how_;
+        }
+        return *this;
+    }
+
+    ~placed_array() { destroy(); }
+
+    static placed_array allocate(std::size_t n,
+                                 const mem_placement &place) {
+        placed_array out;
+        out.count_ = n;
+        if (n == 0)
+            return out;
+        if (place.policy == numa_alloc_policy::none) {
+            out.data_ = new T[n]();
+            out.bytes_ = n * sizeof(T);
+            return out;
+        }
+        const std::size_t ps = page_size();
+        out.bytes_ = ((n * sizeof(T) + ps - 1) / ps) * ps;
+        out.raw_ = ::operator new(out.bytes_, std::align_val_t{ps});
+        if (place.policy == numa_alloc_policy::bind)
+            out.how_.bound =
+                bind_region_to_node(out.raw_, out.bytes_, place.node);
+        // First touch: fault every page in from this thread.  Under
+        // `bind` the pages obey the mbind policy regardless of where
+        // this thread runs; under `firsttouch` they land on this
+        // thread's node — which is the target node whenever the owner
+        // allocates from its home node.
+        std::memset(out.raw_, 0, out.bytes_);
+        out.how_.prefaulted = true;
+        T *d = static_cast<T *>(out.raw_);
+        for (std::size_t i = 0; i < n; ++i)
+            new (d + i) T();
+        out.data_ = d;
+        return out;
+    }
+
+    T *get() const { return data_; }
+    T &operator[](std::size_t i) const { return data_[i]; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /// Byte footprint of the allocation (page-rounded for placed
+    /// storage), the unit the telemetry counts.
+    std::size_t bytes() const { return bytes_; }
+    /// Start of the region for residency queries (page-aligned for
+    /// placed storage).
+    const void *region() const { return raw_ ? raw_ : data_; }
+    /// True iff the storage is page-granular placed storage.  Only
+    /// such regions are meaningful residency-query targets: a plain
+    /// `new T[]` allocation shares heap pages with unrelated objects,
+    /// so per-page attribution would double-count pages spanned by
+    /// adjacent allocations.
+    bool page_managed() const { return raw_ != nullptr; }
+    chunk_placement how_placed() const { return how_; }
+
+private:
+    void destroy() {
+        if (raw_ != nullptr) {
+            for (std::size_t i = count_; i-- > 0;)
+                data_[i].~T();
+            ::operator delete(raw_, std::align_val_t{page_size()});
+        } else {
+            delete[] data_;
+        }
+        data_ = nullptr;
+        raw_ = nullptr;
+        count_ = 0;
+        bytes_ = 0;
+    }
+
+    T *data_ = nullptr;
+    void *raw_ = nullptr; ///< non-null iff page-aligned placed storage
+    std::size_t count_ = 0;
+    std::size_t bytes_ = 0;
+    chunk_placement how_{};
+};
+
+} // namespace klsm::mm

@@ -162,6 +162,12 @@ inline bool pin_self(std::uint32_t os_cpu) {
 #endif
 }
 
+/// The NUMA node the calling thread currently runs on, resolved
+/// against `t`; falls back to `t`'s first node when the platform
+/// cannot report a cpu (topology::node_of's unknown-cpu behavior).
+/// This is the node a non-sharded queue should bind its pools to.
+inline std::uint32_t current_node(const topology &t);
+
 /// The OS cpu the calling thread is currently running on, or nullopt
 /// when the platform cannot say.
 inline std::optional<std::uint32_t> current_cpu() {
@@ -171,6 +177,11 @@ inline std::optional<std::uint32_t> current_cpu() {
         return static_cast<std::uint32_t>(cpu);
 #endif
     return std::nullopt;
+}
+
+inline std::uint32_t current_node(const topology &t) {
+    const auto cpu = current_cpu();
+    return t.node_of(cpu ? *cpu : 0);
 }
 
 } // namespace klsm::topo
