@@ -14,6 +14,12 @@
 //                nodes*(T*k + k) for the NUMA-sharded numa_klsm
 //   sssp       — label-correcting parallel SSSP on an Erdős–Rényi graph,
 //                verified against sequential Dijkstra (Figure 4)
+//   service    — open-loop arrival traffic (src/service/): workers
+//                follow precomputed arrival schedules (steady, poisson,
+//                spike, diurnal), latency is measured from the intended
+//                start so coordinated omission is visible, and every
+//                record carries a `service` telemetry object plus an
+//                `slo` verdict (p99 <= X at Y ops/s)
 //
 // --pin sweeps thread-placement policies (src/topo/pinning.hpp); the
 // discovered machine topology is recorded in the JSON meta either way.
@@ -26,7 +32,9 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -48,6 +56,10 @@
 #include "klsm/numa_klsm.hpp"
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
+#include "service/arrival_schedule.hpp"
+#include "service/open_loop.hpp"
+#include "service/service_report.hpp"
+#include "service/slo.hpp"
 #include "stats/latency_recorder.hpp"
 #include "stats/latency_report.hpp"
 #include "topo/pinning.hpp"
@@ -93,6 +105,19 @@ struct bench_config {
     /// Emit a `memory` telemetry object per record (README "Memory
     /// placement").
     bool alloc_stats = false;
+    /// Service workload (src/service/): open-loop arrival process,
+    /// offered rate, SLO thresholds, sustainable-rate search.
+    klsm::service::arrival_kind arrival =
+        klsm::service::arrival_kind::poisson;
+    double rate = 100000;
+    double spike_frac = 0.1;
+    double spike_mult = 8.0;
+    double diurnal_amplitude = 0.75;
+    double diurnal_periods = 1.0;
+    std::uint64_t slo_p99_ns = 0; ///< 0 = no latency objective
+    double slo_min_rate = 0.9;
+    bool slo_enforce = false;
+    bool find_sustainable = false;
     bool smoke = false;
     bool csv = false;
     /// --json-out '-': the JSON report owns stdout, tables go to stderr.
@@ -287,6 +312,166 @@ int run_throughput_workload(const bench_config &cfg,
         }
     }
     return 0;
+}
+
+/// The open-loop service workload: one record per (structure, pin,
+/// threads) point, each carrying `service` telemetry and an `slo`
+/// verdict.  A failed verdict is *reported* but only fails the run
+/// under --slo-enforce — CI judges verdicts through compare_bench
+/// against a baseline, where flips (pass -> fail) are what matter.
+int run_service_workload(const bench_config &cfg,
+                         klsm::json_reporter &json) {
+    klsm::table_reporter report(
+        {"structure", "pin", "threads", "offered/s", "achieved/s",
+         "intent_p99_us", "svc_p99_us", "late", "slo"},
+        cfg.csv, cfg.json_to_stdout ? std::cerr : std::cout);
+    int status = 0;
+    for (const auto &pin : cfg.pins) {
+        const auto cpus = pin_order(pin);
+        for (const auto threads_i : cfg.threads_list) {
+            const auto threads = static_cast<unsigned>(threads_i);
+            for (const auto &name : cfg.structures) {
+                const bool ok = with_structure<bench_key, bench_val>(
+                    name, threads, build_k(cfg, name), cfg.numa_alloc,
+                    [&](auto &q) {
+                        klsm::prefill_queue(q, cfg.prefill, cfg.seed);
+                        with_adaptation(q, cfg, name, threads, [&](
+                                            auto adaptor) {
+                        klsm::service::arrival_config acfg;
+                        acfg.kind = cfg.arrival;
+                        acfg.rate = cfg.rate;
+                        acfg.duration_s = cfg.duration_s;
+                        acfg.threads = threads;
+                        acfg.seed = cfg.seed;
+                        acfg.spike_fraction = cfg.spike_frac;
+                        acfg.spike_multiplier = cfg.spike_mult;
+                        acfg.diurnal_amplitude = cfg.diurnal_amplitude;
+                        acfg.diurnal_periods = cfg.diurnal_periods;
+                        const auto schedule =
+                            klsm::service::make_arrival_schedule(acfg);
+                        klsm::service::service_params params;
+                        params.threads = threads;
+                        params.insert_percent = cfg.insert_percent;
+                        params.seed = cfg.seed;
+                        params.pin_cpus = cpus;
+                        klsm::stats::latency_recorder_set recs{
+                            threads, cfg.latency_sample};
+                        params.latency = &recs;
+                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
+                            params.on_adapt_tick = [adaptor] {
+                                adaptor->tick();
+                            };
+                            params.adapt_tick_s =
+                                cfg.adapt_interval_ms / 1000.0;
+                        }
+                        const auto res =
+                            klsm::service::run_service(q, params,
+                                                       schedule);
+                        klsm::service::slo_config slo;
+                        slo.p99_ns = cfg.slo_p99_ns;
+                        slo.min_achieved_fraction = cfg.slo_min_rate;
+                        const auto verdict = klsm::service::evaluate_slo(
+                            slo, res,
+                            klsm::service::offered_rate(res, acfg));
+                        // --find-sustainable: short probe runs on the
+                        // same (already warm) queue, without polluting
+                        // the main record's latency capture.
+                        std::optional<klsm::service::sustainable_result>
+                            sustainable;
+                        if (cfg.find_sustainable) {
+                            auto probe_params = params;
+                            probe_params.latency = nullptr;
+                            sustainable =
+                                klsm::service::find_sustainable_rate(
+                                    [&](double rate) {
+                                        auto pcfg = acfg;
+                                        pcfg.rate = rate;
+                                        const auto psched = klsm::
+                                            service::
+                                                make_arrival_schedule(
+                                                    pcfg);
+                                        const auto pres =
+                                            klsm::service::run_service(
+                                                q, probe_params, psched);
+                                        return klsm::service::
+                                            evaluate_slo(
+                                                slo, pres,
+                                                klsm::service::
+                                                    offered_rate(pres,
+                                                                 pcfg))
+                                                .pass;
+                                    },
+                                    cfg.rate);
+                        }
+                        std::uint64_t svc_p99 = 0;
+                        for (unsigned op = 0; op < klsm::stats::op_kinds;
+                             ++op) {
+                            const auto h = res.completion.merged(
+                                static_cast<klsm::stats::op_kind>(op));
+                            if (h.count() > 0 &&
+                                h.percentile(99) > svc_p99)
+                                svc_p99 = h.percentile(99);
+                        }
+                        report.row(
+                            name, pin, threads,
+                            klsm::service::offered_rate(res, acfg),
+                            res.achieved_rate(),
+                            verdict.observed_p99_ns / 1000.0,
+                            svc_p99 / 1000.0, res.late_ops,
+                            verdict.pass ? "pass" : "FAIL");
+                        auto &rec = json.add_record();
+                        rec.set("structure", name);
+                        rec.set("pin", pin);
+                        rec.set("threads", threads);
+                        rec.set("prefill", cfg.prefill);
+                        rec.set("ops", res.completed_ops);
+                        rec.set("inserts", res.inserts);
+                        rec.set("deletes", res.deletes);
+                        rec.set("failed_deletes", res.failed_deletes);
+                        rec.set("pin_failures", res.pin_failures);
+                        rec.set("elapsed_s", res.elapsed_s);
+                        rec.set("ops_per_sec", res.achieved_rate());
+                        if (recs.enabled())
+                            rec.set_raw("latency",
+                                        klsm::stats::latency_json(recs));
+                        rec.set_raw("service",
+                                    klsm::service::service_json(
+                                        res, acfg, params));
+                        rec.set_raw(
+                            "slo",
+                            klsm::service::slo_json(
+                                verdict, slo,
+                                sustainable ? &*sustainable : nullptr));
+                        if constexpr (is_adaptor_v<decltype(adaptor)>)
+                            rec.set_raw("adaptation", adaptor->json());
+                        attach_memory(rec, q, cfg);
+                        if (!verdict.pass) {
+                            std::cerr
+                                << (cfg.slo_enforce ? "SLO FAIL: "
+                                                    : "slo verdict: ")
+                                << name << " pin=" << pin << " t="
+                                << threads << " p99="
+                                << verdict.observed_p99_ns << "ns"
+                                << (verdict.latency_ok ? ""
+                                                       : " (> threshold)")
+                                << " achieved="
+                                << static_cast<std::uint64_t>(
+                                       verdict.achieved_rate)
+                                << "/s"
+                                << (verdict.rate_ok ? ""
+                                                    : " (< floor)")
+                                << "\n";
+                            if (cfg.slo_enforce)
+                                status = 1;
+                        }
+                        });
+                    });
+                if (!ok)
+                    return 2;
+            }
+        }
+    }
+    return status;
 }
 
 int run_quality_workload(const bench_config &cfg,
@@ -509,7 +694,7 @@ int main(int argc, char **argv) {
         "Unified k-LSM benchmark driver: one CLI for every structure and "
         "workload, one JSON report per invocation");
     cli.add_flag("workload", "throughput",
-                 "workload: throughput | quality | sssp");
+                 "workload: throughput | quality | sssp | service");
     cli.add_flag("benchmark", "",
                  "alias for --workload (overrides it when set)");
     cli.add_flag("structure", "klsm",
@@ -526,6 +711,33 @@ int main(int argc, char **argv) {
     cli.add_flag("insert-pct", "50", "throughput: percent inserts");
     cli.add_flag("nodes", "1000", "sssp: graph size");
     cli.add_flag("edge-prob", "0.05", "sssp: edge probability");
+    cli.add_flag("arrival", "poisson",
+                 "service: arrival process: steady | poisson | spike | "
+                 "diurnal");
+    cli.add_flag("rate", "100000",
+                 "service: offered arrival rate in total ops/s across "
+                 "all threads");
+    cli.add_flag("spike-frac", "0.1",
+                 "service: fraction of the run the spike covers");
+    cli.add_flag("spike-mult", "8",
+                 "service: rate multiplier inside the spike window");
+    cli.add_flag("diurnal-amplitude", "0.75",
+                 "service: sinusoid amplitude as a fraction of the base "
+                 "rate, in [0, 1]");
+    cli.add_flag("diurnal-periods", "1",
+                 "service: full sinusoid cycles over the run");
+    cli.add_flag("slo-p99-us", "0",
+                 "service: intended-start p99 objective in microseconds "
+                 "(0 = no latency objective)");
+    cli.add_flag("slo-min-rate", "0.9",
+                 "service: fail the SLO when achieved/offered rate "
+                 "falls below this fraction, in (0, 1]");
+    cli.add_bool_flag("slo-enforce", false,
+                      "service: exit nonzero when any record's SLO "
+                      "verdict fails (default: report only)");
+    cli.add_bool_flag("find-sustainable", false,
+                      "service: binary-search the highest offered rate "
+                      "that still passes the SLO, from --rate");
     cli.add_flag("seed", "1", "base RNG seed");
     cli.add_flag("latency-sample", "0",
                  "per-op latency sampling stride: 0 = off, 1 = every "
@@ -570,6 +782,23 @@ int main(int argc, char **argv) {
     cfg.insert_percent = static_cast<unsigned>(cli.get_int("insert-pct"));
     cfg.nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
     cfg.edge_prob = cli.get_double("edge-prob");
+    const auto arrival = klsm::service::parse_arrival(cli.get("arrival"));
+    if (!arrival) {
+        std::cerr << "unknown --arrival process: " << cli.get("arrival")
+                  << " (expected steady, poisson, spike, or diurnal)\n";
+        return 2;
+    }
+    cfg.arrival = *arrival;
+    cfg.rate = cli.get_double("rate");
+    cfg.spike_frac = cli.get_double("spike-frac");
+    cfg.spike_mult = cli.get_double("spike-mult");
+    cfg.diurnal_amplitude = cli.get_double("diurnal-amplitude");
+    cfg.diurnal_periods = cli.get_double("diurnal-periods");
+    cfg.slo_p99_ns = static_cast<std::uint64_t>(
+        cli.get_double("slo-p99-us") * 1000.0);
+    cfg.slo_min_rate = cli.get_double("slo-min-rate");
+    cfg.slo_enforce = cli.get_bool("slo-enforce");
+    cfg.find_sustainable = cli.get_bool("find-sustainable");
     cfg.seed = cli.get_uint64("seed");
     cfg.latency_sample = cli.get_uint64("latency-sample");
     cfg.adaptive = cli.get_bool("adaptive");
@@ -646,6 +875,35 @@ int main(int argc, char **argv) {
             cfg.latency_sample = 4;
     }
 
+    if (cfg.workload == "service") {
+        if (!(cfg.slo_min_rate > 0) || cfg.slo_min_rate > 1) {
+            std::cerr << "--slo-min-rate " << cfg.slo_min_rate
+                      << " must be in (0, 1]\n";
+            return 2;
+        }
+        // Validate the arrival process once up front (post --smoke
+        // shrinking, so the cap sees the real duration) instead of
+        // throwing mid-benchmark.  --find-sustainable doubles the rate
+        // up to 2^4 times, so its ceiling must clear the cap too.
+        for (const auto t : cfg.threads_list) {
+            klsm::service::arrival_config acfg;
+            acfg.kind = cfg.arrival;
+            acfg.rate = cfg.find_sustainable ? cfg.rate * 16 : cfg.rate;
+            acfg.duration_s = cfg.duration_s;
+            acfg.threads = static_cast<unsigned>(t);
+            acfg.spike_fraction = cfg.spike_frac;
+            acfg.spike_multiplier = cfg.spike_mult;
+            acfg.diurnal_amplitude = cfg.diurnal_amplitude;
+            acfg.diurnal_periods = cfg.diurnal_periods;
+            try {
+                klsm::service::validate_arrival_config(acfg);
+            } catch (const std::invalid_argument &e) {
+                std::cerr << "service workload: " << e.what() << "\n";
+                return 2;
+            }
+        }
+    }
+
     klsm::json_reporter json(cfg.workload);
     json.meta().set("k", cfg.k);
     json.meta().set("seed", cfg.seed);
@@ -684,9 +942,21 @@ int main(int argc, char **argv) {
         status = run_quality_workload(cfg, json);
     } else if (cfg.workload == "sssp") {
         status = run_sssp_workload(cfg, json);
+    } else if (cfg.workload == "service") {
+        json.meta().set("arrival",
+                        klsm::service::arrival_name(cfg.arrival));
+        json.meta().set("rate", cfg.rate);
+        json.meta().set("duration_s", cfg.duration_s);
+        json.meta().set("insert_percent", cfg.insert_percent);
+        json.meta().set("prefill", cfg.prefill);
+        json.meta().set("slo_p99_ns", cfg.slo_p99_ns);
+        json.meta().set("slo_min_achieved_fraction", cfg.slo_min_rate);
+        json.meta().set("find_sustainable", cfg.find_sustainable);
+        status = run_service_workload(cfg, json);
     } else {
         std::cerr << "unknown workload: " << cfg.workload
-                  << " (expected throughput, quality, or sssp)\n";
+                  << " (expected throughput, quality, sssp, or "
+                     "service)\n";
         return 2;
     }
     if (status == 2)

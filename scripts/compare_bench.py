@@ -16,7 +16,12 @@ candidate regresses beyond the configured thresholds:
     percentiles (--percentiles, default p50,p99,max) growing by more
     than --latency-tolerance (default 0.50) AND by more than
     --latency-floor-ns (default 500ns, so nanosecond jitter on fast
-    paths never trips the gate).
+    paths never trips the gate);
+  * service workload: the `service` object's achieved_rate dropping by
+    more than --throughput-tolerance, intended-start percentiles (the
+    coordinated-omission-correct distribution) growing past the latency
+    thresholds, and the `slo` verdict flipping pass -> fail (a flip is
+    always a regression; both sides already failing only warns).
 
 `--sweep` additionally bucket-merges every matched record of a
 (benchmark, structure) group — across threads and pin policies — and
@@ -198,7 +203,7 @@ def compare_metric(findings, key, metric, base, cand, tolerance,
 
 def compare_latency(findings, key, base_lat, cand_lat, percentiles,
                     tolerance, floor, recompute,
-                    regression_severity="regression"):
+                    regression_severity="regression", op_prefix=""):
     for op in OPS:
         base_op = base_lat.get(op)
         cand_op = cand_lat.get(op)
@@ -207,9 +212,9 @@ def compare_latency(findings, key, base_lat, cand_lat, percentiles,
         if base_op["count"] == 0 or cand_op["count"] == 0:
             findings.append((
                 "warn",
-                f"{fmt_key(key)} {op}: empty latency histogram "
-                f"(base count {base_op['count']}, candidate count "
-                f"{cand_op['count']}); skipping",
+                f"{fmt_key(key)} {op_prefix}{op}: empty latency "
+                f"histogram (base count {base_op['count']}, candidate "
+                f"count {cand_op['count']}); skipping",
             ))
             continue
         for pct in percentiles:
@@ -224,9 +229,76 @@ def compare_latency(findings, key, base_lat, cand_lat, percentiles,
             else:
                 base_value = base_op.get(pct)
                 cand_value = cand_op.get(pct)
-            compare_metric(findings, key, f"{op} {pct}", base_value,
-                           cand_value, tolerance, True, "ns", floor,
-                           regression_severity)
+            compare_metric(findings, key, f"{op_prefix}{op} {pct}",
+                           base_value, cand_value, tolerance, True, "ns",
+                           floor, regression_severity)
+
+
+def _service_latency_view(svc, which):
+    """Shape a service record's intended/completion block like a
+    `latency` object so compare_latency's machinery (recompute included)
+    applies unchanged."""
+    view = dict(svc.get(which) or {})
+    view["sub_bucket_bits"] = svc.get("sub_bucket_bits", 5)
+    return view
+
+
+def compare_service(findings, key, base_record, cand_record, args):
+    base_svc = base_record.get("service")
+    cand_svc = cand_record.get("service")
+    if not base_svc or not cand_svc:
+        side = "baseline" if not base_svc else "candidate"
+        findings.append((
+            "warn", f"{fmt_key(key)}: {side} record has no service "
+            f"object; skipping"))
+        return
+    if base_svc.get("arrival") != cand_svc.get("arrival"):
+        findings.append((
+            "warn",
+            f"{fmt_key(key)}: arrival process changed "
+            f"({base_svc.get('arrival')} -> {cand_svc.get('arrival')}); "
+            f"skipping"))
+        return
+    # Achieved rate is the overload signal (catch-up semantics never
+    # shed load, so a shortfall means the queue fell behind).  Always
+    # enforcing, even under --latency-warn-only.
+    compare_metric(findings, key, "achieved_rate",
+                   base_svc.get("achieved_rate"),
+                   cand_svc.get("achieved_rate"),
+                   args.throughput_tolerance, False, "ops/s")
+    # The intended-start distribution is the one that sees coordinated
+    # omission; it is the distribution worth gating on.  Percentile
+    # findings demote under --latency-warn-only like every other
+    # latency comparison.
+    compare_latency(findings, key,
+                    _service_latency_view(base_svc, "intended"),
+                    _service_latency_view(cand_svc, "intended"),
+                    args.percentile_list, args.latency_tolerance,
+                    args.latency_floor_ns, args.recompute,
+                    latency_severity(args), op_prefix="intended ")
+    base_slo = base_record.get("slo") or {}
+    cand_slo = cand_record.get("slo") or {}
+    if "pass" in base_slo and "pass" in cand_slo:
+        if base_slo["pass"] and not cand_slo["pass"]:
+            detail = []
+            if not cand_slo.get("latency_ok", True):
+                detail.append(
+                    f"p99 {cand_slo.get('observed_p99_ns', 0):,.0f}ns > "
+                    f"{cand_slo.get('p99_threshold_ns', 0):,.0f}ns")
+            if not cand_slo.get("rate_ok", True):
+                detail.append(
+                    f"achieved {cand_slo.get('achieved_rate', 0):,.0f} < "
+                    f"{cand_slo.get('min_achieved_fraction', 0):.0%} of "
+                    f"offered {cand_slo.get('offered_rate', 0):,.0f}")
+            findings.append((
+                "regression",
+                f"{fmt_key(key)} slo: verdict flipped pass -> FAIL "
+                f"({'; '.join(detail) or 'see record'})"))
+        elif not base_slo["pass"] and not cand_slo["pass"]:
+            findings.append((
+                "warn",
+                f"{fmt_key(key)} slo: fails on both sides (baseline "
+                f"was already failing)"))
 
 
 def latency_severity(args):
@@ -265,6 +337,9 @@ def compare_reports(base, cand, args):
                 compare_metric(findings, key, "time_s",
                                base_time * 1e9, cand_time * 1e9,
                                args.throughput_tolerance, True, "ns")
+        elif benchmark == "service":
+            compare_service(findings, key, base_record, cand_record,
+                            args)
         base_lat = base_record.get("latency")
         cand_lat = cand_record.get("latency")
         if base_lat and cand_lat:
@@ -444,6 +519,74 @@ def self_test(args_factory):
                    latency=_latency(100, 5000, 10000))
     check("latency-warn-only still enforces throughput",
           compare_reports(base, both, lat_warn_args), True)
+
+    # Service records: achieved_rate enforces like throughput, intended
+    # percentiles enforce like latency, and an SLO pass -> fail flip is
+    # a regression on its own.
+    def _service_report(achieved, intended_p99, slo_pass,
+                        latency_ok=True, rate_ok=True):
+        op = {"count": 1000, "mean": 100.0, "min": 10, "p50": 100,
+              "p90": intended_p99, "p99": intended_p99,
+              "p999": intended_p99, "max": intended_p99, "buckets": []}
+        fast = {"count": 1000, "mean": 50.0, "min": 10, "p50": 50,
+                "p90": 60, "p99": 60, "p999": 60, "max": 60,
+                "buckets": []}
+        record = {
+            "structure": "klsm", "pin": "none", "threads": 2,
+            "ops_per_sec": achieved,
+            "service": {
+                "arrival": "poisson", "nominal_rate": 1e6,
+                "offered_rate": 1e6, "achieved_rate": achieved,
+                "scheduled_ops": 1000, "completed_ops": 1000,
+                "late_ops": 0, "backlog_max": 0, "unit": "ns",
+                "sub_bucket_bits": 5,
+                "intended": {"insert": dict(op),
+                             "delete_min": dict(op)},
+                "completion": {"insert": dict(fast),
+                               "delete_min": dict(fast)}},
+            "slo": {"metric": "intended_p99_ns",
+                    "p99_threshold_ns": 100000,
+                    "min_achieved_fraction": 0.9,
+                    "offered_rate": 1e6, "achieved_rate": achieved,
+                    "observed_p99_ns": intended_p99,
+                    "latency_ok": latency_ok, "rate_ok": rate_ok,
+                    "pass": slo_pass}}
+        return {"benchmark": "service", "records": [record]}
+
+    svc_base = _service_report(1e6, 5000, True)
+    check("service self-comparison is clean",
+          compare_reports(svc_base, svc_base, args), False)
+
+    svc_slow = _service_report(0.5e6, 5000, True)
+    check("halved achieved_rate regresses",
+          compare_reports(svc_base, svc_slow, args), True)
+
+    svc_flip = _service_report(1e6, 200000, False, latency_ok=False)
+    check("slo pass -> fail flip regresses",
+          compare_reports(svc_base, svc_flip, args), True)
+
+    svc_fail_base = _service_report(1e6, 200000, False, latency_ok=False)
+    findings = compare_reports(svc_fail_base, svc_fail_base, args)
+    check("slo failing on both sides does not regress", findings, False)
+    if not any(s == "warn" for s, _ in findings):
+        print("self-test FAIL: both-sides slo failure produced no "
+              "warning")
+        failures.append("slo-both-fail-warning")
+
+    # --latency-warn-only: a 50x intended p99 blowup demotes to a
+    # warning, but a halved achieved_rate in the same report still
+    # regresses (overload is never advisory).
+    svc_lat = _service_report(1e6, 250000, True)
+    findings = compare_reports(svc_base, svc_lat, lat_warn_args)
+    check("latency-warn-only demotes intended-p99 regressions",
+          findings, False)
+    if not any(s == "warn" for s, _ in findings):
+        print("self-test FAIL: intended-p99 warn-only produced no "
+              "warning")
+        failures.append("intended-warn-only-warning")
+    svc_both = _service_report(0.4e6, 250000, True)
+    check("latency-warn-only still enforces achieved_rate",
+          compare_reports(svc_base, svc_both, lat_warn_args), True)
 
     # Bucket math round-trip against the C++ layout: every index in the
     # first few groups maps back into its own [lower, upper] range.

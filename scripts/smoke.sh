@@ -4,13 +4,14 @@
 # first nonzero exit.  JSON reports are kept under $REPORT_DIR so CI
 # can upload them as workflow artifacts.
 #
-#   scripts/smoke.sh [build-dir] [report-dir] [--memory-only]
+#   scripts/smoke.sh [build-dir] [report-dir] [--memory-only|--service-only]
 #   (defaults: build, <build-dir>/smoke-reports)
 #
 # --memory-only runs the memory-placement section instead — what the CI
 # `memory-placement` job invokes (in parallel with the smoke job), so
 # the sweep and its schema validator have exactly one definition and
-# run exactly once per pipeline.
+# run exactly once per pipeline.  --service-only does the same for the
+# open-loop service section (the CI `service-smoke` job).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -132,9 +133,69 @@ memory_section() {
     echo "smoke OK: memory acceptance shape"
 }
 
+# Service-mode schema (README "Service mode & SLOs"): every record of a
+# --workload service report must carry schema-valid `service` + `slo`
+# objects with the intended >= completion percentile ordering.  The
+# field-level checks live in scripts/check_service_schema.py so the
+# CTest wiring test and the CI service-smoke job validate against the
+# same definition.
+check_service() {
+    command -v python3 > /dev/null || return 0
+    python3 "$(dirname "$0")/check_service_schema.py" "$1" > /dev/null
+}
+
+# Open-loop service mode: arrival-driven traffic with SLO verdicts.
+# Run ONLY via --service-only (the dedicated CI service-smoke job, in
+# parallel with the smoke job), mirroring the memory section's split.
+service_section() {
+    echo "== service mode: arrival processes x SLO verdicts =="
+    # Every arrival process through the k-LSM family.
+    local json
+    for a in steady poisson spike diurnal; do
+        json="$REPORT_DIR/service-$a.json"
+        "$BUILD_DIR/bench/klsm_bench" --smoke --workload service \
+            --structure klsm,numa_klsm --arrival "$a" --rate 200000 \
+            --threads 2 --json-out "$json" > /dev/null
+        check_json "$json"
+        check_service "$json"
+        echo "smoke OK: service arrival=$a"
+    done
+    # The ISSUE's acceptance shape: poisson at 500k ops/s.
+    json="$REPORT_DIR/service-accept.json"
+    "$BUILD_DIR/bench/klsm_bench" --workload service \
+        --structure klsm,numa_klsm --arrival poisson --rate 500000 \
+        --smoke --json-out "$json" > /dev/null
+    check_json "$json"
+    check_service "$json"
+    check_latency "$json"
+    echo "smoke OK: service acceptance shape"
+    # Identity diff through compare_bench's service path: the SLO
+    # verdict and achieved-rate machinery must hold on a self-compare.
+    if command -v python3 > /dev/null; then
+        python3 "$(dirname "$0")/compare_bench.py" \
+            "$json" "$json" > /dev/null
+        echo "smoke OK: service self-diff clean"
+    fi
+    # The sustainable-rate search with a latency objective: probes must
+    # converge and emit the sustainable_rate + probes fields.
+    json="$REPORT_DIR/service-sustainable.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload service \
+        --structure klsm --arrival poisson --rate 100000 --threads 2 \
+        --find-sustainable --slo-p99-us 50000 \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    check_service "$json"
+    echo "smoke OK: service --find-sustainable"
+}
+
 if [[ "$MODE" == "--memory-only" ]]; then
     memory_section
     echo "memory placement stage passed (reports in $REPORT_DIR)"
+    exit 0
+fi
+if [[ "$MODE" == "--service-only" ]]; then
+    service_section
+    echo "service stage passed (reports in $REPORT_DIR)"
     exit 0
 fi
 

@@ -63,6 +63,7 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
                     params.pin_cpus[t % params.pin_cpus.size()]))
                 pin_failures.fetch_add(1, std::memory_order_relaxed);
             xoroshiro128 rng{params.seed + 104729 * (t + 1)};
+            const op_mix mix{params.insert_percent};
             const std::uint64_t mask =
                 params.key_range_bits >= 64
                     ? ~std::uint64_t{0}
@@ -72,7 +73,7 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
             typename PQ::value_type value{};
             sync.arrive_and_wait();
             while (!stop.load(std::memory_order_relaxed)) {
-                if (rng.bounded(100) < params.insert_percent) {
+                if (mix.is_insert(rng)) {
                     stats::op_sample sample{params.latency, t,
                                             stats::op_kind::insert};
                     q.insert(

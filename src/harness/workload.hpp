@@ -17,6 +17,19 @@ namespace stats {
 class latency_recorder_set;
 }
 
+/// Insert-vs-delete decision for mixed workloads — shared by the
+/// closed-loop throughput harness and the open-loop service harness
+/// (src/service/open_loop.hpp) so both draw the producer:consumer mix
+/// from the same distribution in the same way: one bounded(100) draw
+/// per operation.
+struct op_mix {
+    unsigned insert_percent = 50;
+    template <typename Rng>
+    bool is_insert(Rng &rng) const {
+        return rng.bounded(100) < insert_percent;
+    }
+};
+
 struct throughput_params {
     std::size_t prefill = 1000000; ///< keys inserted before timing
     double duration_s = 1.0;       ///< timed benchmark window

@@ -1,0 +1,224 @@
+#pragma once
+
+// Arrival-schedule generation for the open-loop service harness.
+//
+// Closed-loop benchmarks (threads issuing as fast as they can) measure
+// peak throughput; a service sees arrival *rates*.  This header turns a
+// configured arrival process into per-thread, pre-sorted schedules of
+// nanosecond offsets from the run's start.  Precomputing the schedule
+// keeps the measurement loop allocation-free and — crucially — gives
+// every operation an *intended* start time that exists independently of
+// when the system got around to issuing it, which is what makes
+// coordinated omission measurable (open_loop.hpp records
+// arrival-to-completion latency against these timestamps).
+//
+// Processes (all deterministic given the seed):
+//
+//   steady  — constant inter-arrival gaps, threads phase-offset so the
+//             fleet never arrives in lockstep.  No randomness at all.
+//   poisson — exponential inter-arrival gaps (memoryless, the classic
+//             open-system model), via inverse-transform sampling.
+//   spike   — poisson at the base rate with a window of `spike_fraction`
+//             of the duration, centered, running at `spike_multiplier`x.
+//   diurnal — poisson with the rate swept sinusoidally by
+//             `diurnal_amplitude` over `diurnal_periods` cycles — a
+//             compressed day/night load curve.
+//
+// The time-varying processes use thinning (Lewis & Shedler): candidates
+// are drawn from a homogeneous process at the peak rate and accepted
+// with probability rate(t)/peak, which preserves Poisson statistics and
+// determinism with a counter-free single pass.
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace klsm {
+namespace service {
+
+enum class arrival_kind : unsigned { steady, poisson, spike, diurnal };
+
+inline const char *arrival_name(arrival_kind k) {
+    switch (k) {
+    case arrival_kind::steady: return "steady";
+    case arrival_kind::poisson: return "poisson";
+    case arrival_kind::spike: return "spike";
+    case arrival_kind::diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+inline std::optional<arrival_kind> parse_arrival(const std::string &name) {
+    if (name == "steady")
+        return arrival_kind::steady;
+    if (name == "poisson")
+        return arrival_kind::poisson;
+    if (name == "spike")
+        return arrival_kind::spike;
+    if (name == "diurnal")
+        return arrival_kind::diurnal;
+    return std::nullopt;
+}
+
+struct arrival_config {
+    arrival_kind kind = arrival_kind::poisson;
+    /// Offered rate in ops/s, TOTAL across all threads (each thread
+    /// runs an independent stream at rate / threads).
+    double rate = 100000;
+    double duration_s = 1.0;
+    unsigned threads = 1;
+    std::uint64_t seed = 1;
+    /// spike: the burst window's width as a fraction of the duration
+    /// (centered) and its rate multiplier.
+    double spike_fraction = 0.1;
+    double spike_multiplier = 8.0;
+    /// diurnal: rate(t) = rate * (1 + amplitude * sin(2*pi*periods*t/D)).
+    double diurnal_amplitude = 0.75;
+    double diurnal_periods = 1.0;
+};
+
+/// One thread's arrivals: sorted ns offsets from the run start.
+using thread_schedule = std::vector<std::uint64_t>;
+
+/// The highest instantaneous rate the process ever reaches, as a
+/// multiple of the base rate — the thinning envelope.
+inline double peak_rate_multiplier(const arrival_config &cfg) {
+    switch (cfg.kind) {
+    case arrival_kind::spike: return cfg.spike_multiplier;
+    case arrival_kind::diurnal: return 1.0 + cfg.diurnal_amplitude;
+    default: return 1.0;
+    }
+}
+
+/// Instantaneous rate at absolute time `t_s`, as a multiple of the base
+/// rate.
+inline double rate_multiplier_at(const arrival_config &cfg, double t_s) {
+    switch (cfg.kind) {
+    case arrival_kind::spike: {
+        const double x = t_s / cfg.duration_s;
+        return (x >= 0.5 - cfg.spike_fraction / 2 &&
+                x < 0.5 + cfg.spike_fraction / 2)
+                   ? cfg.spike_multiplier
+                   : 1.0;
+    }
+    case arrival_kind::diurnal:
+        return 1.0 + cfg.diurnal_amplitude *
+                         std::sin(2.0 * 3.14159265358979323846 *
+                                  cfg.diurnal_periods * t_s /
+                                  cfg.duration_s);
+    default:
+        return 1.0;
+    }
+}
+
+/// Upper bound on the schedule size (all threads together), so a typo'd
+/// --rate fails fast instead of allocating tens of GiB of timestamps.
+inline constexpr double max_scheduled_ops = 50e6;
+
+inline void validate_arrival_config(const arrival_config &cfg) {
+    if (!(cfg.rate > 0))
+        throw std::invalid_argument("arrival rate must be positive");
+    if (!(cfg.duration_s > 0))
+        throw std::invalid_argument("arrival duration must be positive");
+    if (cfg.threads < 1)
+        throw std::invalid_argument("arrival schedule needs >= 1 thread");
+    if (!(cfg.spike_fraction > 0) || cfg.spike_fraction > 1)
+        throw std::invalid_argument("spike fraction must be in (0, 1]");
+    if (cfg.spike_multiplier < 1)
+        throw std::invalid_argument("spike multiplier must be >= 1");
+    if (cfg.diurnal_amplitude < 0 || cfg.diurnal_amplitude > 1)
+        throw std::invalid_argument("diurnal amplitude must be in [0, 1]");
+    if (!(cfg.diurnal_periods > 0))
+        throw std::invalid_argument("diurnal periods must be positive");
+    if (cfg.rate * cfg.duration_s * peak_rate_multiplier(cfg) >
+        max_scheduled_ops)
+        throw std::invalid_argument(
+            "arrival schedule would exceed " +
+            std::to_string(static_cast<std::uint64_t>(max_scheduled_ops)) +
+            " ops; lower --rate or the duration");
+}
+
+namespace detail {
+
+/// Uniform double in [0, 1) with 53 random bits.
+inline double uniform01(xoroshiro128 &rng) {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Exponential inter-arrival gap at rate `lambda` (ops/s).
+inline double exp_gap(xoroshiro128 &rng, double lambda) {
+    // 1 - u is in (0, 1], so the log argument is never zero.
+    return -std::log(1.0 - uniform01(rng)) / lambda;
+}
+
+inline std::uint64_t to_ns(double seconds) {
+    return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+} // namespace detail
+
+/// Generate the per-thread schedules.  Deterministic: identical configs
+/// (seed included) produce identical schedules on every run and host.
+inline std::vector<thread_schedule>
+make_arrival_schedule(const arrival_config &cfg) {
+    validate_arrival_config(cfg);
+    std::vector<thread_schedule> out(cfg.threads);
+    const double per_thread = cfg.rate / cfg.threads;
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+        auto &sched = out[t];
+        sched.reserve(static_cast<std::size_t>(
+            per_thread * cfg.duration_s * peak_rate_multiplier(cfg) + 16));
+        if (cfg.kind == arrival_kind::steady) {
+            const double interval = 1.0 / per_thread;
+            const double offset = interval * t / cfg.threads; // phase
+            // Multiply instead of accumulating: n additions of the
+            // (inexact) interval drift enough to squeeze a spurious
+            // extra arrival in just under the duration boundary.
+            for (std::uint64_t n = 0;; ++n) {
+                const double at = offset + interval * n;
+                if (at >= cfg.duration_s)
+                    break;
+                sched.push_back(detail::to_ns(at));
+            }
+            continue;
+        }
+        // Distinct deterministic stream per thread; the golden-ratio
+        // stride keeps adjacent thread seeds far apart in the
+        // splitmix-seeded state space.
+        xoroshiro128 rng{cfg.seed + 0x9e3779b97f4a7c15ULL * (t + 1)};
+        const double peak = per_thread * peak_rate_multiplier(cfg);
+        double at = 0;
+        for (;;) {
+            at += detail::exp_gap(rng, peak);
+            if (at >= cfg.duration_s)
+                break;
+            if (cfg.kind != arrival_kind::poisson) {
+                // Thinning: accept in proportion to the instantaneous
+                // rate under the peak envelope.
+                const double accept = rate_multiplier_at(cfg, at) *
+                                      per_thread / peak;
+                if (detail::uniform01(rng) >= accept)
+                    continue;
+            }
+            sched.push_back(detail::to_ns(at));
+        }
+    }
+    return out;
+}
+
+/// Total arrivals across all threads of a generated schedule.
+inline std::uint64_t
+scheduled_ops(const std::vector<thread_schedule> &schedule) {
+    std::uint64_t n = 0;
+    for (const auto &s : schedule)
+        n += s.size();
+    return n;
+}
+
+} // namespace service
+} // namespace klsm

@@ -1,0 +1,132 @@
+#pragma once
+
+// SLO evaluation over an open-loop service run, and the binary-search
+// driver behind `--find-sustainable`.
+//
+// A service-level objective here is the production question the
+// closed-loop benchmarks cannot answer: "does intended-start p99 stay
+// under X ns while actually absorbing Y ops/s?".  Both halves matter —
+// a queue that falls behind serves its (few) completed ops quickly, so
+// a latency check alone would grade overload as a pass; the
+// achieved-rate floor closes that hole.
+
+#include <cstdint>
+#include <vector>
+
+#include "service/open_loop.hpp"
+#include "stats/latency_recorder.hpp"
+
+namespace klsm {
+namespace service {
+
+struct slo_config {
+    /// Intended-start p99 ceiling in ns; 0 = no latency objective (the
+    /// verdict then rests on the achieved-rate floor alone).
+    std::uint64_t p99_ns = 0;
+    /// The verdict fails when achieved_rate / offered_rate falls below
+    /// this fraction — the "at Y ops/s" half of the objective.
+    double min_achieved_fraction = 0.9;
+};
+
+struct slo_verdict {
+    /// Worst-op intended-start p99 across op kinds with samples.
+    std::uint64_t observed_p99_ns = 0;
+    double offered_rate = 0;
+    double achieved_rate = 0;
+    bool latency_ok = true;
+    bool rate_ok = true;
+    bool pass = true;
+};
+
+inline slo_verdict evaluate_slo(const slo_config &cfg,
+                                const service_result &res,
+                                double offered_rate) {
+    slo_verdict v;
+    v.offered_rate = offered_rate;
+    v.achieved_rate = res.achieved_rate();
+    for (unsigned op = 0; op < stats::op_kinds; ++op) {
+        const auto h = res.intended.merged(static_cast<stats::op_kind>(op));
+        if (h.count() > 0 && h.percentile(99) > v.observed_p99_ns)
+            v.observed_p99_ns = h.percentile(99);
+    }
+    v.latency_ok = cfg.p99_ns == 0 || v.observed_p99_ns <= cfg.p99_ns;
+    v.rate_ok = offered_rate <= 0 ||
+                v.achieved_rate >=
+                    cfg.min_achieved_fraction * offered_rate;
+    v.pass = v.latency_ok && v.rate_ok;
+    return v;
+}
+
+struct sustainable_probe {
+    double rate = 0;
+    bool pass = false;
+};
+
+struct sustainable_result {
+    /// Highest offered rate that passed the SLO (0 = nothing passed).
+    double rate = 0;
+    /// Every (rate, verdict) probe, in execution order.
+    std::vector<sustainable_probe> probes;
+};
+
+/// Find the highest sustainable offered rate by bracketing + bisection.
+/// `run` is a callable double -> bool: run a short window at that rate,
+/// return the SLO verdict.  From `initial_rate`: grow geometrically
+/// (x2, at most `max_doublings`) until a failure brackets the edge, or
+/// shrink (/2) until a pass does; then bisect the bracket until the
+/// probe budget runs out or it is within 5%.  Deterministic given a
+/// deterministic `run`.
+template <typename RunAtRate>
+sustainable_result find_sustainable_rate(RunAtRate &&run,
+                                         double initial_rate,
+                                         unsigned max_probes = 10,
+                                         unsigned max_doublings = 4) {
+    sustainable_result out;
+    auto probe = [&](double rate) {
+        const bool pass = run(rate);
+        out.probes.push_back({rate, pass});
+        if (pass && rate > out.rate)
+            out.rate = rate;
+        return pass;
+    };
+    double lo = 0, hi = 0;
+    if (probe(initial_rate)) {
+        lo = initial_rate;
+        double rate = initial_rate;
+        for (unsigned i = 0;
+             i < max_doublings && out.probes.size() < max_probes; ++i) {
+            rate *= 2;
+            if (!probe(rate)) {
+                hi = rate;
+                break;
+            }
+            lo = rate;
+        }
+        if (hi == 0)
+            return out; // never failed within the growth budget
+    } else {
+        hi = initial_rate;
+        double rate = initial_rate;
+        while (out.probes.size() < max_probes) {
+            rate /= 2;
+            if (probe(rate)) {
+                lo = rate;
+                break;
+            }
+            hi = rate;
+        }
+        if (lo == 0)
+            return out; // nothing passed within the probe budget
+    }
+    while (out.probes.size() < max_probes && hi - lo > 0.05 * hi) {
+        const double mid = (lo + hi) / 2;
+        if (probe(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return out;
+}
+
+} // namespace service
+} // namespace klsm

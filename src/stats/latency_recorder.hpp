@@ -122,6 +122,20 @@ public:
 
     thread_latency_slot &slot(unsigned t) { return slots_[t]; }
 
+    /// Direct record path for harnesses that stamp their own intervals —
+    /// the open-loop service harness records intended-start latency,
+    /// whose start is a schedule entry, not a now_ns() taken here (see
+    /// op_sample for the stamp-it-yourself case).  Honors the set's
+    /// stride exactly like op_sample: every call advances the phase,
+    /// every stride'th call records.
+    void record(unsigned t, op_kind op, std::uint64_t ns) {
+        if (!enabled())
+            return;
+        auto &s = slot(t);
+        if (s.should_sample(op, stride_))
+            s.record(op, ns);
+    }
+
     /// Fold all per-thread histograms for `op` into one.  Exact: the
     /// bucket layout is shared, so merge is bucket-wise addition.
     latency_histogram merged(op_kind op) const {

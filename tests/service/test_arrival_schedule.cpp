@@ -1,0 +1,180 @@
+#include "service/arrival_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace klsm {
+namespace service {
+namespace {
+
+arrival_config base_config(arrival_kind kind, double rate = 100000,
+                           unsigned threads = 4) {
+    arrival_config cfg;
+    cfg.kind = kind;
+    cfg.rate = rate;
+    cfg.duration_s = 1.0;
+    cfg.threads = threads;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(ArrivalSchedule, DeterministicAcrossCalls) {
+    for (auto kind : {arrival_kind::steady, arrival_kind::poisson,
+                      arrival_kind::spike, arrival_kind::diurnal}) {
+        const auto cfg = base_config(kind);
+        EXPECT_EQ(make_arrival_schedule(cfg), make_arrival_schedule(cfg))
+            << arrival_name(kind);
+    }
+}
+
+TEST(ArrivalSchedule, SeedChangesRandomSchedules) {
+    auto cfg = base_config(arrival_kind::poisson);
+    const auto a = make_arrival_schedule(cfg);
+    cfg.seed = 43;
+    EXPECT_NE(a, make_arrival_schedule(cfg));
+}
+
+TEST(ArrivalSchedule, SteadyIgnoresSeed) {
+    auto cfg = base_config(arrival_kind::steady);
+    const auto a = make_arrival_schedule(cfg);
+    cfg.seed = 43;
+    EXPECT_EQ(a, make_arrival_schedule(cfg));
+}
+
+TEST(ArrivalSchedule, SortedAndBounded) {
+    for (auto kind : {arrival_kind::steady, arrival_kind::poisson,
+                      arrival_kind::spike, arrival_kind::diurnal}) {
+        const auto cfg = base_config(kind);
+        const auto schedule = make_arrival_schedule(cfg);
+        ASSERT_EQ(schedule.size(), cfg.threads);
+        for (const auto &sched : schedule) {
+            EXPECT_TRUE(std::is_sorted(sched.begin(), sched.end()));
+            ASSERT_FALSE(sched.empty());
+            EXPECT_LT(sched.back(),
+                      static_cast<std::uint64_t>(cfg.duration_s * 1e9));
+        }
+    }
+}
+
+TEST(ArrivalSchedule, SteadyHitsExactCountAndSpacing) {
+    const auto cfg = base_config(arrival_kind::steady, 40000, 4);
+    const auto schedule = make_arrival_schedule(cfg);
+    // 10000 per thread at exactly 100us apart.
+    for (const auto &sched : schedule) {
+        ASSERT_EQ(sched.size(), 10000u);
+        for (std::size_t i = 1; i < sched.size(); ++i)
+            EXPECT_NEAR(static_cast<double>(sched[i] - sched[i - 1]),
+                        100000.0, 1.0);
+    }
+    // Threads are phase-offset, not in lockstep.
+    EXPECT_NE(schedule[0][0], schedule[1][0]);
+}
+
+TEST(ArrivalSchedule, PoissonMeanRateWithinTolerance) {
+    const auto cfg = base_config(arrival_kind::poisson, 200000, 4);
+    const auto n = scheduled_ops(make_arrival_schedule(cfg));
+    // 200k expected arrivals; 5 sigma of a Poisson count is ~0.1%.
+    EXPECT_NEAR(static_cast<double>(n), 200000.0, 5 * std::sqrt(200000.0));
+}
+
+TEST(ArrivalSchedule, SteadyMeanRateIsExact) {
+    const auto cfg = base_config(arrival_kind::steady, 200000, 4);
+    EXPECT_EQ(scheduled_ops(make_arrival_schedule(cfg)), 200000u);
+}
+
+TEST(ArrivalSchedule, SpikeWindowIsDenser) {
+    auto cfg = base_config(arrival_kind::spike, 100000, 2);
+    cfg.spike_fraction = 0.2;
+    cfg.spike_multiplier = 8.0;
+    const auto schedule = make_arrival_schedule(cfg);
+    // Count arrivals inside the centered window vs a same-width slice
+    // of the off-window baseline.
+    const auto ns = [](double s) {
+        return static_cast<std::uint64_t>(s * 1e9);
+    };
+    std::uint64_t in_window = 0, baseline = 0;
+    for (const auto &sched : schedule) {
+        for (const auto at : sched) {
+            if (at >= ns(0.4) && at < ns(0.6))
+                ++in_window;
+            else if (at < ns(0.2))
+                ++baseline;
+        }
+    }
+    // The window runs at 8x the base rate; thinning noise is well under
+    // the 2x slack this asserts.
+    EXPECT_GT(in_window, 4 * baseline);
+    EXPECT_GT(baseline, 0u);
+}
+
+TEST(ArrivalSchedule, DiurnalHalvesAreAsymmetric) {
+    auto cfg = base_config(arrival_kind::diurnal, 100000, 2);
+    cfg.diurnal_amplitude = 0.75;
+    cfg.diurnal_periods = 1.0;
+    const auto schedule = make_arrival_schedule(cfg);
+    // sin is positive over the first half cycle, negative over the
+    // second: the first half must carry well more than half the load.
+    std::uint64_t first = 0, second = 0;
+    for (const auto &sched : schedule)
+        for (const auto at : sched)
+            (at < 500000000u ? first : second) += 1;
+    EXPECT_GT(first, second + second / 2);
+}
+
+TEST(ArrivalSchedule, OfferedMatchesTheRateIntegral) {
+    // spike offers rate * (1 + frac * (mult - 1)); diurnal's sinusoid
+    // integrates to zero over whole periods, so it offers ~rate.
+    auto spike = base_config(arrival_kind::spike, 100000, 2);
+    spike.spike_fraction = 0.1;
+    spike.spike_multiplier = 8.0;
+    const double spike_expected = 100000 * (1 + 0.1 * 7);
+    EXPECT_NEAR(static_cast<double>(
+                    scheduled_ops(make_arrival_schedule(spike))),
+                spike_expected, 5 * std::sqrt(spike_expected));
+    const auto diurnal = base_config(arrival_kind::diurnal, 100000, 2);
+    EXPECT_NEAR(static_cast<double>(
+                    scheduled_ops(make_arrival_schedule(diurnal))),
+                100000.0, 5 * std::sqrt(100000.0));
+}
+
+TEST(ArrivalSchedule, ParseRoundTrips) {
+    for (auto kind : {arrival_kind::steady, arrival_kind::poisson,
+                      arrival_kind::spike, arrival_kind::diurnal}) {
+        const auto parsed = parse_arrival(arrival_name(kind));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(parse_arrival("bursty").has_value());
+    EXPECT_FALSE(parse_arrival("").has_value());
+}
+
+TEST(ArrivalSchedule, InvalidConfigsThrow) {
+    auto bad = [](auto mutate) {
+        auto cfg = base_config(arrival_kind::poisson);
+        mutate(cfg);
+        EXPECT_THROW(make_arrival_schedule(cfg), std::invalid_argument);
+    };
+    bad([](arrival_config &c) { c.rate = 0; });
+    bad([](arrival_config &c) { c.rate = -1; });
+    bad([](arrival_config &c) { c.duration_s = 0; });
+    bad([](arrival_config &c) { c.threads = 0; });
+    bad([](arrival_config &c) {
+        c.kind = arrival_kind::spike;
+        c.spike_fraction = 1.5;
+    });
+    bad([](arrival_config &c) {
+        c.kind = arrival_kind::spike;
+        c.spike_multiplier = 0.5;
+    });
+    bad([](arrival_config &c) {
+        c.kind = arrival_kind::diurnal;
+        c.diurnal_amplitude = 2.0;
+    });
+    bad([](arrival_config &c) { c.rate = 1e12; }); // schedule cap
+}
+
+} // namespace
+} // namespace service
+} // namespace klsm

@@ -1,0 +1,247 @@
+#include "service/open_loop.hpp"
+
+#include "harness/workload.hpp"
+#include "klsm/k_lsm.hpp"
+#include "service/arrival_schedule.hpp"
+#include "service/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+namespace klsm {
+namespace service {
+namespace {
+
+using queue_t = k_lsm<std::uint32_t, std::uint64_t>;
+
+arrival_config quick_config(arrival_kind kind, double rate,
+                            unsigned threads, double duration_s = 0.1) {
+    arrival_config cfg;
+    cfg.kind = kind;
+    cfg.rate = rate;
+    cfg.duration_s = duration_s;
+    cfg.threads = threads;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::uint64_t worst_p99(const stats::latency_recorder_set &recs) {
+    std::uint64_t worst = 0;
+    for (unsigned op = 0; op < stats::op_kinds; ++op) {
+        const auto h = recs.merged(static_cast<stats::op_kind>(op));
+        if (h.count() > 0 && h.percentile(99) > worst)
+            worst = h.percentile(99);
+    }
+    return worst;
+}
+
+TEST(OpenLoop, ServesEveryScheduledArrival) {
+    queue_t q{256};
+    prefill_queue(q, 2000, 1);
+    const auto acfg = quick_config(arrival_kind::poisson, 100000, 4);
+    const auto schedule = make_arrival_schedule(acfg);
+    service_params params;
+    params.threads = 4;
+    params.seed = 7;
+    const auto res = run_service(q, params, schedule);
+    EXPECT_EQ(res.scheduled_ops, scheduled_ops(schedule));
+    EXPECT_EQ(res.completed_ops, res.scheduled_ops);
+    EXPECT_EQ(res.inserts + res.deletes + res.failed_deletes,
+              res.completed_ops);
+    EXPECT_GT(res.elapsed_s, 0.0);
+    EXPECT_GT(res.achieved_rate(), 0.0);
+    // Both distributions hold exactly the served (non-failed) ops.
+    for (unsigned op = 0; op < stats::op_kinds; ++op) {
+        const auto kind = static_cast<stats::op_kind>(op);
+        EXPECT_EQ(res.intended.merged(kind).count(),
+                  res.completion.merged(kind).count());
+    }
+    const auto served =
+        res.intended.merged(stats::op_kind::insert).count() +
+        res.intended.merged(stats::op_kind::delete_min).count();
+    EXPECT_EQ(served, res.completed_ops - res.failed_deletes);
+}
+
+TEST(OpenLoop, IntendedDominatesCompletionPercentiles) {
+    queue_t q{256};
+    prefill_queue(q, 2000, 1);
+    const auto acfg = quick_config(arrival_kind::steady, 50000, 2);
+    const auto schedule = make_arrival_schedule(acfg);
+    service_params params;
+    params.threads = 2;
+    const auto res = run_service(q, params, schedule);
+    for (unsigned op = 0; op < stats::op_kinds; ++op) {
+        const auto kind = static_cast<stats::op_kind>(op);
+        const auto intended = res.intended.merged(kind);
+        const auto completion = res.completion.merged(kind);
+        if (intended.count() == 0)
+            continue;
+        for (const double p : {50.0, 90.0, 99.0}) {
+            EXPECT_GE(intended.percentile(p), completion.percentile(p))
+                << stats::op_name(kind) << " p" << p;
+        }
+        EXPECT_GE(intended.max(), completion.max());
+    }
+}
+
+TEST(OpenLoop, InsertOnlyMixRecordsNoDeletes) {
+    queue_t q{256};
+    const auto acfg = quick_config(arrival_kind::steady, 20000, 1, 0.05);
+    service_params params;
+    params.threads = 1;
+    params.insert_percent = 100;
+    const auto res = run_service(q, params, make_arrival_schedule(acfg));
+    EXPECT_EQ(res.inserts, res.completed_ops);
+    EXPECT_EQ(res.deletes, 0u);
+    EXPECT_EQ(res.intended.merged(stats::op_kind::delete_min).count(),
+              0u);
+}
+
+TEST(OpenLoop, SchedulePerThreadMismatchThrows) {
+    queue_t q{256};
+    const auto acfg = quick_config(arrival_kind::steady, 10000, 2, 0.05);
+    service_params params;
+    params.threads = 3;
+    EXPECT_THROW(run_service(q, params, make_arrival_schedule(acfg)),
+                 std::invalid_argument);
+}
+
+// A consumer that periodically stalls: the scenario where closed-loop
+// (start-to-completion) latency lies and the intended-start
+// distribution tells the truth.  Only the stalled ops themselves carry
+// a slow service time (far below the 1% tail), but every arrival queued
+// behind a stall carries real queueing delay into intended-start — so
+// intended p99 inflates while completion p99 stays flat.
+struct stalling_pq {
+    using key_type = std::uint32_t;
+    using value_type = std::uint64_t;
+    std::mutex mu;
+    std::priority_queue<key_type, std::vector<key_type>,
+                        std::greater<key_type>>
+        heap;
+    std::uint64_t served = 0;
+    std::uint64_t stall_every;
+    std::chrono::milliseconds stall{8};
+
+    explicit stalling_pq(std::uint64_t every) : stall_every(every) {}
+
+    void insert(key_type key, value_type) {
+        std::lock_guard<std::mutex> lock(mu);
+        heap.push(key);
+    }
+    bool try_delete_min(key_type &key, value_type &value) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (++served % stall_every == 0)
+            std::this_thread::sleep_for(stall);
+        if (heap.empty())
+            return false;
+        key = heap.top();
+        heap.pop();
+        value = 0;
+        return true;
+    }
+};
+
+TEST(OpenLoop, StalledConsumerInflatesIntendedNotCompletion) {
+    stalling_pq q{400}; // ~12 stalls of 8ms across 5000 ops
+    for (std::uint32_t i = 0; i < 6000; ++i)
+        q.insert(i, 0);
+    const auto acfg = quick_config(arrival_kind::steady, 25000, 1, 0.2);
+    const auto schedule = make_arrival_schedule(acfg);
+    service_params params;
+    params.threads = 1;
+    params.insert_percent = 0; // consume only
+    const auto res = run_service(q, params, schedule);
+    ASSERT_EQ(res.completed_ops, res.scheduled_ops);
+    ASSERT_EQ(res.failed_deletes, 0u);
+    const auto intended_p99 = worst_p99(res.intended);
+    const auto completion_p99 = worst_p99(res.completion);
+    // Each 8ms stall backs up ~200 arrivals (40us spacing): well over
+    // 1% of ops carry multi-ms queueing delay, while the stalled ops
+    // themselves are ~0.25% — under the completion p99's tail.
+    EXPECT_GE(intended_p99, 2000000u) << "stalls not visible in "
+                                         "intended-start p99";
+    EXPECT_GE(intended_p99, 4 * completion_p99)
+        << "intended p99 " << intended_p99 << " vs completion p99 "
+        << completion_p99;
+    // The harness booked the stall fallout as lateness and backlog.
+    EXPECT_GT(res.late_ops, 0u);
+    EXPECT_GE(res.max_lateness_ns, 2000000u);
+    EXPECT_GT(res.backlog_max, 50u);
+}
+
+TEST(Slo, VerdictCombinesLatencyAndRate) {
+    service_result res;
+    stats::latency_recorder_set intended{1, 1};
+    for (int i = 0; i < 100; ++i)
+        intended.record(0, stats::op_kind::insert, 1000);
+    intended.record(0, stats::op_kind::delete_min, 9000000);
+    res.intended = std::move(intended);
+    res.completed_ops = 101;
+    res.elapsed_s = 1.0;
+
+    slo_config cfg;
+    cfg.p99_ns = 10000000; // 10ms, above the worst op
+    cfg.min_achieved_fraction = 0.9;
+    auto v = evaluate_slo(cfg, res, 100.0);
+    EXPECT_TRUE(v.latency_ok);
+    EXPECT_TRUE(v.rate_ok);
+    EXPECT_TRUE(v.pass);
+    // observed is the WORST op kind's intended p99.
+    EXPECT_GE(v.observed_p99_ns, 9000000u);
+
+    cfg.p99_ns = 1000000; // 1ms, below the delete_min tail
+    v = evaluate_slo(cfg, res, 100.0);
+    EXPECT_FALSE(v.latency_ok);
+    EXPECT_TRUE(v.rate_ok);
+    EXPECT_FALSE(v.pass);
+
+    cfg.p99_ns = 0; // no latency objective: rate floor alone decides
+    v = evaluate_slo(cfg, res, 1000.0); // achieved 101 < 0.9 * 1000
+    EXPECT_TRUE(v.latency_ok);
+    EXPECT_FALSE(v.rate_ok);
+    EXPECT_FALSE(v.pass);
+}
+
+TEST(Sustainable, ConvergesIntoTheBracket) {
+    // Synthetic SLO edge at 37k ops/s, starting below it.
+    const auto run = [](double rate) { return rate <= 37000.0; };
+    const auto result = find_sustainable_rate(run, 10000.0);
+    EXPECT_GE(result.rate, 20000.0);
+    EXPECT_LE(result.rate, 37000.0);
+    // Converged: the bracket around the edge is within 5%.
+    EXPECT_GE(result.rate, 37000.0 * 0.9);
+    EXPECT_LE(result.probes.size(), 10u);
+    for (const auto &probe : result.probes)
+        EXPECT_EQ(probe.pass, run(probe.rate));
+}
+
+TEST(Sustainable, ConvergesFromAbove) {
+    const auto run = [](double rate) { return rate <= 37000.0; };
+    const auto result = find_sustainable_rate(run, 320000.0);
+    EXPECT_LE(result.rate, 37000.0);
+    EXPECT_GE(result.rate, 37000.0 * 0.9);
+}
+
+TEST(Sustainable, AllFailReportsZero) {
+    const auto result =
+        find_sustainable_rate([](double) { return false; }, 100000.0);
+    EXPECT_EQ(result.rate, 0.0);
+    EXPECT_LE(result.probes.size(), 10u);
+}
+
+TEST(Sustainable, AllPassStopsAtTheGrowthBudget) {
+    const auto result =
+        find_sustainable_rate([](double) { return true; }, 1000.0);
+    // initial * 2^max_doublings with the default budget of 4.
+    EXPECT_EQ(result.rate, 16000.0);
+    EXPECT_EQ(result.probes.size(), 5u);
+}
+
+} // namespace
+} // namespace service
+} // namespace klsm
