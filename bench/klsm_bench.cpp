@@ -49,6 +49,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/erdos_renyi.hpp"
 #include "graph/parallel_sssp.hpp"
+#include "harness/churn.hpp"
 #include "harness/quality.hpp"
 #include "harness/reporter.hpp"
 #include "harness/throughput.hpp"
@@ -105,6 +106,16 @@ struct bench_config {
     /// Emit a `memory` telemetry object per record (README "Memory
     /// placement").
     bool alloc_stats = false;
+    /// Reclamation tier (mm/reclaim/): cross-thread freelist recycling
+    /// and/or epoch-driven pool shrink inside the k-LSM family's pools.
+    klsm::mm::reclaim_config reclaim{};
+    /// Back pool chunks with explicit huge pages (MAP_HUGETLB, with
+    /// transparent-huge-page fallback) where the platform allows.
+    bool huge_pages = false;
+    /// Churn workload (harness/churn.hpp): ops per thread per phase and
+    /// the timeline sampling cadence.
+    std::uint64_t churn_ops = 50000;
+    double sample_interval_ms = 50.0;
     /// Service workload (src/service/): open-loop arrival process,
     /// offered rate, SLO thresholds, sustainable-rate search.
     klsm::service::arrival_kind arrival =
@@ -126,9 +137,12 @@ struct bench_config {
 
 /// The placement the non-sharded k-LSM structures use: the configured
 /// policy targeted at the constructing thread's current node (the only
-/// sensible single target; numa_klsm overrides per shard).
-klsm::mm::mem_placement family_placement(klsm::mm::numa_alloc_policy p) {
-    return {p, klsm::topo::current_node(klsm::topo::topology::system())};
+/// sensible single target; numa_klsm overrides per shard).  Reclamation
+/// and huge-page settings ride inside the placement.
+klsm::mm::mem_placement family_placement(const bench_config &cfg) {
+    return {cfg.numa_alloc,
+            klsm::topo::current_node(klsm::topo::topology::system()),
+            cfg.huge_pages, cfg.reclaim};
 }
 
 /// Construct the structure named `name` for key/value types K, V and
@@ -136,13 +150,12 @@ klsm::mm::mem_placement family_placement(klsm::mm::numa_alloc_policy p) {
 /// unknown name so the caller can exit with a usage error.
 template <typename K, typename V, typename Fn>
 bool with_structure(const std::string &name, unsigned threads,
-                    std::size_t k, klsm::mm::numa_alloc_policy alloc,
-                    Fn &&fn) {
+                    std::size_t k, const bench_config &cfg, Fn &&fn) {
     if (name == "klsm") {
-        klsm::k_lsm<K, V> q{k, {}, family_placement(alloc)};
+        klsm::k_lsm<K, V> q{k, {}, family_placement(cfg)};
         fn(q);
     } else if (name == "dlsm") {
-        klsm::dist_pq<K, V> q{family_placement(alloc)};
+        klsm::dist_pq<K, V> q{family_placement(cfg)};
         fn(q);
     } else if (name == "multiqueue") {
         klsm::multiqueue<K, V> q{threads, 2};
@@ -164,7 +177,8 @@ bool with_structure(const std::string &name, unsigned threads,
         fn(q);
     } else if (name == "numa_klsm") {
         klsm::numa_klsm<K, V> q{k, klsm::topo::topology::system(), {},
-                                alloc};
+                                cfg.numa_alloc, cfg.reclaim,
+                                cfg.huge_pages};
         fn(q);
     } else {
         std::cerr << "unknown structure: " << name
@@ -259,7 +273,7 @@ int run_throughput_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg.numa_alloc,
+                    name, threads, build_k(cfg, name), cfg,
                     [&](auto &q) {
                         klsm::prefill_queue(q, cfg.prefill, cfg.seed);
                         with_adaptation(q, cfg, name, threads, [&](
@@ -314,6 +328,75 @@ int run_throughput_workload(const bench_config &cfg,
     return 0;
 }
 
+/// The churn soak workload (harness/churn.hpp): a four-phase program of
+/// key-range shifts, an insert surge, and bursty drains, with the queue
+/// quiesced and shrunk at every phase boundary.  Each record carries a
+/// `memory_timeline` object — RSS and pool-counter samples over the run
+/// plus the derived plateau verdict.  The timeline is reported here and
+/// *enforced* by scripts/check_memory_schema.py --bench-churn (shrink
+/// events observed, final RSS on the steady-phase plateau), so a soak
+/// regression fails CI without making every local bench run brittle.
+int run_churn_workload(const bench_config &cfg,
+                       klsm::json_reporter &json) {
+    klsm::table_reporter report({"structure", "pin", "threads", "ops",
+                                 "ops/s", "shrinks", "rss_hw_mb",
+                                 "plateau"},
+                                cfg.csv,
+                                cfg.json_to_stdout ? std::cerr : std::cout);
+    for (const auto &pin : cfg.pins) {
+        const auto cpus = pin_order(pin);
+        for (const auto threads_i : cfg.threads_list) {
+            const auto threads = static_cast<unsigned>(threads_i);
+            for (const auto &name : cfg.structures) {
+                const bool ok = with_structure<bench_key, bench_val>(
+                    name, threads, build_k(cfg, name), cfg,
+                    [&](auto &q) {
+                        klsm::churn_params params;
+                        params.threads = threads;
+                        params.ops_per_phase = cfg.churn_ops;
+                        params.prefill = cfg.prefill;
+                        params.seed = cfg.seed;
+                        params.sample_interval_s =
+                            cfg.sample_interval_ms / 1000.0;
+                        params.pin_cpus = cpus;
+                        const auto res = klsm::run_churn(q, params);
+                        const auto &tl = res.timeline;
+                        const double ops_per_sec =
+                            res.elapsed_s > 0
+                                ? static_cast<double>(res.total_ops()) /
+                                      res.elapsed_s
+                                : 0.0;
+                        report.row(
+                            name, pin, threads, res.total_ops(),
+                            ops_per_sec, tl.shrink_events,
+                            static_cast<double>(tl.rss_high_water_bytes) /
+                                (1024.0 * 1024.0),
+                            !tl.rss_reliable ? "n/a"
+                            : tl.plateau_ok  ? "ok"
+                                             : "FAIL");
+                        auto &rec = json.add_record();
+                        rec.set("structure", name);
+                        rec.set("pin", pin);
+                        rec.set("threads", threads);
+                        rec.set("prefill", cfg.prefill);
+                        rec.set("ops", res.total_ops());
+                        rec.set("inserts", res.inserts);
+                        rec.set("deletes", res.deletes);
+                        rec.set("failed_deletes", res.failed_deletes);
+                        rec.set("pin_failures", res.pin_failures);
+                        rec.set("elapsed_s", res.elapsed_s);
+                        rec.set("ops_per_sec", ops_per_sec);
+                        rec.set_raw("memory_timeline", tl.to_json());
+                        attach_memory(rec, q, cfg);
+                    });
+                if (!ok)
+                    return 2;
+            }
+        }
+    }
+    return 0;
+}
+
 /// The open-loop service workload: one record per (structure, pin,
 /// threads) point, each carrying `service` telemetry and an `slo`
 /// verdict.  A failed verdict is *reported* but only fails the run
@@ -332,7 +415,7 @@ int run_service_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg.numa_alloc,
+                    name, threads, build_k(cfg, name), cfg,
                     [&](auto &q) {
                         klsm::prefill_queue(q, cfg.prefill, cfg.seed);
                         with_adaptation(q, cfg, name, threads, [&](
@@ -487,7 +570,7 @@ int run_quality_workload(const bench_config &cfg,
             const auto threads = static_cast<unsigned>(threads_i);
             for (const auto &name : cfg.structures) {
                 const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg.numa_alloc,
+                    name, threads, build_k(cfg, name), cfg,
                     [&](auto &q) {
                         with_adaptation(q, cfg, name, threads, [&](
                                             auto adaptor) {
@@ -660,7 +743,7 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
                     klsm::k_lsm<std::uint64_t, std::uint32_t,
                                 klsm::sssp_lazy>
                         q{build_k(cfg, name), klsm::sssp_lazy{&state},
-                          family_placement(cfg.numa_alloc)};
+                          family_placement(cfg)};
                     with_adaptation(q, cfg, name, threads,
                                     [&](auto adaptor) {
                                         run_one(name, pin, cpus, threads,
@@ -672,7 +755,7 @@ int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
                 const bool ok =
                     with_structure<std::uint64_t, std::uint32_t>(
                         name, threads, build_k(cfg, name),
-                        cfg.numa_alloc, [&](auto &q) {
+                        cfg, [&](auto &q) {
                             with_adaptation(
                                 q, cfg, name, threads, [&](auto adaptor) {
                                     run_one(name, pin, cpus, threads,
@@ -694,7 +777,8 @@ int main(int argc, char **argv) {
         "Unified k-LSM benchmark driver: one CLI for every structure and "
         "workload, one JSON report per invocation");
     cli.add_flag("workload", "throughput",
-                 "workload: throughput | quality | sssp | service");
+                 "workload: throughput | quality | sssp | service | "
+                 "churn");
     cli.add_flag("benchmark", "",
                  "alias for --workload (overrides it when set)");
     cli.add_flag("structure", "klsm",
@@ -762,6 +846,25 @@ int main(int argc, char **argv) {
                       "emit a `memory` allocation-telemetry object per "
                       "record (chunks/bytes/reuse per pool, resident-"
                       "node histogram where move_pages is queryable)");
+    cli.add_flag("reclaim", "auto",
+                 "pool reclamation tier for the k-LSM family: auto "
+                 "(full for churn, none otherwise) | none | freelist "
+                 "(cross-thread recycling) | shrink (return cold "
+                 "chunks to the OS) | full (both)");
+    cli.add_flag("reclaim-period", "512",
+                 "reclaim: allocations between pool maintenance steps");
+    cli.add_flag("reclaim-grace", "2",
+                 "reclaim: maintenance inspections a chunk must stay "
+                 "cold before its pages are released");
+    cli.add_bool_flag("huge-pages", false,
+                      "back pool chunks with explicit huge pages "
+                      "(MAP_HUGETLB), falling back to transparent-huge-"
+                      "page advice, then to normal pages");
+    cli.add_flag("churn-ops", "50000",
+                 "churn: operations per thread per phase");
+    cli.add_flag("sample-interval-ms", "50",
+                 "churn: memory-timeline sampling period in "
+                 "milliseconds");
     cli.add_bool_flag("smoke", false,
                       "tiny parameters, all checks on: the CI smoke mode");
     cli.add_flag("json-out", "",
@@ -816,6 +919,45 @@ int main(int argc, char **argv) {
     }
     cfg.numa_alloc = *numa_alloc;
     cfg.alloc_stats = cli.get_bool("alloc-stats");
+    if (cli.get("reclaim") == "auto") {
+        // Churn is the reclamation soak: exercising the full tier is
+        // the point.  Everywhere else the tier defaults off so perf
+        // baselines keep their exact pre-reclaim allocation behavior.
+        cfg.reclaim.policy = cfg.workload == "churn"
+                                 ? klsm::mm::reclaim_policy::full
+                                 : klsm::mm::reclaim_policy::none;
+    } else {
+        klsm::mm::reclaim_policy rp;
+        if (!klsm::mm::reclaim::parse_reclaim_policy(
+                cli.get("reclaim").c_str(), rp)) {
+            std::cerr << "unknown --reclaim policy: " << cli.get("reclaim")
+                      << " (expected auto, none, freelist, shrink, or "
+                         "full)\n";
+            return 2;
+        }
+        cfg.reclaim.policy = rp;
+    }
+    cfg.reclaim.maintenance_period =
+        static_cast<std::uint32_t>(cli.get_uint64("reclaim-period"));
+    cfg.reclaim.grace_inspections =
+        static_cast<std::uint32_t>(cli.get_uint64("reclaim-grace"));
+    if (cfg.reclaim.maintenance_period == 0) {
+        std::cerr << "--reclaim-period must be positive\n";
+        return 2;
+    }
+    cfg.huge_pages = cli.get_bool("huge-pages");
+    cfg.churn_ops = cli.get_uint64("churn-ops");
+    cfg.sample_interval_ms = cli.get_double("sample-interval-ms");
+    if (cfg.workload == "churn") {
+        if (cfg.churn_ops == 0) {
+            std::cerr << "--churn-ops must be positive\n";
+            return 2;
+        }
+        if (cfg.sample_interval_ms <= 0) {
+            std::cerr << "--sample-interval-ms must be positive\n";
+            return 2;
+        }
+    }
     cfg.smoke = cli.get_bool("smoke");
     cfg.csv = cli.get_bool("csv");
     cfg.json_to_stdout = cli.get("json-out") == "-";
@@ -863,6 +1005,8 @@ int main(int argc, char **argv) {
         cfg.prefill = 2000;
         cfg.duration_s = 0.05;
         cfg.ops_per_thread = 2000;
+        cfg.churn_ops = std::min<std::uint64_t>(cfg.churn_ops, 5000);
+        cfg.sample_interval_ms = std::min(cfg.sample_interval_ms, 10.0);
         cfg.nodes = 200;
         cfg.edge_prob = 0.1;
         if (cfg.threads_list.size() > 2)
@@ -913,6 +1057,12 @@ int main(int argc, char **argv) {
     json.meta().set("numa_alloc",
                     klsm::mm::numa_alloc_policy_name(cfg.numa_alloc));
     json.meta().set("alloc_stats", cfg.alloc_stats);
+    json.meta().set("reclaim",
+                    klsm::mm::reclaim::reclaim_policy_name(
+                        cfg.reclaim.policy));
+    json.meta().set("reclaim_period", cfg.reclaim.maintenance_period);
+    json.meta().set("reclaim_grace", cfg.reclaim.grace_inspections);
+    json.meta().set("huge_pages", cfg.huge_pages);
     if (cfg.adaptive) {
         json.meta().set("k_min", cfg.k_min);
         json.meta().set("k_max", cfg.k_max);
@@ -942,6 +1092,11 @@ int main(int argc, char **argv) {
         status = run_quality_workload(cfg, json);
     } else if (cfg.workload == "sssp") {
         status = run_sssp_workload(cfg, json);
+    } else if (cfg.workload == "churn") {
+        json.meta().set("churn_ops", cfg.churn_ops);
+        json.meta().set("sample_interval_ms", cfg.sample_interval_ms);
+        json.meta().set("prefill", cfg.prefill);
+        status = run_churn_workload(cfg, json);
     } else if (cfg.workload == "service") {
         json.meta().set("arrival",
                         klsm::service::arrival_name(cfg.arrival));
@@ -955,8 +1110,8 @@ int main(int argc, char **argv) {
         status = run_service_workload(cfg, json);
     } else {
         std::cerr << "unknown workload: " << cfg.workload
-                  << " (expected throughput, quality, sssp, or "
-                     "service)\n";
+                  << " (expected throughput, quality, sssp, service, "
+                     "or churn)\n";
         return 2;
     }
     if (status == 2)

@@ -21,7 +21,13 @@ candidate regresses beyond the configured thresholds:
     more than --throughput-tolerance, intended-start percentiles (the
     coordinated-omission-correct distribution) growing past the latency
     thresholds, and the `slo` verdict flipping pass -> fail (a flip is
-    always a regression; both sides already failing only warns).
+    always a regression; both sides already failing only warns);
+  * churn workload: ops_per_sec like throughput, plus the
+    `memory_timeline` footprint — rss_high_water_bytes growing by more
+    than --rss-tolerance (default 0.5) is an enforcing regression when
+    BOTH reports sampled RSS reliably (rss_reliable true; sanitizer and
+    non-Linux runs only warn), and a plateau verdict flipping
+    ok -> FAIL regresses like an SLO flip.
 
 `--sweep` additionally bucket-merges every matched record of a
 (benchmark, structure) group — across threads and pin policies — and
@@ -174,6 +180,8 @@ def fmt_key(key):
 def fmt_value(value, unit):
     if unit == "ops/s":
         return f"{value:,.0f} ops/s"
+    if unit == "B":
+        return f"{value / (1024.0 * 1024.0):,.1f} MB"
     return f"{value:,.0f} ns"
 
 
@@ -301,6 +309,46 @@ def compare_service(findings, key, base_record, cand_record, args):
                 f"was already failing)"))
 
 
+def compare_churn(findings, key, base_record, cand_record, args):
+    """Churn soak comparison: throughput like any closed-loop workload,
+    plus the memory footprint.  The RSS high-water gate is enforcing
+    only when both runs sampled RSS reliably — under sanitizers (shadow
+    memory dominates RSS) or off-Linux the samples are marked
+    unreliable at the source and the comparison demotes to a warning."""
+    compare_metric(findings, key, "ops_per_sec",
+                   base_record.get("ops_per_sec"),
+                   cand_record.get("ops_per_sec"),
+                   args.throughput_tolerance, False, "ops/s")
+    base_tl = base_record.get("memory_timeline")
+    cand_tl = cand_record.get("memory_timeline")
+    if not base_tl or not cand_tl:
+        side = "baseline" if not base_tl else "candidate"
+        findings.append((
+            "warn", f"{fmt_key(key)}: {side} record has no "
+            f"memory_timeline; skipping"))
+        return
+    both_reliable = (base_tl.get("rss_reliable")
+                     and cand_tl.get("rss_reliable"))
+    compare_metric(findings, key, "rss_high_water_bytes",
+                   base_tl.get("rss_high_water_bytes"),
+                   cand_tl.get("rss_high_water_bytes"),
+                   args.rss_tolerance, True, "B",
+                   regression_severity="regression" if both_reliable
+                   else "warn")
+    if not both_reliable:
+        findings.append((
+            "warn",
+            f"{fmt_key(key)}: RSS sampling unreliable on at least one "
+            f"side; footprint comparison is advisory"))
+    if (both_reliable and base_tl.get("plateau_ok")
+            and cand_tl.get("plateau_ok") is False):
+        findings.append((
+            "regression",
+            f"{fmt_key(key)} plateau: verdict flipped ok -> FAIL "
+            f"(ratio {cand_tl.get('plateau_ratio', 0):.2f} over "
+            f"tolerance {cand_tl.get('plateau_tolerance', 0):.2f})"))
+
+
 def latency_severity(args):
     """Latency findings demote to warnings under --latency-warn-only —
     the mode the CI baseline gate uses: throughput is enforced, but
@@ -340,6 +388,9 @@ def compare_reports(base, cand, args):
         elif benchmark == "service":
             compare_service(findings, key, base_record, cand_record,
                             args)
+        elif benchmark == "churn":
+            compare_churn(findings, key, base_record, cand_record,
+                          args)
         base_lat = base_record.get("latency")
         cand_lat = cand_record.get("latency")
         if base_lat and cand_lat:
@@ -588,6 +639,50 @@ def self_test(args_factory):
     check("latency-warn-only still enforces achieved_rate",
           compare_reports(svc_base, svc_both, lat_warn_args), True)
 
+    # Churn records: throughput enforces, the RSS high-water gate
+    # enforces only when both sides sampled RSS reliably, and a
+    # plateau ok -> FAIL flip is a regression on its own.
+    def _churn_report(ops_per_sec, rss_hw, reliable=True,
+                      plateau_ok=True):
+        record = {
+            "structure": "klsm", "pin": "none", "threads": 2,
+            "ops_per_sec": ops_per_sec,
+            "memory_timeline": {
+                "rss_reliable": reliable,
+                "shrink_events": 3,
+                "rss_high_water_bytes": rss_hw,
+                "steady_rss_high_water_bytes": rss_hw,
+                "final_rss_bytes": rss_hw // 2,
+                "pool_high_water_bytes": rss_hw // 2,
+                "plateau_tolerance": 0.25,
+                "plateau_ratio": 2.0 if not plateau_ok else 0.5,
+                "plateau_ok": plateau_ok,
+                "phases": [], "samples": []}}
+        return {"benchmark": "churn", "records": [record]}
+
+    churn_base = _churn_report(1e6, 100 << 20)
+    check("churn self-comparison is clean",
+          compare_reports(churn_base, churn_base, args), False)
+    check("halved churn throughput regresses",
+          compare_reports(churn_base, _churn_report(0.4e6, 100 << 20),
+                          args), True)
+    check("doubled RSS high-water regresses",
+          compare_reports(churn_base, _churn_report(1e6, 200 << 20),
+                          args), True)
+    check("RSS growth within tolerance is clean",
+          compare_reports(churn_base, _churn_report(1e6, 120 << 20),
+                          args), False)
+    findings = compare_reports(
+        churn_base, _churn_report(1e6, 200 << 20, reliable=False), args)
+    check("unreliable RSS demotes the footprint gate", findings, False)
+    if not any(s == "warn" for s, _ in findings):
+        print("self-test FAIL: unreliable RSS produced no warning")
+        failures.append("churn-unreliable-warning")
+    check("plateau ok -> FAIL flip regresses",
+          compare_reports(churn_base,
+                          _churn_report(1e6, 100 << 20,
+                                        plateau_ok=False), args), True)
+
     # Bucket math round-trip against the C++ layout: every index in the
     # first few groups maps back into its own [lower, upper] range.
     for sub_bits in (1, 5, 8):
@@ -686,6 +781,10 @@ def build_parser():
     parser.add_argument("--latency-floor-ns", type=float, default=500,
                         help="latency growth below this many ns never "
                              "counts as a regression")
+    parser.add_argument("--rss-tolerance", type=float, default=0.5,
+                        help="allowed fractional growth of the churn "
+                             "soak's RSS high-water mark (enforced only "
+                             "when both reports sampled RSS reliably)")
     parser.add_argument("--percentiles", default=DEFAULT_PERCENTILES,
                         help="comma-separated latency metrics to compare")
     parser.add_argument("--recompute", action="store_true",

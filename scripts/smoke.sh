@@ -4,14 +4,17 @@
 # first nonzero exit.  JSON reports are kept under $REPORT_DIR so CI
 # can upload them as workflow artifacts.
 #
-#   scripts/smoke.sh [build-dir] [report-dir] [--memory-only|--service-only]
+#   scripts/smoke.sh [build-dir] [report-dir] \
+#       [--memory-only|--service-only|--soak-only]
 #   (defaults: build, <build-dir>/smoke-reports)
 #
 # --memory-only runs the memory-placement section instead — what the CI
 # `memory-placement` job invokes (in parallel with the smoke job), so
 # the sweep and its schema validator have exactly one definition and
 # run exactly once per pipeline.  --service-only does the same for the
-# open-loop service section (the CI `service-smoke` job).
+# open-loop service section (the CI `service-smoke` job), and
+# --soak-only for the churn/reclamation section (the CI `soak-smoke`
+# job).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -188,6 +191,61 @@ service_section() {
     echo "smoke OK: service --find-sustainable"
 }
 
+# Churn soak: the reclamation tier under phase-shifted workloads.  Run
+# ONLY via --soak-only (the dedicated CI soak-smoke job), mirroring the
+# other sections' split.  Everything here is at --smoke scale: the
+# schema and shrink-event gates are enforced, the RSS-plateau verdict is
+# not (process overheads dominate a miniature run); the real-duration
+# plateau enforcement lives in the nightly soak.
+soak_section() {
+    echo "== churn soak: reclamation policies x structures =="
+    # Every reclamation policy through the k-LSM family.  `none` must
+    # keep the seed behavior (no freelist, no shrink); the schema
+    # checker verifies the counters stay zero-consistent either way.
+    local json
+    for rp in none freelist shrink full; do
+        json="$REPORT_DIR/churn-$rp.json"
+        "$BUILD_DIR/bench/klsm_bench" --smoke --workload churn \
+            --structure klsm,dlsm,numa_klsm --threads 2 \
+            --reclaim "$rp" --alloc-stats --json-out "$json" > /dev/null
+        check_json "$json"
+        check_memory "$json"
+        echo "smoke OK: churn reclaim=$rp"
+    done
+    # Churn must also run green on the non-pool baselines (no timeline
+    # enforcement; they have no pools to shrink).
+    json="$REPORT_DIR/churn-baselines.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload churn \
+        --structure linden,heap --threads 2 --json-out "$json" \
+        > /dev/null
+    check_json "$json"
+    echo "smoke OK: churn baselines"
+    # Huge-page request with graceful decay: on runners without
+    # hugetlbfs reservations this exercises the THP-madvise and plain
+    # fallbacks end to end.
+    json="$REPORT_DIR/churn-huge.json"
+    "$BUILD_DIR/bench/klsm_bench" --smoke --workload churn \
+        --structure klsm --threads 2 --huge-pages --alloc-stats \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    check_memory "$json"
+    echo "smoke OK: churn --huge-pages"
+    # The acceptance shape through the enforcing checker (schema +
+    # shrink events; plateau stays advisory at smoke scale).
+    if command -v python3 > /dev/null; then
+        python3 "$(dirname "$0")/check_memory_schema.py" \
+            --bench-churn "$BUILD_DIR/bench/klsm_bench" --smoke \
+            > /dev/null
+        echo "smoke OK: churn acceptance gates"
+        # Identity diff through compare_bench's churn path: the RSS
+        # high-water and plateau machinery must hold on a self-compare.
+        python3 "$(dirname "$0")/compare_bench.py" \
+            "$REPORT_DIR/churn-full.json" "$REPORT_DIR/churn-full.json" \
+            > /dev/null
+        echo "smoke OK: churn self-diff clean"
+    fi
+}
+
 if [[ "$MODE" == "--memory-only" ]]; then
     memory_section
     echo "memory placement stage passed (reports in $REPORT_DIR)"
@@ -196,6 +254,11 @@ fi
 if [[ "$MODE" == "--service-only" ]]; then
     service_section
     echo "service stage passed (reports in $REPORT_DIR)"
+    exit 0
+fi
+if [[ "$MODE" == "--soak-only" ]]; then
+    soak_section
+    echo "soak stage passed (reports in $REPORT_DIR)"
     exit 0
 fi
 

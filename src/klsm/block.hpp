@@ -307,6 +307,16 @@ public:
     block_state pool_state() const { return pool_state_; }
     void set_pool_state(block_state s) { pool_state_ = s; }
 
+    /// Shrink-tier bookkeeping (owner/quiescent only): true while the
+    /// entry array's pages have been returned to the OS
+    /// (mm/reclaim/shrink.hpp).  The mapping itself stays valid; the
+    /// zeroed entries read as (it=nullptr, version=0), which every
+    /// reader already treats as an empty slot.  The block object — and
+    /// with it the seqlock generation and capacity — lives outside the
+    /// entry storage, so spy validation is untouched.
+    bool entries_released() const { return entries_released_; }
+    void set_entries_released(bool v) { entries_released_ = v; }
+
     /// The entry array's backing storage, for placement telemetry
     /// (byte footprint, how it was placed, residency-query region).
     const mm::placed_array<entry> &entry_storage() const {
@@ -321,6 +331,7 @@ private:
     std::atomic<std::uint64_t> seq_{0};
     std::atomic<std::uint64_t> bloom_{0};
     block_state pool_state_ = block_state::free;
+    bool entries_released_ = false;
 };
 
 } // namespace klsm

@@ -36,6 +36,7 @@
 #include "klsm/block.hpp"
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
+#include "mm/reclaim/shrink.hpp"
 
 namespace klsm {
 
@@ -95,6 +96,12 @@ public:
             stats_.count_fresh();
         else
             stats_.count_reuse_hit();
+        if (found->entries_released()) {
+            // A shrink released this block's entry pages; they refault
+            // (zeroed) as the new mutation window writes them.
+            found->set_entries_released(false);
+            stats_.count_reactivate(found->entry_storage().bytes());
+        }
         found->set_pool_state(block_state::held);
         found->reuse_begin(level);
         return found;
@@ -136,6 +143,36 @@ public:
     /// snapshot; see mm/alloc_stats.hpp).
     const mm::alloc_counters &stats() const { return stats_; }
     const mm::mem_placement &placement() const { return place_; }
+
+    /// Return every free block's entry pages to the OS (the block
+    /// objects and their mappings stay put — type stability holds, a
+    /// later acquire refaults).  PRECONDITION: no concurrent operations
+    /// on the owning queue (same contract as for_each_region).  Only
+    /// page-managed entry storage of at least a page is eligible.
+    /// Returns the number of blocks whose pages were released.
+    std::size_t quiescent_shrink() {
+        if (!place_.reclaim.shrink_enabled())
+            return 0;
+        std::size_t released = 0;
+        for (auto &bucket : buckets_)
+            for (auto &b : bucket) {
+                if (b->pool_state() != block_state::free ||
+                    b->entries_released())
+                    continue;
+                const auto &storage = b->entry_storage();
+                if (!storage.page_managed() ||
+                    storage.bytes() < mm::page_size())
+                    continue;
+                if (!mm::reclaim::release_pages(
+                        const_cast<void *>(storage.region()),
+                        storage.bytes()))
+                    continue;
+                b->set_entries_released(true);
+                stats_.count_reclaim(storage.bytes());
+                ++released;
+            }
+        return released;
+    }
 
     /// Walk every block's page-managed entry region for the residency
     /// query; `none`-policy blocks are skipped (their entries share

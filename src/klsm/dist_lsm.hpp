@@ -307,6 +307,14 @@ public:
         }
     }
 
+    /// Release every cold chunk/block of this LSM's pools right now
+    /// (mm/reclaim/).  PRECONDITION: no concurrent operations on the
+    /// queue — same contract as the residency walk above.  Returns the
+    /// number of page-release events.
+    std::size_t quiescent_shrink() {
+        return items_.quiescent_shrink() + pool_.quiescent_shrink();
+    }
+
 private:
     /// Merge `prev` (published) with `b` (held, created this operation)
     /// into a freshly acquired block; releases `b`.  `prev` stays

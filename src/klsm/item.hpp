@@ -32,6 +32,8 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "mm/reclaim/freelist.hpp"
+
 namespace klsm {
 
 template <typename K, typename V>
@@ -61,11 +63,21 @@ public:
     }
 
     /// Logically delete: succeeds iff the version still equals `expected`.
-    /// This is the linearization point of a successful delete-min.
+    /// This is the linearization point of a successful delete-min.  The
+    /// winning deleter — whichever thread it is — donates the dead item
+    /// to the owning pool's freelist when the reclamation tier attached
+    /// a sink (mm/reclaim/freelist.hpp); with the tier off the word is
+    /// 0 and the only cost is one relaxed load and a branch.
     bool take(std::uint64_t expected) {
-        return version_.compare_exchange_strong(expected, expected + 1,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_relaxed);
+        if (!version_.compare_exchange_strong(expected, expected + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed))
+            return false;
+        const std::uintptr_t w = reclaim_.load(std::memory_order_acquire);
+        if ((w & 1) != 0)
+            reinterpret_cast<mm::reclaim::tagged_freelist<item> *>(w & ~std::uintptr_t{1})
+                ->push(this);
+        return true;
     }
 
     /// True if the item still carries version `expected` (i.e. the payload
@@ -86,10 +98,38 @@ public:
     K key() const { return key_.load(std::memory_order_relaxed); }
     V value() const { return value_.load(std::memory_order_relaxed); }
 
+    /// The reclamation word (see mm/reclaim/freelist.hpp for the value
+    /// space).  Exposed for the freelist's linkage protocol.
+    std::atomic<std::uintptr_t> &reclaim_word() { return reclaim_; }
+
+    /// Attach (or clear, with 0) the owning pool's freelist sink.
+    /// Owner-only, and only while the item is not freelist-linked.
+    void attach_reclaim_sink(std::uintptr_t sink_word) {
+        reclaim_.store(sink_word, std::memory_order_release);
+    }
+
+    /// True if the item is currently linked into its freelist — the
+    /// sweep must skip such items (the freelist pop will hand them out).
+    bool freelist_linked() const {
+        return mm::reclaim::tagged_freelist<item>::is_linked_word(
+            reclaim_.load(std::memory_order_relaxed));
+    }
+
+    /// Owner-only, quiescent-only: reinitialize an item whose chunk was
+    /// madvise'd away (storage zeroed).  `even_floor` must be even and
+    /// >= every version the item ever held, so global version
+    /// monotonicity — the ABA defense — survives the zeroing.
+    void reset_after_reclaim(std::uint64_t even_floor,
+                             std::uintptr_t sink_word) {
+        version_.store(even_floor, std::memory_order_release);
+        reclaim_.store(sink_word, std::memory_order_release);
+    }
+
 private:
     std::atomic<std::uint64_t> version_{0};
     std::atomic<K> key_{};
     std::atomic<V> value_{};
+    std::atomic<std::uintptr_t> reclaim_{0};
 };
 
 /// A (pointer, expected-version) pair — what blocks actually store.  The

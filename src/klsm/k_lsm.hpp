@@ -193,6 +193,19 @@ public:
         return out;
     }
 
+    /// Shrink every pool's cold storage right now (mm/reclaim/); no-op
+    /// unless the queue was built with a shrink-enabled placement.
+    /// PRECONDITION: no concurrent operations (workers joined) — the
+    /// same quiescence memory_stats' residency walk requires.  Returns
+    /// the number of page-release events.
+    std::size_t quiescent_shrink() {
+        std::size_t released = 0;
+        for (const auto &d : dist_)
+            released += d->quiescent_shrink();
+        released += shared_.quiescent_shrink();
+        return released;
+    }
+
 private:
     bool spy(std::uint32_t slot) {
         // Bound the copy to k items (Section 4.2's space bound); always
@@ -305,6 +318,14 @@ public:
             d->collect_memory(out, query);
         out.resident_queried = query;
         return out;
+    }
+
+    /// See k_lsm::quiescent_shrink (same contract).
+    std::size_t quiescent_shrink() {
+        std::size_t released = 0;
+        for (const auto &d : dist_)
+            released += d->quiescent_shrink();
+        return released;
     }
 
 private:

@@ -87,11 +87,14 @@ public:
     /// page-placement policy for every shard's pools: under `bind` (or
     /// `firsttouch`) shard s's item and block pages target the NUMA
     /// node shard s serves, so a shard's blocks never live on a remote
-    /// node's memory (ROADMAP "Per-node block pools").
+    /// node's memory (ROADMAP "Per-node block pools").  `reclaim` and
+    /// `huge_pages` ride into every shard's placement (src/mm/reclaim/,
+    /// mm/placement.hpp).
     explicit numa_klsm(
         std::size_t k, const topo::topology &t = topo::topology::system(),
         Lazy lazy = {},
-        mm::numa_alloc_policy alloc = mm::numa_alloc_policy::none)
+        mm::numa_alloc_policy alloc = mm::numa_alloc_policy::none,
+        mm::reclaim_config reclaim = {}, bool huge_pages = false)
         : topo_(t), num_shards_(t.num_nodes() ? t.num_nodes() : 1),
           alloc_policy_(alloc) {
         shards_ = std::make_unique<std::unique_ptr<k_lsm<K, V, Lazy>>[]>(
@@ -101,7 +104,8 @@ public:
             const std::uint32_t node =
                 s < nodes.size() ? nodes[s] : s;
             shards_[s] = std::make_unique<k_lsm<K, V, Lazy>>(
-                k, lazy, mm::mem_placement{alloc, node});
+                k, lazy,
+                mm::mem_placement{alloc, node, huge_pages, reclaim});
         }
     }
 
@@ -232,6 +236,14 @@ public:
         for (std::uint32_t s = 0; s < num_shards_; ++s)
             out.merge(shards_[s]->memory_stats(query_residency));
         return out;
+    }
+
+    /// See k_lsm::quiescent_shrink (same contract), over every shard.
+    std::size_t quiescent_shrink() {
+        std::size_t released = 0;
+        for (std::uint32_t s = 0; s < num_shards_; ++s)
+            released += shards_[s]->quiescent_shrink();
+        return released;
     }
 
     /// The shared fullest-shard hint (white-box test accessor): a

@@ -249,6 +249,16 @@ public:
         }
     }
 
+    /// Release every free block's entry pages across all thread slots
+    /// (mm/reclaim/).  PRECONDITION: no concurrent operations on the
+    /// queue.  Returns the number of page-release events.
+    std::size_t quiescent_shrink() {
+        std::size_t released = 0;
+        for (const auto &s : threads_)
+            released += s->pool.quiescent_shrink();
+        return released;
+    }
+
 private:
     struct thread_state {
         explicit thread_state(mm::mem_placement place) : pool(place) {}

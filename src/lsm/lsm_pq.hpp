@@ -132,6 +132,33 @@ public:
     /// Number of blocks (test/diagnostic helper).
     std::size_t block_count() const { return blocks_.size(); }
 
+    /// Approximate heap footprint of the structure's backing vectors
+    /// (capacity, not size — what release_memory() can give back).
+    std::size_t heap_bytes() const {
+        std::size_t bytes = blocks_.capacity() * sizeof(blk) +
+                            candidates_.capacity() * sizeof(
+                                std::pair<std::size_t, std::size_t>);
+        for (const blk &b : blocks_)
+            bytes += b.data.capacity() * sizeof(node);
+        return bytes;
+    }
+
+    /// Drop every vector's excess capacity (the sequential analog of
+    /// the concurrent pools' shrink tier): after a drain phase the
+    /// block vectors keep their surge capacity forever otherwise.  The
+    /// candidate cache is cleared outright — it rebuilds on the next
+    /// relaxed pop.  Returns the (approximate) bytes released.
+    std::size_t release_memory() {
+        const std::size_t before = heap_bytes();
+        candidates_.clear();
+        candidates_.shrink_to_fit();
+        for (blk &b : blocks_)
+            b.data.shrink_to_fit();
+        blocks_.shrink_to_fit();
+        const std::size_t after = heap_bytes();
+        return before > after ? before - after : 0;
+    }
+
     /// Verify all structural invariants; used by property tests.
     bool check_invariants() const {
         std::size_t alive = 0;

@@ -50,16 +50,40 @@ namespace klsm::mm {
 struct pool_alloc_snapshot {
     std::uint64_t chunks = 0;
     std::uint64_t bytes = 0;
+    /// Sweep hits only — allocations satisfied by the owner's linear
+    /// scan over its own dead items (or a block-pool bucket hit).  The
+    /// freelist tier counts separately so its hit rate is observable
+    /// per pool (ISSUE 7 satellite: the two used to be conflated).
     std::uint64_t reuse_hits = 0;
     std::uint64_t fresh_allocs = 0;
     std::uint64_t growth_beyond_bound = 0;
     std::uint64_t bound_chunks = 0;
     std::uint64_t prefaulted_chunks = 0;
+    // Reclamation tier (src/mm/reclaim/):
+    std::uint64_t freelist_hits = 0;  ///< allocations from freelist pops
+    std::uint64_t freelist_drops = 0; ///< popped nodes discarded (ghosts)
+    std::uint64_t reclaimed_chunks = 0; ///< currently-released (gauge)
+    std::uint64_t released_bytes = 0;   ///< currently-released (gauge)
+    std::uint64_t shrink_events = 0;    ///< cumulative page releases
+    std::uint64_t reactivated_chunks = 0; ///< released chunks regrown
+    std::uint64_t huge_chunks = 0;      ///< MAP_HUGETLB-backed chunks
+    std::uint64_t thp_chunks = 0;       ///< MADV_HUGEPAGE-advised chunks
 
-    /// Fraction of allocations satisfied by recycling.
+    /// Fraction of allocations satisfied by recycling of either kind
+    /// (the historical meaning of this rate, now counting both tiers).
     double reuse_hit_rate() const {
-        const std::uint64_t total = reuse_hits + fresh_allocs;
-        return total ? static_cast<double>(reuse_hits) /
+        const std::uint64_t total =
+            reuse_hits + freelist_hits + fresh_allocs;
+        return total ? static_cast<double>(reuse_hits + freelist_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /// Fraction of allocations satisfied by the freelist tier alone.
+    double freelist_hit_rate() const {
+        const std::uint64_t total =
+            reuse_hits + freelist_hits + fresh_allocs;
+        return total ? static_cast<double>(freelist_hits) /
                            static_cast<double>(total)
                      : 0.0;
     }
@@ -72,6 +96,14 @@ struct pool_alloc_snapshot {
         growth_beyond_bound += o.growth_beyond_bound;
         bound_chunks += o.bound_chunks;
         prefaulted_chunks += o.prefaulted_chunks;
+        freelist_hits += o.freelist_hits;
+        freelist_drops += o.freelist_drops;
+        reclaimed_chunks += o.reclaimed_chunks;
+        released_bytes += o.released_bytes;
+        shrink_events += o.shrink_events;
+        reactivated_chunks += o.reactivated_chunks;
+        huge_chunks += o.huge_chunks;
+        thp_chunks += o.thp_chunks;
     }
 };
 
@@ -86,6 +118,14 @@ struct alignas(cache_line_size) alloc_counters {
     std::atomic<std::uint64_t> growth_beyond_bound{0};
     std::atomic<std::uint64_t> bound_chunks{0};
     std::atomic<std::uint64_t> prefaulted_chunks{0};
+    std::atomic<std::uint64_t> freelist_hits{0};
+    std::atomic<std::uint64_t> freelist_drops{0};
+    std::atomic<std::uint64_t> reclaimed_chunks{0};
+    std::atomic<std::uint64_t> released_bytes{0};
+    std::atomic<std::uint64_t> shrink_events{0};
+    std::atomic<std::uint64_t> reactivated_chunks{0};
+    std::atomic<std::uint64_t> huge_chunks{0};
+    std::atomic<std::uint64_t> thp_chunks{0};
 
     void count_chunk(std::size_t chunk_bytes, chunk_placement how) {
         chunks.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +134,10 @@ struct alignas(cache_line_size) alloc_counters {
             bound_chunks.fetch_add(1, std::memory_order_relaxed);
         if (how.prefaulted)
             prefaulted_chunks.fetch_add(1, std::memory_order_relaxed);
+        if (how.huge)
+            huge_chunks.fetch_add(1, std::memory_order_relaxed);
+        if (how.thp)
+            thp_chunks.fetch_add(1, std::memory_order_relaxed);
     }
     void count_reuse_hit() {
         reuse_hits.fetch_add(1, std::memory_order_relaxed);
@@ -103,6 +147,27 @@ struct alignas(cache_line_size) alloc_counters {
     }
     void count_growth() {
         growth_beyond_bound.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_freelist_hit() {
+        freelist_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_freelist_drop() {
+        freelist_drops.fetch_add(1, std::memory_order_relaxed);
+    }
+    /// One chunk's pages returned to the OS.  `reclaimed_chunks` /
+    /// `released_bytes` are gauges (current state, so the schema
+    /// invariant reclaimed_chunks <= chunks always holds);
+    /// `shrink_events` counts every release cumulatively.
+    void count_reclaim(std::size_t chunk_bytes) {
+        reclaimed_chunks.fetch_add(1, std::memory_order_relaxed);
+        released_bytes.fetch_add(chunk_bytes, std::memory_order_relaxed);
+        shrink_events.fetch_add(1, std::memory_order_relaxed);
+    }
+    /// A released chunk brought back into service (pages will refault).
+    void count_reactivate(std::size_t chunk_bytes) {
+        reclaimed_chunks.fetch_sub(1, std::memory_order_relaxed);
+        released_bytes.fetch_sub(chunk_bytes, std::memory_order_relaxed);
+        reactivated_chunks.fetch_add(1, std::memory_order_relaxed);
     }
 
     pool_alloc_snapshot snapshot() const {
@@ -116,6 +181,16 @@ struct alignas(cache_line_size) alloc_counters {
         s.bound_chunks = bound_chunks.load(std::memory_order_relaxed);
         s.prefaulted_chunks =
             prefaulted_chunks.load(std::memory_order_relaxed);
+        s.freelist_hits = freelist_hits.load(std::memory_order_relaxed);
+        s.freelist_drops = freelist_drops.load(std::memory_order_relaxed);
+        s.reclaimed_chunks =
+            reclaimed_chunks.load(std::memory_order_relaxed);
+        s.released_bytes = released_bytes.load(std::memory_order_relaxed);
+        s.shrink_events = shrink_events.load(std::memory_order_relaxed);
+        s.reactivated_chunks =
+            reactivated_chunks.load(std::memory_order_relaxed);
+        s.huge_chunks = huge_chunks.load(std::memory_order_relaxed);
+        s.thp_chunks = thp_chunks.load(std::memory_order_relaxed);
         return s;
     }
 };
@@ -160,7 +235,17 @@ inline void pool_json(std::ostringstream &os, const char *name,
        << std::setprecision(6) << p.reuse_hit_rate()
        << ",\"growth_beyond_bound\":" << p.growth_beyond_bound
        << ",\"bound_chunks\":" << p.bound_chunks
-       << ",\"prefaulted_chunks\":" << p.prefaulted_chunks;
+       << ",\"prefaulted_chunks\":" << p.prefaulted_chunks
+       << ",\"freelist_hits\":" << p.freelist_hits
+       << ",\"freelist_drops\":" << p.freelist_drops
+       << ",\"freelist_hit_rate\":" << std::setprecision(6)
+       << p.freelist_hit_rate()
+       << ",\"reclaimed_chunks\":" << p.reclaimed_chunks
+       << ",\"released_bytes\":" << p.released_bytes
+       << ",\"shrink_events\":" << p.shrink_events
+       << ",\"reactivated_chunks\":" << p.reactivated_chunks
+       << ",\"huge_chunks\":" << p.huge_chunks
+       << ",\"thp_chunks\":" << p.thp_chunks;
     if (resident_queried) {
         os << ",\"resident_nodes\":[";
         bool first = true;

@@ -27,6 +27,7 @@
 
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
+#include "mm/reclaim/shrink.hpp"
 
 namespace klsm {
 
@@ -91,6 +92,65 @@ public:
         for (const auto &c : chunks_)
             if (c.page_managed())
                 f(c.region(), c.bytes());
+    }
+
+    // --- Chunk-granular access for the shrink tier (mm/reclaim/) ---
+    // Chunks are never removed or reordered, so an index is a stable
+    // chunk identity for the pool's lifecycle bookkeeping.
+
+    std::size_t chunk_count() const { return chunks_.size(); }
+
+    T *chunk_data(std::size_t c) { return chunks_[c].get(); }
+
+    /// Objects live in chunk `c` (the last chunk may be part-filled).
+    std::size_t chunk_used(std::size_t c) const {
+        return c + 1 == chunks_.size() ? used_in_last_
+                                       : chunks_[c].size();
+    }
+
+    /// True once chunk `c` can take no further fresh allocations.
+    bool chunk_full(std::size_t c) const {
+        return c + 1 < chunks_.size() ||
+               (c + 1 == chunks_.size() &&
+                used_in_last_ == chunks_[c].size());
+    }
+
+    /// True if `p` points into chunk `c`.
+    bool chunk_contains(std::size_t c, const T *p) const {
+        const T *base = chunks_[c].get();
+        return p >= base && p < base + chunks_[c].size();
+    }
+
+    std::size_t chunk_bytes(std::size_t c) const {
+        return chunks_[c].bytes();
+    }
+
+    bool chunk_page_managed(std::size_t c) const {
+        return chunks_[c].page_managed();
+    }
+
+    /// Return chunk `c`'s physical pages to the OS (the VA stays
+    /// mapped, preserving type stability: later reads see zero pages,
+    /// later writes refault real ones).  Owner-only; the caller must
+    /// have taken every object in the chunk out of circulation first.
+    /// Counts a shrink event.  Returns false when the chunk is not
+    /// page-granular or the platform refused.
+    bool release_chunk_pages(std::size_t c) {
+        auto &ch = chunks_[c];
+        if (!ch.page_managed())
+            return false;
+        if (!mm::reclaim::release_pages(const_cast<void *>(ch.region()),
+                                        ch.bytes()))
+            return false;
+        if (stats_ != nullptr)
+            stats_->count_reclaim(ch.bytes());
+        return true;
+    }
+
+    /// Telemetry note that a released chunk is back in service.
+    void note_chunk_reactivated(std::size_t c) {
+        if (stats_ != nullptr)
+            stats_->count_reactivate(chunks_[c].bytes());
     }
 
     /// Random access by allocation index (test helper; O(#chunks)).

@@ -1,5 +1,7 @@
 #include "mm/epoch.hpp"
 
+#include <mutex>
+
 namespace klsm {
 
 epoch_manager::epoch_manager() = default;
@@ -36,12 +38,26 @@ void epoch_manager::unpin() {
 void epoch_manager::retire_raw(void *p, void (*deleter)(void *)) {
     const std::uint32_t slot = thread_index();
     slot_state &s = *slots_[slot];
-    s.limbo.push_back(
-        retired_node{p, deleter,
-                     global_epoch_.load(std::memory_order_acquire)});
-    if (s.limbo.size() >= reclaim_threshold) {
+    bool overflow = false;
+    {
+        std::lock_guard<spin_lock> lock(s.limbo_lock);
+        const std::uint32_t gen = thread_generation();
+        if (s.owner_gen != gen) {
+            // Slot recycled: the previous owner's leftovers (if any)
+            // are now ours.  Their epoch tags keep reclamation exact.
+            if (!s.limbo.empty())
+                adoptions_.fetch_add(1, std::memory_order_relaxed);
+            s.owner_gen = gen;
+        }
+        s.limbo.push_back(
+            retired_node{p, deleter,
+                         global_epoch_.load(std::memory_order_acquire)});
+        overflow = s.limbo.size() >= reclaim_threshold;
+    }
+    if (overflow) {
         try_advance();
-        reclaim_slot(slot);
+        std::lock_guard<spin_lock> lock(s.limbo_lock);
+        reclaim_slot_locked(slot);
     }
 }
 
@@ -59,7 +75,7 @@ bool epoch_manager::try_advance() {
         std::memory_order_relaxed);
 }
 
-void epoch_manager::reclaim_slot(std::uint32_t slot) {
+void epoch_manager::reclaim_slot_locked(std::uint32_t slot) {
     slot_state &s = *slots_[slot];
     const std::uint64_t safe =
         global_epoch_.load(std::memory_order_acquire);
@@ -80,14 +96,37 @@ void epoch_manager::reclaim_slot(std::uint32_t slot) {
 
 std::uint64_t epoch_manager::pending_count() const {
     std::uint64_t n = 0;
-    for (const auto &s : slots_)
-        n += s->limbo.size();
+    for (const auto &s : slots_) {
+        auto &slot = const_cast<slot_state &>(*s);
+        std::lock_guard<spin_lock> lock(slot.limbo_lock);
+        n += slot.limbo.size();
+    }
     return n;
+}
+
+void epoch_manager::reclaim_orphans() {
+    for (std::uint32_t slot = 0; slot < max_registered_threads; ++slot) {
+        slot_state &s = *slots_[slot];
+        // Ownership is a work filter, not the safety argument: freeing
+        // is gated by each node's epoch tag under the slot lock, so a
+        // thread that grabs this id between the check and the lock
+        // loses nothing but some of its predecessor's garbage.
+        if (thread_slot_in_use(slot))
+            continue;
+        std::lock_guard<spin_lock> lock(s.limbo_lock);
+        if (!s.limbo.empty())
+            reclaim_slot_locked(slot);
+    }
 }
 
 void epoch_manager::try_reclaim() {
     try_advance();
-    reclaim_slot(thread_index());
+    const std::uint32_t slot = thread_index();
+    {
+        std::lock_guard<spin_lock> lock(slots_[slot]->limbo_lock);
+        reclaim_slot_locked(slot);
+    }
+    reclaim_orphans();
 }
 
 } // namespace klsm

@@ -13,12 +13,31 @@
 // delayed by a stalled thread (see the substitution note in DESIGN.md —
 // the k-LSM itself uses the paper's own versioned-reuse scheme and does
 // not depend on EBR).
+//
+// Thread exit / slot recycle: thread ids are dense and *recycled*
+// (util/thread_id.hpp), so a slot's limbo list can outlive the thread
+// that filled it.  Three guarantees make that safe:
+//
+//   * advancement never blocks on an exited thread — its pinned word is
+//     0, which the advance scan skips;
+//   * each slot's limbo list is guarded by a tiny per-slot spin lock
+//     (retire is already a slow path next to the pinned-epoch
+//     protocol), so an orphan sweep and a fresh owner of a recycled
+//     slot can never race on the vector;
+//   * a new owner of a recycled slot *adopts* the orphaned limbo —
+//     detected via the per-slot generation counter from
+//     util/thread_id.hpp — and the epoch tags carried by each retired
+//     node keep the (epoch + 2 <= safe) rule exact across the handoff.
+//     Slots no live thread occupies are drained by reclaim_orphans()
+//     (called from every try_reclaim), so nodes retired by exited
+//     threads cannot linger until destruction.
 
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "util/align.hpp"
+#include "util/spin_lock.hpp"
 #include "util/thread_id.hpp"
 
 namespace klsm {
@@ -61,14 +80,32 @@ public:
     /// Nodes retired but not yet freed (diagnostics/tests).
     std::uint64_t pending_count() const;
 
-    /// Force a reclamation attempt (tests).
+    /// Times a new owner of a recycled slot found a predecessor's limbo
+    /// waiting (diagnostics/tests).
+    std::uint64_t limbo_adoptions() const {
+        return adoptions_.load(std::memory_order_relaxed);
+    }
+
+    /// Current global epoch (diagnostics/tests).
+    std::uint64_t current_epoch() const {
+        return global_epoch_.load(std::memory_order_acquire);
+    }
+
+    /// Force a reclamation attempt: advance if possible, reclaim the
+    /// calling thread's slot, then sweep slots no live thread occupies.
     void try_reclaim();
+
+    /// Drain reclaimable nodes from slots whose thread id is not
+    /// currently assigned to any live thread.  Safe to call from any
+    /// thread at any time (per-slot locking; the epoch rule, not the
+    /// ownership check, is what gates each free).
+    void reclaim_orphans();
 
 private:
     void pin();
     void unpin();
     bool try_advance();
-    void reclaim_slot(std::uint32_t slot);
+    void reclaim_slot_locked(std::uint32_t slot);
 
     struct retired_node {
         void *ptr;
@@ -82,7 +119,14 @@ private:
         std::atomic<std::uint64_t> pinned{0};
         /// Nesting depth; owner-only.
         std::uint32_t depth = 0;
-        /// Retired-but-not-freed nodes; owner-only.
+        /// Guards `limbo` (and `owner_gen`'s read-modify-write): retire
+        /// by the owner vs. orphan sweeps by anyone else.
+        spin_lock limbo_lock;
+        /// thread_generation() of the last owner to retire through this
+        /// slot; 0 = never used.  A mismatch on retire means the slot
+        /// was recycled and the limbo is inherited.
+        std::uint32_t owner_gen = 0;
+        /// Retired-but-not-freed nodes; guarded by limbo_lock.
         std::vector<retired_node> limbo;
     };
 
@@ -90,6 +134,7 @@ private:
 
     std::atomic<std::uint64_t> global_epoch_{2};
     std::atomic<std::uint64_t> freed_{0};
+    std::atomic<std::uint64_t> adoptions_{0};
     cache_aligned<slot_state> slots_[max_registered_threads];
 };
 

@@ -37,9 +37,12 @@
 #include <vector>
 
 #if defined(__linux__)
+#include <sys/mman.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 #endif
+
+#include "mm/reclaim/config.hpp"
 
 namespace klsm::mm {
 
@@ -83,10 +86,23 @@ struct mem_placement {
     numa_alloc_policy policy = numa_alloc_policy::none;
     /// Target NUMA node (OS node id) for `bind`; ignored otherwise.
     std::uint32_t node = 0;
+    /// Back chunks of at least huge_page_bytes with explicit huge pages
+    /// (MAP_HUGETLB), decaying to transparent-huge-page advice
+    /// (madvise MADV_HUGEPAGE), then to normal pages — each fallback
+    /// silent but visible in the chunk_placement telemetry.
+    bool huge_pages = false;
+    /// Reclamation-tier settings shared by every pool built from this
+    /// placement (src/mm/reclaim/).  Riding inside mem_placement means
+    /// no queue-layer constructor changes shape.
+    reclaim::reclaim_config reclaim{};
 
     friend bool operator==(const mem_placement &,
                            const mem_placement &) = default;
 };
+
+/// Explicit huge-page size attempted for MAP_HUGETLB chunks (the x86-64
+/// default; chunks smaller than this only ever get THP advice).
+inline constexpr std::size_t huge_page_bytes = 2u << 20;
 
 inline std::size_t page_size() {
 #if defined(__linux__)
@@ -243,14 +259,21 @@ inline bool query_resident_nodes(const void *p, std::size_t bytes,
 struct chunk_placement {
     bool bound = false;      ///< mbind accepted the target node
     bool prefaulted = false; ///< pages were touched at allocation time
+    bool huge = false;       ///< backed by explicit MAP_HUGETLB pages
+    bool thp = false;        ///< MADV_HUGEPAGE advice applied (THP)
 };
 
 /// A default-constructed T[n] whose backing pages follow a
-/// mem_placement.  The `none` policy is byte-for-byte the pre-existing
-/// behavior (one operator new[] — same allocator, same touch pattern);
-/// bind/firsttouch allocate page-aligned raw storage, apply the policy,
-/// pre-fault, then construct the elements in place.  Move-only;
-/// elements never move after allocation (type stability).
+/// mem_placement.  The `none` policy (with reclamation and huge pages
+/// off) is byte-for-byte the pre-existing behavior (one operator
+/// new[] — same allocator, same touch pattern); otherwise the array
+/// allocates page-granular raw storage — mmap(MAP_HUGETLB) when huge
+/// pages were requested and granted, page-aligned operator new else —
+/// applies the policy, pre-faults, then constructs the elements in
+/// place.  Pool shrink forces the page-granular path even under
+/// `none`, because only whole placed regions can be madvise'd away
+/// without touching neighboring heap objects.  Move-only; elements
+/// never move after allocation (type stability).
 template <typename T>
 class placed_array {
     static_assert(std::is_nothrow_default_constructible_v<T>,
@@ -265,7 +288,9 @@ public:
         : data_(std::exchange(o.data_, nullptr)),
           raw_(std::exchange(o.raw_, nullptr)),
           count_(std::exchange(o.count_, 0)),
-          bytes_(std::exchange(o.bytes_, 0)), how_(o.how_) {}
+          bytes_(std::exchange(o.bytes_, 0)),
+          kind_(std::exchange(o.kind_, storage_kind::heap)),
+          how_(o.how_) {}
 
     placed_array &operator=(placed_array &&o) noexcept {
         if (this != &o) {
@@ -274,6 +299,7 @@ public:
             raw_ = std::exchange(o.raw_, nullptr);
             count_ = std::exchange(o.count_, 0);
             bytes_ = std::exchange(o.bytes_, 0);
+            kind_ = std::exchange(o.kind_, storage_kind::heap);
             how_ = o.how_;
         }
         return *this;
@@ -287,14 +313,43 @@ public:
         out.count_ = n;
         if (n == 0)
             return out;
-        if (place.policy == numa_alloc_policy::none) {
+        const bool want_paged = place.policy != numa_alloc_policy::none ||
+                                place.huge_pages ||
+                                place.reclaim.shrink_enabled();
+        if (!want_paged) {
             out.data_ = new T[n]();
             out.bytes_ = n * sizeof(T);
             return out;
         }
         const std::size_t ps = page_size();
         out.bytes_ = ((n * sizeof(T) + ps - 1) / ps) * ps;
-        out.raw_ = ::operator new(out.bytes_, std::align_val_t{ps});
+#if defined(__linux__) && defined(MAP_HUGETLB)
+        if (place.huge_pages && n * sizeof(T) >= huge_page_bytes) {
+            const std::size_t hb =
+                ((n * sizeof(T) + huge_page_bytes - 1) / huge_page_bytes) *
+                huge_page_bytes;
+            void *m = ::mmap(nullptr, hb, PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB,
+                             -1, 0);
+            if (m != MAP_FAILED) {
+                out.raw_ = m;
+                out.bytes_ = hb;
+                out.kind_ = storage_kind::mapped;
+                out.how_.huge = true;
+            }
+            // No reserved huge pages (the common case): decay to the
+            // normal path below, which asks for THP instead.
+        }
+#endif
+        if (out.raw_ == nullptr) {
+            out.raw_ = ::operator new(out.bytes_, std::align_val_t{ps});
+            out.kind_ = storage_kind::aligned;
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+            if (place.huge_pages)
+                out.how_.thp =
+                    ::madvise(out.raw_, out.bytes_, MADV_HUGEPAGE) == 0;
+#endif
+        }
         if (place.policy == numa_alloc_policy::bind)
             out.how_.bound =
                 bind_region_to_node(out.raw_, out.bytes_, place.node);
@@ -302,7 +357,9 @@ public:
         // `bind` the pages obey the mbind policy regardless of where
         // this thread runs; under `firsttouch` they land on this
         // thread's node — which is the target node whenever the owner
-        // allocates from its home node.
+        // allocates from its home node.  The mbind VMA policy also
+        // outlives a later MADV_DONTNEED, so pages a shrink released
+        // refault back onto the bound node when the chunk regrows.
         std::memset(out.raw_, 0, out.bytes_);
         out.how_.prefaulted = true;
         T *d = static_cast<T *>(out.raw_);
@@ -332,11 +389,18 @@ public:
     chunk_placement how_placed() const { return how_; }
 
 private:
+    enum class storage_kind : std::uint8_t { heap, aligned, mapped };
+
     void destroy() {
         if (raw_ != nullptr) {
             for (std::size_t i = count_; i-- > 0;)
                 data_[i].~T();
-            ::operator delete(raw_, std::align_val_t{page_size()});
+#if defined(__linux__)
+            if (kind_ == storage_kind::mapped)
+                ::munmap(raw_, bytes_);
+            else
+#endif
+                ::operator delete(raw_, std::align_val_t{page_size()});
         } else {
             delete[] data_;
         }
@@ -344,12 +408,14 @@ private:
         raw_ = nullptr;
         count_ = 0;
         bytes_ = 0;
+        kind_ = storage_kind::heap;
     }
 
     T *data_ = nullptr;
     void *raw_ = nullptr; ///< non-null iff page-aligned placed storage
     std::size_t count_ = 0;
     std::size_t bytes_ = 0;
+    storage_kind kind_ = storage_kind::heap;
     chunk_placement how_{};
 };
 

@@ -1,0 +1,208 @@
+#pragma once
+
+// Tagged-pointer intrusive freelist — the cheap reclamation tier
+// between the item pools and their arenas.
+//
+// Shape: a Treiber stack with a packed {48-bit pointer, 16-bit tag}
+// head (the classic tagged-pointer ABA defense from the lock-free
+// queue literature), multi-producer / single-consumer:
+//
+//   * push (any thread): a deleter that wins an item's version CAS
+//     donates the dead item back to the *owning* pool's freelist.
+//   * pop (owner only): the pool owner pops on allocation, before
+//     falling back to its sweep.
+//
+// The intrusive link does NOT get its own field.  Each node carries a
+// single reclaim word (T::reclaim_word()) whose value space encodes
+// the whole lifecycle:
+//
+//   0            — no sink attached (reclaim tier disabled)
+//   sink | 1     — sink attached, node NOT linked (sink is the
+//                  freelist's address, >= 4-aligned, so bit 0 tags it)
+//   end_sentinel — linked, end of chain (value 2: even, non-null,
+//                  never a valid node address)
+//   node address — linked, next node in chain (>= 8-aligned)
+//
+// The push protocol claims linkage by CAS-ing the word from
+// `sink | 1` to the next-value.  Exactly one pusher can win that CAS
+// per death, which is what makes delayed "ghost" pushers harmless: a
+// ghost that lost the race (the item was swept, republished, and even
+// died again) either fails the claim or links a node the owner will
+// pop, validate (`reusable()` + active-chunk check, done by the pool),
+// and discard.  List integrity never depends on version inspection.
+//
+// Memory ordering: the claim CAS and the head CAS are release-on-
+// success so a popping owner acquiring the head observes the node's
+// final (dead) state; pops acquire.  The 16-bit head tag increments on
+// every successful head CAS, closing the window for the classic
+// Treiber A-B-A (node popped and re-pushed between an observer's head
+// load and CAS).
+
+#include <atomic>
+#include <cstdint>
+
+namespace klsm::mm::reclaim {
+
+template <typename T>
+class tagged_freelist {
+public:
+    /// Link value meaning "linked, end of chain".  Even and too small
+    /// to be a node address, so it is disjoint from every other state
+    /// of the reclaim word.
+    static constexpr std::uintptr_t end_sentinel = 2;
+
+    tagged_freelist() = default;
+    tagged_freelist(const tagged_freelist &) = delete;
+    tagged_freelist &operator=(const tagged_freelist &) = delete;
+
+    /// The value a node's reclaim word holds while attached to this
+    /// list but not linked: the list address with bit 0 set.
+    std::uintptr_t sink_word() const {
+        return reinterpret_cast<std::uintptr_t>(this) | 1;
+    }
+
+    /// True if `w` is a linked-state value (end sentinel or a next
+    /// pointer) rather than 0 / an attached sink.
+    static bool is_linked_word(std::uintptr_t w) {
+        return w != 0 && (w & 1) == 0;
+    }
+
+    /// Donate a dead node.  Any thread.  Returns false (and counts a
+    /// skip) when the node could not be linked — its reclaim word was
+    /// not in the attached-unlinked state (a sweep republished it
+    /// first, the pool detached it, or another ghost pusher won), or
+    /// its address does not round-trip the 48-bit packing.  A skipped
+    /// node is not lost: the owner's sweep still finds it.
+    bool push(T *x) {
+        const std::uint64_t probe = pack(x, 0);
+        if (unpack_ptr(probe) != x) {
+            push_skips_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        std::uintptr_t expected = sink_word();
+        if (!x->reclaim_word().compare_exchange_strong(
+                expected, link_value(h), std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+            push_skips_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        // Claimed: we own x's linkage until the head CAS lands.
+        for (;;) {
+            const std::uint64_t nh = pack(x, unpack_tag(h) + 1);
+            if (head_.compare_exchange_weak(h, nh,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+                pushes_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+            x->reclaim_word().store(link_value(h),
+                                    std::memory_order_relaxed);
+        }
+    }
+
+    /// Pop one node.  OWNER ONLY — the single-consumer side.  Returns
+    /// nullptr when empty.  The popped node's reclaim word is restored
+    /// to the attached-unlinked state before it is returned; the
+    /// caller must still validate the node (reusable, chunk active)
+    /// because ghost pushers may have linked nodes that were since
+    /// republished or whose chunk went cold.
+    T *pop() {
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        for (;;) {
+            T *x = unpack_ptr(h);
+            if (x == nullptr)
+                return nullptr;
+            const std::uintptr_t link =
+                x->reclaim_word().load(std::memory_order_acquire);
+            if (!is_linked_word(link)) {
+                // Protocol violation (should be unreachable); fail
+                // safe by treating the list as empty rather than
+                // chasing a garbage next pointer.
+                return nullptr;
+            }
+            T *next = link == end_sentinel ? nullptr
+                                           : reinterpret_cast<T *>(link);
+            const std::uint64_t nh = pack(next, unpack_tag(h) + 1);
+            if (head_.compare_exchange_weak(h, nh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                x->reclaim_word().store(sink_word(),
+                                        std::memory_order_release);
+                return x;
+            }
+        }
+    }
+
+    /// Detach the whole chain with a single exchange and return its
+    /// first node (owner only).  Concurrent pushes land on the now-
+    /// empty list.  The returned nodes keep their linked-state words;
+    /// walk with linked_next() and re-point each word before reuse.
+    /// Used by the shrink machinery to filter a cold chunk's nodes out
+    /// of the chain without ever madvise-ing memory a live chain
+    /// traverses.
+    T *detach_all() {
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint64_t nh = pack(nullptr, unpack_tag(h) + 1);
+            if (head_.compare_exchange_weak(h, nh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+                return unpack_ptr(h);
+        }
+    }
+
+    /// Successor of a detached node (nullptr at end of chain or if the
+    /// word is not in a linked state).
+    static T *linked_next(const T *x) {
+        const std::uintptr_t w =
+            const_cast<T *>(x)->reclaim_word().load(
+                std::memory_order_acquire);
+        if (!is_linked_word(w) || w == end_sentinel)
+            return nullptr;
+        return reinterpret_cast<T *>(w);
+    }
+
+    bool empty() const {
+        return unpack_ptr(head_.load(std::memory_order_acquire)) ==
+               nullptr;
+    }
+
+    std::uint64_t pushes() const {
+        return pushes_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t push_skips() const {
+        return push_skips_.load(std::memory_order_relaxed);
+    }
+
+private:
+    static constexpr unsigned ptr_bits = 48;
+    static constexpr std::uint64_t ptr_mask =
+        (std::uint64_t{1} << ptr_bits) - 1;
+
+    static std::uint64_t pack(T *p, std::uint64_t tag) {
+        return (reinterpret_cast<std::uint64_t>(p) & ptr_mask) |
+               (tag << ptr_bits);
+    }
+    static T *unpack_ptr(std::uint64_t w) {
+        // Sign-extend bit 47 so kernel-half (and future LAM/five-level)
+        // canonical addresses round-trip.
+        const std::int64_t shifted =
+            static_cast<std::int64_t>(w << (64 - ptr_bits));
+        return reinterpret_cast<T *>(shifted >> (64 - ptr_bits));
+    }
+    static std::uint64_t unpack_tag(std::uint64_t w) {
+        return w >> ptr_bits;
+    }
+    static std::uintptr_t link_value(std::uint64_t head) {
+        T *top = unpack_ptr(head);
+        return top == nullptr ? end_sentinel
+                              : reinterpret_cast<std::uintptr_t>(top);
+    }
+
+    std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> pushes_{0};
+    std::atomic<std::uint64_t> push_skips_{0};
+};
+
+} // namespace klsm::mm::reclaim

@@ -60,4 +60,11 @@ std::uint32_t thread_index_high_water() {
     return high_water.load(std::memory_order_relaxed);
 }
 
+bool thread_slot_in_use(std::uint32_t slot) {
+    if (slot >= max_registered_threads)
+        return false;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    return in_use[slot];
+}
+
 } // namespace klsm

@@ -51,4 +51,13 @@ std::uint32_t thread_generation();
 /// Number of ids ever concurrently live (high-water mark); test helper.
 std::uint32_t thread_index_high_water();
 
+/// True iff `slot` is currently assigned to a live thread.  Advisory by
+/// nature — the answer can be stale by the time the caller acts on it —
+/// but sufficient for orphan sweeps that re-verify under their own
+/// locking (mm/epoch.cpp reclaims limbo lists abandoned by exited
+/// threads; a false "in use" merely defers that reclaim, and a false
+/// "free" races only against a fresh owner that takes the same per-slot
+/// lock).  Slots >= max_registered_threads report false.
+bool thread_slot_in_use(std::uint32_t slot);
+
 } // namespace klsm

@@ -1,0 +1,317 @@
+// The reclamation tier end to end at the item_pool level: chunk
+// lifecycle (active -> quarantined -> released -> revived), split
+// reuse counters, ghost-push discarding, version monotonicity across a
+// release/regrow cycle, and the none-policy "byte-identical to seed"
+// contract.  The concurrent churn test at the bottom is the
+// ASan/TSan/UBSan no-use-after-reclaim witness for the whole stack.
+
+#include "mm/item_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "klsm/k_lsm.hpp"
+#include "mm/reclaim/shrink.hpp"
+
+namespace klsm {
+namespace {
+
+using pool_t = item_pool<std::uint32_t, std::uint64_t>;
+using ref_t = item_ref<std::uint32_t, std::uint64_t>;
+
+mm::mem_placement with_policy(mm::reclaim_policy p,
+                              std::uint32_t period = 512,
+                              std::uint32_t grace = 2) {
+    mm::mem_placement place;
+    place.reclaim.policy = p;
+    place.reclaim.maintenance_period = period;
+    place.reclaim.grace_inspections = grace;
+    return place;
+}
+
+TEST(Reclaim, FreelistHitCountedSeparatelyFromSweepAndFresh) {
+    pool_t pool{with_policy(mm::reclaim_policy::freelist)};
+    auto a = pool.allocate(1, 1);
+    ASSERT_TRUE(a.take()); // winner's take pushes onto the freelist
+    auto b = pool.allocate(2, 2);
+    EXPECT_EQ(b.it, a.it) << "freelist pop must recycle the dead item";
+    const auto snap = pool.stats().snapshot();
+    EXPECT_EQ(snap.fresh_allocs, 1u);
+    EXPECT_EQ(snap.freelist_hits, 1u);
+    EXPECT_EQ(snap.reuse_hits, 0u)
+        << "a freelist recycle must not masquerade as a sweep hit";
+    EXPECT_EQ(pool.freelist().pushes(), 1u);
+}
+
+TEST(Reclaim, SweepStillCountsWhenFreelistMisses) {
+    // Freelist off: the same churn pattern must route through the
+    // sweep counter instead.
+    pool_t pool{with_policy(mm::reclaim_policy::shrink)};
+    auto a = pool.allocate(1, 1);
+    ASSERT_TRUE(a.take());
+    auto b = pool.allocate(2, 2);
+    EXPECT_EQ(b.it, a.it);
+    const auto snap = pool.stats().snapshot();
+    EXPECT_EQ(snap.freelist_hits, 0u);
+    EXPECT_EQ(snap.reuse_hits, 1u);
+}
+
+TEST(Reclaim, NonePolicyBehavesExactlyLikeSeed) {
+    pool_t pool; // default placement: reclamation off
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        auto r = pool.allocate(i, i);
+        // With no tier attached the reclaim word must stay 0 — the
+        // take path's only overhead is one relaxed load and a branch.
+        EXPECT_EQ(r.it->reclaim_word().load(), 0u);
+        ASSERT_TRUE(r.take());
+    }
+    const auto snap = pool.stats().snapshot();
+    EXPECT_EQ(snap.freelist_hits, 0u);
+    EXPECT_EQ(snap.freelist_drops, 0u);
+    EXPECT_EQ(snap.shrink_events, 0u);
+    EXPECT_EQ(snap.reclaimed_chunks, 0u);
+    EXPECT_EQ(snap.released_bytes, 0u);
+    EXPECT_GT(snap.reuse_hits, 0u) << "sweep recycling is seed behavior";
+    EXPECT_TRUE(pool.freelist().empty());
+    EXPECT_EQ(pool.quiescent_shrink(), 0u)
+        << "shrink is a no-op when the policy does not enable it";
+}
+
+TEST(Reclaim, QuiescentShrinkReleasesFullyDeadChunks) {
+    if (!mm::reclaim::release_pages_supported())
+        GTEST_SKIP() << "madvise(MADV_DONTNEED) unavailable";
+    pool_t pool{with_policy(mm::reclaim_policy::full)};
+    // Chunks double: 256 + 512 fill the first two; 800 live items also
+    // open (but do not fill) the third.
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 800; ++i)
+        refs.push_back(pool.allocate(i, i));
+    for (auto &r : refs)
+        ASSERT_TRUE(r.take());
+    const std::size_t released = pool.quiescent_shrink();
+    EXPECT_GE(released, 2u) << "both full, all-dead chunks must release";
+    const auto census = pool.census();
+    EXPECT_EQ(census.released, released);
+    EXPECT_EQ(census.active + census.quarantined, 0u);
+    const auto snap = pool.stats().snapshot();
+    EXPECT_EQ(snap.reclaimed_chunks, released) << "gauge tracks census";
+    EXPECT_EQ(snap.shrink_events, released);
+    EXPECT_GT(snap.released_bytes, 0u);
+    EXPECT_LE(snap.reclaimed_chunks, snap.chunks)
+        << "the memory-schema invariant must hold at the source";
+    EXPECT_LE(snap.released_bytes, snap.bytes);
+}
+
+TEST(Reclaim, StaleTakeAgainstReleasedChunkFailsSafely) {
+    if (!mm::reclaim::release_pages_supported())
+        GTEST_SKIP() << "madvise(MADV_DONTNEED) unavailable";
+    pool_t pool{with_policy(mm::reclaim_policy::full)};
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        refs.push_back(pool.allocate(i, i));
+    // A stale reference as a block would hold it: alive version.
+    ref_t stale = refs[7];
+    for (auto &r : refs)
+        ASSERT_TRUE(r.take());
+    ASSERT_GE(pool.quiescent_shrink(), 1u);
+    // The chunk's pages were zeroed; the item reads version 0 (even =
+    // dead).  Type stability holds: the dereference is safe and the
+    // stale take fails exactly like any other version mismatch.
+    EXPECT_EQ(stale.it->version(), 0u);
+    EXPECT_FALSE(stale.alive());
+    EXPECT_FALSE(stale.take());
+}
+
+TEST(Reclaim, RevivedChunkRestoresVersionFloor) {
+    if (!mm::reclaim::release_pages_supported())
+        GTEST_SKIP() << "madvise(MADV_DONTNEED) unavailable";
+    pool_t pool{with_policy(mm::reclaim_policy::full)};
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        refs.push_back(pool.allocate(i, i));
+    item<std::uint32_t, std::uint64_t> *tracked = refs[0].it;
+    const std::uint64_t alive_version = refs[0].version;
+    for (auto &r : refs)
+        ASSERT_TRUE(r.take());
+    const std::uint64_t dead_version = tracked->version();
+    ASSERT_GE(pool.quiescent_shrink(), 1u);
+    // Demand returns: allocations must revive the released chunk (the
+    // pool has nothing else) and every republished version must exceed
+    // everything the chunk held before the zeroing — the monotone-
+    // version ABA defense survives release/regrow.
+    bool found = false;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        auto r = pool.allocate(1000 + i, 0);
+        EXPECT_EQ(r.version & 1, 1u);
+        EXPECT_GT(r.version, alive_version);
+        if (r.it == tracked) {
+            found = true;
+            EXPECT_GT(r.version, dead_version);
+        }
+    }
+    EXPECT_TRUE(found) << "revived chunk must serve its items again";
+    const auto census = pool.census();
+    EXPECT_EQ(census.released, 0u);
+    EXPECT_GE(census.active, 1u);
+    const auto snap = pool.stats().snapshot();
+    EXPECT_GE(snap.reactivated_chunks, 1u);
+    EXPECT_EQ(snap.reclaimed_chunks, 0u)
+        << "the reclaimed gauge must fall back on reactivation";
+}
+
+TEST(Reclaim, GhostPushOntoColdChunkIsDiscarded) {
+    if (!mm::reclaim::release_pages_supported())
+        GTEST_SKIP() << "madvise(MADV_DONTNEED) unavailable";
+    pool_t pool{with_policy(mm::reclaim_policy::full)};
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        refs.push_back(pool.allocate(i, i));
+    item<std::uint32_t, std::uint64_t> *ghost_target = refs[3].it;
+    for (auto &r : refs)
+        ASSERT_TRUE(r.take());
+    ASSERT_GE(pool.quiescent_shrink(), 1u);
+    // A delayed deleter ("ghost") re-links an item of the now-cold
+    // chunk.  The write refaults a zero page — benign — and the link
+    // succeeds; pop-side validation must discard it rather than hand
+    // out an item from an out-of-circulation chunk.
+    ghost_target->attach_reclaim_sink(pool.freelist().sink_word());
+    ASSERT_TRUE(pool.freelist().push(ghost_target));
+    auto r = pool.allocate(42, 42);
+    ASSERT_NE(r.it, nullptr);
+    const auto snap = pool.stats().snapshot();
+    EXPECT_GE(snap.freelist_drops, 1u)
+        << "the ghost-linked cold item must be dropped, not recycled";
+}
+
+TEST(Reclaim, MaintenanceQuarantinesBeforeReleasing) {
+    // Shrink-only policy (no freelist recycling to re-warm the chunk):
+    // with maintenance every allocation and a 3-inspection grace, a
+    // fully dead chunk must pass through quarantine before release.
+    // Chunks 0 (256 items) and 1 (512) both fill; keeping one live item
+    // in chunk 0 pins it active, so the round-robin inspection can only
+    // ever take chunk 1 through the lifecycle.
+    pool_t pool{with_policy(mm::reclaim_policy::shrink, 1, 3)};
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 768; ++i)
+        refs.push_back(pool.allocate(i, i));
+    for (auto &r : refs)
+        ASSERT_TRUE(r.take());
+    // Allocation #1 republishes chunk-0 item 0 (kept live) and inspects
+    // chunk 0, which its own publish just pinned; allocation #2 inspects
+    // chunk 1: fully dead, quarantined.
+    std::vector<ref_t> live;
+    live.push_back(pool.allocate(1000, 0));
+    {
+        auto r = pool.allocate(1001, 0);
+        ASSERT_TRUE(r.take());
+    }
+    EXPECT_EQ(pool.census().quarantined, 1u);
+    EXPECT_EQ(pool.census().active, 1u);
+    // Six more inspections alternate between the chunks; the third cold
+    // inspection of chunk 1 ends its grace and releases it.
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        auto r = pool.allocate(2000 + i, 0);
+        ASSERT_TRUE(r.take());
+    }
+    const auto census = pool.census();
+    if (mm::reclaim::release_pages_supported())
+        EXPECT_EQ(census.released, 1u)
+            << "grace elapsed: the quarantined chunk must release";
+    else
+        EXPECT_EQ(census.quarantined, 1u)
+            << "platform refused: the chunk must stay quarantined";
+}
+
+TEST(Reclaim, ShrinkThenRegrowKeepsNodeBinding) {
+    if (!mm::reclaim::release_pages_supported())
+        GTEST_SKIP() << "madvise(MADV_DONTNEED) unavailable";
+    mm::mem_placement place = with_policy(mm::reclaim_policy::full);
+    place.policy = mm::numa_alloc_policy::bind;
+    place.node = 0;
+    pool_t pool{place};
+    std::vector<ref_t> refs;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        refs.push_back(pool.allocate(i, i));
+    for (auto &r : refs)
+        ASSERT_TRUE(r.take());
+    ASSERT_GE(pool.quiescent_shrink(), 1u);
+    // Regrow: revival refaults the released pages.  The mbind VMA
+    // policy outlives MADV_DONTNEED, so the refaulted pages must land
+    // back on the bound node.
+    std::vector<ref_t> regrown;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        regrown.push_back(pool.allocate(i, i));
+    if (mm::residency_query_supported()) {
+        mm::resident_histogram hist;
+        bool queried = true;
+        pool.for_each_region([&](const void *p, std::size_t bytes) {
+            queried &= mm::query_resident_nodes(p, bytes, hist);
+        });
+        if (queried && !hist.empty()) {
+            EXPECT_GT(hist.pages_on(0), 0u);
+            for (const auto &[node, pages] : hist.pairs())
+                EXPECT_EQ(node, 0u)
+                    << pages << " refaulted pages landed off-node";
+        }
+    }
+}
+
+TEST(Reclaim, ConcurrentChurnThroughKlsmWithFullReclaim) {
+    // The sanitizer witness: hammer a k_lsm whose pools run the full
+    // reclamation tier from several threads, with maintenance forced
+    // often, then verify counter coherence and that the queue still
+    // drains correctly.  Under ASan/TSan this is the no-use-after-
+    // reclaim / no-race proof for the freelist + shrink machinery.
+    mm::mem_placement place = with_policy(mm::reclaim_policy::full,
+                                          /*period=*/64, /*grace=*/1);
+    k_lsm<std::uint32_t, std::uint32_t> q{64, {}, place};
+    constexpr unsigned threads = 4;
+    constexpr std::uint32_t ops = 8000;
+    std::atomic<std::uint32_t> next_key{0};
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            std::uint32_t key, value;
+            for (std::uint32_t i = 0; i < ops; ++i) {
+                // Phase-shifted mix: the first half inserts twice as
+                // often as it deletes, the second half the reverse, so
+                // chunks fill, die, and revive under contention.
+                const bool ins = (i < ops / 2) ? (i % 3) != 0
+                                               : (i % 3) == 0;
+                if (ins)
+                    q.insert(next_key.fetch_add(1,
+                                                std::memory_order_relaxed),
+                             t);
+                else
+                    q.try_delete_min(key, value);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const std::size_t released = q.quiescent_shrink();
+    (void)released; // platform-dependent; coherence checked below
+    const auto stats = q.memory_stats();
+    const auto &s = stats.items;
+    EXPECT_LE(s.reclaimed_chunks, s.chunks);
+    EXPECT_LE(s.released_bytes, s.bytes);
+    EXPECT_GT(s.fresh_allocs, 0u);
+    EXPECT_GT(s.freelist_hits + s.reuse_hits, 0u)
+        << "sustained churn must recycle, not only grow";
+    // Drain: keys must still come out plausibly (no duplicates beyond
+    // what relaxation allows, no crash, no sanitizer report).
+    std::uint32_t key, value;
+    std::size_t drained = 0;
+    while (q.try_delete_min(key, value))
+        ++drained;
+    EXPECT_FALSE(q.try_delete_min(key, value));
+    (void)drained;
+}
+
+} // namespace
+} // namespace klsm
