@@ -55,6 +55,7 @@
 #include "harness/throughput.hpp"
 #include "klsm/k_lsm.hpp"
 #include "klsm/numa_klsm.hpp"
+#include "klsm/pq_concept.hpp"
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
 #include "service/arrival_schedule.hpp"
@@ -80,6 +81,15 @@ struct bench_config {
     std::vector<std::string> pins; ///< pinning policies to sweep
     std::vector<std::int64_t> threads_list;
     std::size_t k = 256;
+    /// Engineered-MultiQueue tuning: queue accesses between handle
+    /// resamples and per-handle insertion/deletion buffer capacity.
+    std::size_t mq_stickiness = 8;
+    std::size_t mq_buffer = 16;
+    /// Buffered k-LSM handle knobs: per-thread insert-buffer depth and
+    /// delete-side peek-cache depth (0 = off; the paper's unbuffered
+    /// immediate-visibility behavior).
+    std::size_t insert_buffer = 0;
+    std::size_t peek_cache = 0;
     std::size_t prefill = 100000;
     double duration_s = 0.1;
     std::uint64_t ops_per_thread = 20000;
@@ -153,12 +163,15 @@ bool with_structure(const std::string &name, unsigned threads,
                     std::size_t k, const bench_config &cfg, Fn &&fn) {
     if (name == "klsm") {
         klsm::k_lsm<K, V> q{k, {}, family_placement(cfg)};
+        q.set_buffer_depth(cfg.insert_buffer);
+        q.set_peek_cache_depth(cfg.peek_cache);
         fn(q);
     } else if (name == "dlsm") {
         klsm::dist_pq<K, V> q{family_placement(cfg)};
         fn(q);
     } else if (name == "multiqueue") {
-        klsm::multiqueue<K, V> q{threads, 2};
+        klsm::multiqueue<K, V> q{threads, 2, cfg.mq_stickiness,
+                                 cfg.mq_buffer};
         fn(q);
     } else if (name == "linden") {
         klsm::linden_pq<K, V> q{32};
@@ -255,7 +268,7 @@ void attach_memory(klsm::json_record &rec, PQ &q,
                    const bench_config &cfg) {
     if (!cfg.alloc_stats)
         return;
-    if constexpr (requires { q.memory_stats(true); }) {
+    if constexpr (klsm::pool_backed<PQ>) {
         rec.set_raw("memory", klsm::mm::memory_json(q.memory_stats(true),
                                                     cfg.numa_alloc));
     }
@@ -619,12 +632,21 @@ int run_quality_workload(const bench_config &cfg,
                             !adaptive_run &&
                             (name == "klsm" ||
                              (name == "numa_klsm" && numa_nodes == 1));
+                        // Buffered handles hide up to buffer_total items
+                        // per worker; the extended rho (quality.hpp)
+                        // charges T * max_buffer_depth_seen() on top of
+                        // Lemma 2's relaxation term.
+                        std::uint64_t buffer_total = 0;
+                        if constexpr (klsm::dynamic_buffering<
+                                          std::remove_reference_t<
+                                              decltype(q)>>)
+                            buffer_total = q.max_buffer_depth_seen();
                         const std::uint64_t rho =
                             name == "numa_klsm"
                                 ? klsm::numa_rank_error_bound(
                                       numa_nodes, threads, k_bound)
-                                : klsm::rank_error_bound(threads,
-                                                         k_bound);
+                                : klsm::rank_error_bound(threads, k_bound,
+                                                         buffer_total);
                         std::string bound_cell = "none";
                         if (has_rho)
                             bound_cell = "rho=" + std::to_string(rho) +
@@ -649,6 +671,7 @@ int run_quality_workload(const bench_config &cfg,
                         if (has_rho) {
                             rec.set("rho", rho);
                             rec.set("rho_hard", hard);
+                            rec.set("buffer_total", buffer_total);
                             if (res.rank_max > rho) {
                                 std::cerr
                                     << (hard ? "BOUND VIOLATION: "
@@ -789,6 +812,20 @@ int main(int argc, char **argv) {
                  "scatter,numa_fill");
     cli.add_flag("threads", "4", "comma-separated thread counts");
     cli.add_flag("k", "256", "k-LSM relaxation parameter");
+    cli.add_flag("mq-stickiness", "8",
+                 "multiqueue: handle queue accesses between resamples "
+                 "(1 = classic two-choice resampling every access)");
+    cli.add_flag("mq-buffer", "16",
+                 "multiqueue: per-handle insertion/deletion buffer "
+                 "capacity (0 = unbuffered handles)");
+    cli.add_flag("insert-buffer", "0",
+                 "klsm: per-thread handle insert-buffer depth; staged "
+                 "inserts flush into the DistLSM as one pre-sorted "
+                 "block (0 = off, the paper's immediate visibility)");
+    cli.add_flag("peek-cache", "0",
+                 "klsm: per-thread delete-side peek-cache depth; "
+                 "delete-min refills in bursts of this many pops "
+                 "(0 = off)");
     cli.add_flag("prefill", "100000", "keys inserted before timing");
     cli.add_flag("duration", "0.1", "seconds per throughput measurement");
     cli.add_flag("ops", "20000", "quality: operations per thread");
@@ -879,6 +916,17 @@ int main(int argc, char **argv) {
     cfg.pins = cli.get_list("pin");
     cfg.threads_list = cli.get_int_list("threads");
     cfg.k = static_cast<std::size_t>(cli.get_int("k"));
+    cfg.mq_stickiness =
+        static_cast<std::size_t>(cli.get_uint64("mq-stickiness"));
+    cfg.mq_buffer = static_cast<std::size_t>(cli.get_uint64("mq-buffer"));
+    cfg.insert_buffer =
+        static_cast<std::size_t>(cli.get_uint64("insert-buffer"));
+    cfg.peek_cache =
+        static_cast<std::size_t>(cli.get_uint64("peek-cache"));
+    if (cfg.mq_stickiness == 0) {
+        std::cerr << "--mq-stickiness must be positive\n";
+        return 2;
+    }
     cfg.prefill = static_cast<std::size_t>(cli.get_int("prefill"));
     cfg.duration_s = cli.get_double("duration");
     cfg.ops_per_thread = static_cast<std::uint64_t>(cli.get_int("ops"));
@@ -1050,6 +1098,10 @@ int main(int argc, char **argv) {
 
     klsm::json_reporter json(cfg.workload);
     json.meta().set("k", cfg.k);
+    json.meta().set("mq_stickiness", cfg.mq_stickiness);
+    json.meta().set("mq_buffer", cfg.mq_buffer);
+    json.meta().set("insert_buffer", cfg.insert_buffer);
+    json.meta().set("peek_cache", cfg.peek_cache);
     json.meta().set("seed", cfg.seed);
     json.meta().set("smoke", cfg.smoke);
     json.meta().set("latency_sample", cfg.latency_sample);

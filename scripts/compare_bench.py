@@ -42,6 +42,16 @@ makes a hard gate unfair.  `--self-test` runs the built-in check suite
 (no input files needed); CTest invokes it so the gate's own logic is
 covered by `ctest -L tier1`.
 
+`--head-to-head` takes ONE report and diffs structures against each
+other *within* it instead of diffing a baseline against a candidate:
+records are paired on (pin, threads) between the two structures named
+by --h2h (default klsm,multiqueue — the paper's queue vs the
+engineered-MultiQueue rival), and each pair prints a relative verdict:
+ops_per_sec ratio for throughput/churn/service, time_s for sssp, and
+mean/max rank error (with each side's rho bound when present) for
+quality.  The mode is informational — it exits nonzero only when the
+report contains no matchable pairs, never on a losing ratio.
+
 The latency schema (README "Latency metrics"): percentiles are
 precomputed by the C++ side, and the sparse `buckets` array plus
 `sub_bucket_bits` fully determine the histogram layout.  This script
@@ -182,6 +192,8 @@ def fmt_value(value, unit):
         return f"{value:,.0f} ops/s"
     if unit == "B":
         return f"{value / (1024.0 * 1024.0):,.1f} MB"
+    if unit == "rank":
+        return f"{value:,.1f}"
     return f"{value:,.0f} ns"
 
 
@@ -461,6 +473,63 @@ def compare_sweeps(findings, base_records, cand_records, args):
                                args.latency_tolerance, True, "ns",
                                args.latency_floor_ns,
                                latency_severity(args))
+
+
+def head_to_head(report, left, right):
+    """Pair `left` vs `right` structure records within one report on
+    (pin, threads) and render a relative verdict per pair.  Returns
+    (pair_count, lines); informational only — callers decide whether an
+    empty pairing is an error."""
+    benchmark = report.get("benchmark", "?")
+    by_struct = {}
+    for record in report.get("records", []):
+        by_struct.setdefault(record.get("structure", "?"), {})[
+            (record.get("pin", "?"), record.get("threads", "?"))] = record
+    left_recs = by_struct.get(left, {})
+    right_recs = by_struct.get(right, {})
+    lines = []
+
+    def ratio_line(label, metric, a, b, unit, lower_is_better):
+        va, vb = a.get(metric), b.get(metric)
+        if va is None or vb is None or not vb:
+            return
+        ratio = va / vb
+        ahead = left if (ratio <= 1) == lower_is_better else right
+        lines.append(
+            f"{label} {metric}: {left} {fmt_value(va, unit)} vs "
+            f"{right} {fmt_value(vb, unit)} ({ratio:.2f}x, {ahead} "
+            f"ahead)")
+
+    for key in sorted(left_recs.keys() & right_recs.keys(),
+                      key=lambda k: (str(k[0]), str(k[1]))):
+        a, b = left_recs[key], right_recs[key]
+        pin, threads = key
+        label = f"{benchmark} pin={pin}/t={threads}"
+        if benchmark == "sssp":
+            va, vb = a.get("time_s"), b.get("time_s")
+            if va is not None and vb:
+                ratio_line(label, "time_s",
+                           {"time_s": va * 1e9}, {"time_s": vb * 1e9},
+                           "ns", True)
+        elif benchmark == "quality":
+            # Rank error: lower is better; each side's bound (when the
+            # record carries one) contextualizes how much of the
+            # relaxation budget was actually spent.
+            ratio_line(label, "mean_rank", a, b, "rank", True)
+            ratio_line(label, "max_rank", a, b, "rank", True)
+            bounds = []
+            for name, record in ((left, a), (right, b)):
+                if record.get("rho") is not None:
+                    extra = record.get("buffer_total")
+                    bounds.append(
+                        f"{name} rho={record['rho']}" +
+                        (f" (buffer_total={extra})" if extra else ""))
+            if bounds:
+                lines.append(f"{label} bounds: {'; '.join(bounds)}")
+        else:
+            # throughput, churn, service all report ops_per_sec.
+            ratio_line(label, "ops_per_sec", a, b, "ops/s", False)
+    return len(left_recs.keys() & right_recs.keys()), lines
 
 
 def print_findings(findings, verbose):
@@ -756,6 +825,49 @@ def self_test(args_factory):
     check("without --sweep the same shift passes record checks",
           compare_reports(sweep_base, sweep_slow, args), False)
 
+    # Head-to-head: klsm and multiqueue records in ONE report pair on
+    # (pin, threads); every workload renders its metric; a report with
+    # no rival records yields zero pairs.
+    h2h_report = {"benchmark": "throughput", "records": [
+        {"structure": "klsm", "pin": "none", "threads": 2,
+         "ops_per_sec": 2e6},
+        {"structure": "multiqueue", "pin": "none", "threads": 2,
+         "ops_per_sec": 1e6},
+        {"structure": "klsm", "pin": "none", "threads": 4,
+         "ops_per_sec": 3e6},
+    ]}
+    pairs, lines = head_to_head(h2h_report, "klsm", "multiqueue")
+    ok = (pairs == 1 and len(lines) == 1 and "2.00x" in lines[0]
+          and "klsm ahead" in lines[0])
+    print(f"self-test {'pass' if ok else 'FAIL'}: head-to-head "
+          f"throughput pairing")
+    if not ok:
+        failures.append("h2h-throughput")
+
+    h2h_quality = {"benchmark": "quality", "records": [
+        {"structure": "klsm", "pin": "none", "threads": 2,
+         "mean_rank": 4.0, "max_rank": 40, "rho": 224,
+         "buffer_total": 20},
+        {"structure": "multiqueue", "pin": "none", "threads": 2,
+         "mean_rank": 8.0, "max_rank": 400},
+    ]}
+    pairs, lines = head_to_head(h2h_quality, "klsm", "multiqueue")
+    ok = (pairs == 1 and len(lines) == 3
+          and any("mean_rank" in l and "klsm ahead" in l for l in lines)
+          and any("rho=224" in l and "buffer_total=20" in l
+                  for l in lines))
+    print(f"self-test {'pass' if ok else 'FAIL'}: head-to-head quality "
+          f"pairing carries bounds")
+    if not ok:
+        failures.append("h2h-quality")
+
+    pairs, _ = head_to_head(h2h_quality, "klsm", "linden")
+    ok = pairs == 0
+    print(f"self-test {'pass' if ok else 'FAIL'}: head-to-head with no "
+          f"rival records pairs nothing")
+    if not ok:
+        failures.append("h2h-empty")
+
     if failures:
         print(f"self-test: {len(failures)} failure(s)")
         return 1
@@ -800,6 +912,13 @@ def build_parser():
                         help="latency percentile regressions warn "
                              "instead of failing (throughput and sssp "
                              "time stay enforcing)")
+    parser.add_argument("--head-to-head", action="store_true",
+                        help="diff two structures against each other "
+                             "within ONE report (informational; pairs "
+                             "records on pin+threads)")
+    parser.add_argument("--h2h", default="klsm,multiqueue",
+                        help="the two structures --head-to-head pairs, "
+                             "as left,right")
     parser.add_argument("--verbose", action="store_true",
                         help="also print non-regressed comparisons")
     parser.add_argument("--self-test", action="store_true",
@@ -819,6 +938,23 @@ def main(argv):
     args = parse_args(argv)
     if args.self_test:
         return self_test(parse_args)
+    if args.head_to_head:
+        if not args.baseline or args.candidate:
+            build_parser().error(
+                "--head-to-head takes exactly one report")
+        left, _, right = args.h2h.partition(",")
+        if not left or not right:
+            build_parser().error("--h2h must name two structures")
+        pairs, lines = head_to_head(load_report(args.baseline),
+                                    left.strip(), right.strip())
+        for line in lines:
+            print(f"[h2h]  {line}")
+        if not pairs:
+            print(f"compare_bench: no ({left}, {right}) record pairs "
+                  f"in {args.baseline}")
+            return 1
+        print(f"compare_bench: head-to-head over {pairs} pair(s)")
+        return 0
     if not args.baseline or not args.candidate:
         build_parser().error("baseline and candidate reports are required")
 

@@ -330,6 +330,61 @@ if command -v python3 > /dev/null; then
 fi
 echo "smoke OK: adaptive acceptance sweep"
 
+echo "== buffered handles: engineered multiqueue vs buffered k-LSM =="
+# The PR-8 acceptance shape: both rivals in one report, insert buffers
+# and the MultiQueue handle buffers on.  The quality workload enforces
+# the extended bound rho = (T+1)*k + T*buffer_total internally (it
+# fails the run on violation), and compare_bench's head-to-head mode
+# diffs the klsm-vs-multiqueue pairs within the single report.
+json="$REPORT_DIR/buffered-quality.json"
+"$BUILD_DIR/bench/klsm_bench" --smoke --workload quality \
+    --structure klsm,multiqueue --threads 2 \
+    --insert-buffer 16 --peek-cache 4 --mq-stickiness 8 --mq-buffer 16 \
+    --json-out "$json" > /dev/null
+check_json "$json"
+echo "smoke OK: buffered quality (extended rho enforced)"
+json="$REPORT_DIR/buffered-throughput.json"
+"$BUILD_DIR/bench/klsm_bench" --smoke --workload throughput \
+    --structure klsm,multiqueue --threads 1,2 \
+    --insert-buffer 16 --peek-cache 4 --mq-stickiness 8 --mq-buffer 16 \
+    --json-out "$json" > /dev/null
+check_json "$json"
+check_latency "$json"
+echo "smoke OK: buffered throughput"
+if command -v python3 > /dev/null; then
+    python3 "$(dirname "$0")/compare_bench.py" --head-to-head \
+        "$REPORT_DIR/buffered-quality.json" > /dev/null
+    python3 "$(dirname "$0")/compare_bench.py" --head-to-head \
+        "$REPORT_DIR/buffered-throughput.json" > /dev/null
+    echo "smoke OK: klsm-vs-multiqueue head-to-head"
+fi
+# Adaptive with the buffer knob engaged: the adaptation object must
+# carry the buffer {initial, final, max_seen} block.
+json="$REPORT_DIR/buffered-adaptive.json"
+"$BUILD_DIR/bench/klsm_bench" --smoke --workload throughput \
+    --structure klsm --threads 2 --adaptive --k-min 16 --k-max 4096 \
+    --insert-buffer 16 --json-out "$json" > /dev/null
+check_json "$json"
+check_adaptation "$json"
+if command -v python3 > /dev/null; then
+    python3 - "$json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+checked = 0
+for record in report["records"]:
+    if record["structure"] != "klsm":
+        continue
+    buf = record["adaptation"]["buffer"]
+    for field in ("initial", "final", "max_seen"):
+        assert field in buf, f"adaptation.buffer.{field} missing"
+    assert buf["initial"] == 16, "buffer initial != configured depth"
+    assert buf["max_seen"] >= buf["initial"]
+    checked += 1
+assert checked, "no buffered adaptation objects found"
+EOF
+fi
+echo "smoke OK: adaptive buffer knob"
+
 echo "== pinned sweeps: compact + scatter across every workload =="
 # ROADMAP's pinned-CI item: keep the placement paths exercised on every
 # push, for all three workloads, not just throughput.

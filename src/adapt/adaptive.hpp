@@ -21,38 +21,39 @@
 // asks for.  tick() is driven by a single ticker thread (the harness's
 // on_adapt_tick hook); it is not thread-safe against itself.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <iomanip>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "adapt/contention_monitor.hpp"
 #include "adapt/k_controller.hpp"
+#include "klsm/pq_concept.hpp"
 
 namespace klsm {
 namespace adapt {
 
 /// A queue whose relaxation can be retuned online and which accepts
-/// contention telemetry (k_lsm).
+/// contention telemetry (k_lsm).  Built on the capability vocabulary in
+/// klsm/pq_concept.hpp: adaptable = dynamic_relaxation + a monitor hook.
 template <typename PQ>
 concept adaptable =
-    requires(PQ &q, std::size_t k, contention_monitor *m) {
-        { q.relaxation() } -> std::convertible_to<std::size_t>;
-        { q.max_relaxation_seen() } -> std::convertible_to<std::size_t>;
-        q.set_relaxation(k);
+    dynamic_relaxation<PQ> && requires(PQ &q, contention_monitor *m) {
         q.set_monitor(m);
     };
 
 /// A sharded queue whose shards are individually adaptable (numa_klsm).
 template <typename PQ>
-concept sharded_adaptable = requires(PQ &q, std::uint32_t s) {
-    { q.num_shards() } -> std::convertible_to<std::uint32_t>;
-    requires adaptable<std::remove_reference_t<decltype(q.shard(s))>>;
-};
+concept sharded_adaptable =
+    sharded<PQ> && requires(PQ &q, std::uint32_t s) {
+        requires adaptable<std::remove_reference_t<decltype(q.shard(s))>>;
+    };
 
 /// Anything the adaptor can drive.
 template <typename PQ>
@@ -85,6 +86,18 @@ public:
             loops_.push_back(std::move(l));
         }
         trajectory_.push_back({0, current_k()});
+        // Second knob (dynamic_buffering queues only): the handle buffer
+        // depth follows the k controller's direction within [d0/4, d0*4]
+        // of the configured depth d0.  A queue the user left unbuffered
+        // (d0 == 0) stays unbuffered — the adaptor never changes the
+        // visibility contract on its own.
+        if constexpr (dynamic_buffering<PQ>) {
+            buf_initial_ = q_.buffer_depth();
+            if (buf_initial_ > 0) {
+                buf_min_ = std::max<std::size_t>(1, buf_initial_ / 4);
+                buf_max_ = buf_initial_ * 4;
+            }
+        }
     }
 
     ~queue_adaptor() {
@@ -117,6 +130,22 @@ public:
             }
         }
         if (changed) {
+            // Buffer depth rides the same contention signal: growing k
+            // means contention (amortize harder, deepen the buffers),
+            // shrinking k means quality headroom (tighten them).
+            if constexpr (dynamic_buffering<PQ>) {
+                if (buf_initial_ > 0) {
+                    const std::size_t prev = trajectory_.back().k;
+                    const std::size_t cur = current_k();
+                    const std::size_t d = q_.buffer_depth();
+                    const std::size_t nd =
+                        cur > prev ? std::min(buf_max_, d * 2)
+                        : cur < prev ? std::max(buf_min_, d / 2)
+                                     : d;
+                    if (nd != d)
+                        q_.set_buffer_depth(nd);
+                }
+            }
             if (trajectory_.size() >= max_trajectory_points)
                 trajectory_.erase(trajectory_.begin() + 1);
             trajectory_.push_back({ticks_, current_k()});
@@ -171,6 +200,12 @@ public:
             os << (i ? "," : "") << "[" << trajectory_[i].tick << ","
                << trajectory_[i].k << "]";
         os << "]";
+
+        if constexpr (dynamic_buffering<PQ>) {
+            os << ",\"buffer\":{\"initial\":" << buf_initial_
+               << ",\"final\":" << q_.buffer_depth()
+               << ",\"max_seen\":" << q_.max_buffer_depth_seen() << "}";
+        }
 
         // Aggregate contention: counter sums across shards; for the
         // EWMAs the hottest shard is the binding signal, so report the
@@ -244,6 +279,11 @@ private:
     PQ &q_;
     const unsigned threads_;
     std::uint64_t ticks_ = 0;
+    // Buffer-knob state (meaningful only for dynamic_buffering queues
+    // configured with a nonzero depth).
+    std::size_t buf_initial_ = 0;
+    std::size_t buf_min_ = 0;
+    std::size_t buf_max_ = 0;
     // unique_ptr: monitors are address-stable while attached.
     std::vector<std::unique_ptr<loop>> loops_;
     std::vector<k_point> trajectory_;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "klsm/pq_concept.hpp"
 #include "mm/alloc_stats.hpp"
 #include "mm/reclaim/timeline.hpp"
 #include "topo/pinning.hpp"
@@ -102,7 +103,7 @@ namespace detail {
 /// zeros (the timeline then only tracks RSS).
 template <typename PQ>
 void fill_pool_fields(PQ &q, mm::reclaim::timeline_sample &s) {
-    if constexpr (requires { q.memory_stats(false); }) {
+    if constexpr (pool_backed<PQ>) {
         const mm::memory_stats m = q.memory_stats(false);
         mm::pool_alloc_snapshot all = m.items;
         all.merge(m.dist_blocks);
@@ -183,6 +184,7 @@ churn_result run_churn(PQ &q, const churn_params &params) {
                 std::uint64_t my_ins = 0, my_del = 0, my_failed = 0;
                 typename PQ::key_type key;
                 typename PQ::value_type value{};
+                auto h = pq_handle(q);
                 sync.arrive_and_wait();
                 for (std::uint64_t op = 0; op < ops; ++op) {
                     const bool do_insert =
@@ -191,17 +193,20 @@ churn_result run_churn(PQ &q, const churn_params &params) {
                                   phase.insert_percent
                             : mix.is_insert(rng);
                     if (do_insert) {
-                        q.insert(static_cast<typename PQ::key_type>(
+                        h.insert(static_cast<typename PQ::key_type>(
                                      phase.key_base +
                                      rng.bounded(params.key_range)),
                                  value);
                         ++my_ins;
-                    } else if (q.try_delete_min(key, value)) {
+                    } else if (h.try_delete_min(key, value)) {
                         ++my_del;
                     } else {
                         ++my_failed;
                     }
                 }
+                // Flush before the phase boundary's quiescent shrink and
+                // boundary sample: every counted op must be visible.
+                h.flush();
                 inserts.fetch_add(my_ins, std::memory_order_relaxed);
                 deletes.fetch_add(my_del, std::memory_order_relaxed);
                 failed.fetch_add(my_failed, std::memory_order_relaxed);
@@ -224,7 +229,7 @@ churn_result run_churn(PQ &q, const churn_params &params) {
                     std::max<std::uint64_t>(params.ops_per_phase / 4, 512),
                     static_cast<std::uint32_t>(program.size()), wi, wd,
                     wf);
-        if constexpr (requires { q.quiescent_shrink(); })
+        if constexpr (pool_backed<PQ>)
             q.quiescent_shrink();
     }
     take_sample();
@@ -262,7 +267,7 @@ churn_result run_churn(PQ &q, const churn_params &params) {
         // Phase boundary: the queue is quiescent (workers joined), so
         // force the shrink tier to release everything that went cold —
         // this is where the surge memory comes back.
-        if constexpr (requires { q.quiescent_shrink(); })
+        if constexpr (pool_backed<PQ>)
             q.quiescent_shrink();
         if constexpr (requires { q.release_memory(); })
             q.release_memory();

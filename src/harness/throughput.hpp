@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "klsm/pq_concept.hpp"
 #include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
 #include "util/rng.hpp"
@@ -71,12 +72,13 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
             std::uint64_t my_inserts = 0, my_deletes = 0, my_failed = 0;
             typename PQ::key_type key;
             typename PQ::value_type value{};
+            auto h = pq_handle(q); // native or pass-through: ONE loop
             sync.arrive_and_wait();
             while (!stop.load(std::memory_order_relaxed)) {
                 if (mix.is_insert(rng)) {
                     stats::op_sample sample{params.latency, t,
                                             stats::op_kind::insert};
-                    q.insert(
+                    h.insert(
                         static_cast<typename PQ::key_type>(rng() & mask),
                         value);
                     sample.commit();
@@ -84,7 +86,7 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
                 } else {
                     stats::op_sample sample{params.latency, t,
                                             stats::op_kind::delete_min};
-                    if (q.try_delete_min(key, value)) {
+                    if (h.try_delete_min(key, value)) {
                         // Only successful deletes are recorded: a failed
                         // probe of an empty queue is a different (much
                         // cheaper) code path and would skew the tail.
@@ -95,6 +97,9 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
                     }
                 }
             }
+            // Publish buffered effects before the counters: the queue's
+            // post-run state must reflect every counted op.
+            h.flush();
             inserts.fetch_add(my_inserts);
             deletes.fetch_add(my_deletes);
             failed.fetch_add(my_failed);

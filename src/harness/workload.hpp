@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "klsm/pq_concept.hpp"
 #include "util/rng.hpp"
 
 namespace klsm {
@@ -64,9 +65,11 @@ void prefill_queue(PQ &q, std::size_t n, std::uint64_t seed,
         const std::uint64_t mask =
             key_bits >= 64 ? ~std::uint64_t{0}
                            : ((std::uint64_t{1} << key_bits) - 1);
+        auto h = pq_handle(q);
         for (std::size_t i = 0; i < n; ++i)
-            q.insert(static_cast<typename PQ::key_type>(rng() & mask),
+            h.insert(static_cast<typename PQ::key_type>(rng() & mask),
                      typename PQ::value_type{});
+        h.flush(); // every prefilled key visible before timing starts
         return;
     }
     std::vector<std::thread> ts;
@@ -79,9 +82,11 @@ void prefill_queue(PQ &q, std::size_t n, std::uint64_t seed,
             const std::uint64_t mask =
                 key_bits >= 64 ? ~std::uint64_t{0}
                                : ((std::uint64_t{1} << key_bits) - 1);
+            auto h = pq_handle(q);
             for (std::size_t i = 0; i < count; ++i)
-                q.insert(static_cast<typename PQ::key_type>(rng() & mask),
+                h.insert(static_cast<typename PQ::key_type>(rng() & mask),
                          typename PQ::value_type{});
+            h.flush(); // before the worker joins: see single-thread path
         });
     }
     for (auto &t : ts)

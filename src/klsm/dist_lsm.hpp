@@ -29,6 +29,7 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "klsm/block.hpp"
 #include "klsm/block_pool.hpp"
@@ -65,7 +66,50 @@ public:
         block<K, V> *b = pool_.acquire(0, 0, block_pool<K, V>::always_recyclable);
         b->append(ref, lazy);
         b->bloom_insert(tid);
+        publish_merge(b, tid, spill_bound, lazy,
+                      std::forward<Spill>(spill));
+    }
 
+    /// Owner: insert `n` key/value pairs, pre-sorted in DECREASING key
+    /// order, as ONE level-ceil(log2 n) block — the buffered handle's
+    /// flush path.  The run enters the same merge chain a single insert
+    /// would, but only once per batch, so the amortized per-item cost of
+    /// the chain (and of any spill into the shared LSM) drops by a factor
+    /// of n.  Lazy-expired pairs are dropped at append time exactly as a
+    /// chain of single inserts would drop them.
+    template <typename Lazy, typename Spill>
+    void insert_batch(const std::pair<K, V> *kv, std::size_t n,
+                      std::uint32_t tid, std::size_t spill_bound,
+                      const Lazy &lazy, Spill &&spill) {
+        if (n == 0)
+            return;
+        const std::uint32_t lvl =
+            block<K, V>::level_for(static_cast<std::uint32_t>(n));
+        assert(lvl < max_levels);
+        block<K, V> *b =
+            pool_.acquire(lvl, lvl, block_pool<K, V>::always_recyclable);
+        for (std::size_t i = 0; i < n; ++i) {
+            assert(i == 0 || !(kv[i - 1].first < kv[i].first));
+            b->append(items_.allocate(kv[i].first, kv[i].second), lazy);
+        }
+        if (b->filled() == 0) { // lazy deletion expired the whole batch
+            pool_.release(b);
+            return;
+        }
+        b->set_level(block<K, V>::level_for(b->filled()));
+        b->bloom_insert(tid);
+        publish_merge(b, tid, spill_bound, lazy,
+                      std::forward<Spill>(spill));
+    }
+
+private:
+    /// Common insert tail: run the held block `b` through Listing 4's
+    /// merge chain, apply the combined k-LSM spill bound, and publish.
+    template <typename Lazy, typename Spill>
+    void publish_merge(block<K, V> *b, std::uint32_t tid,
+                       std::size_t spill_bound, const Lazy &lazy,
+                       Spill &&spill) {
+        (void)tid;
         const std::uint32_t old_size = size_.load(std::memory_order_relaxed);
         std::uint32_t i = old_size;
         // Listing 4's merge chain: merge from the back while the previous
@@ -130,6 +174,7 @@ public:
             blocks_[j].store(nullptr, std::memory_order_relaxed);
     }
 
+public:
     /// Owner: current minimum alive item (empty ref if none).  Trims
     /// logically deleted suffixes and repairs structural invariants as a
     /// side effect (the paper's consolidate).

@@ -24,8 +24,11 @@
 // stateful predicate consulted whenever items are copied between blocks
 // (see lazy.hpp); the default never deletes.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "adapt/contention_monitor.hpp"
 #include "klsm/dist_lsm.hpp"
@@ -94,10 +97,68 @@ public:
         shared_.set_monitor(m);
     }
 
+    // ---- handle buffering knobs (dynamic_buffering concept) -------------
+    //
+    // Handles read these per operation, so retuning a live queue is safe:
+    // a handle holding more than the new depth simply flushes on its next
+    // insert.  Rank-error bounds after a run with buffering must use
+    // max_buffer_depth_seen(), the high-water mark of the per-handle
+    // hidden-item budget (insert buffer depth plus the delete-side peek
+    // cache; with the cache off but the insert buffer on, one delete-side
+    // carry slot can still hold an unserved popped item, hence the +1).
+
+    /// Per-handle insert-buffer depth; 0 = unbuffered (every h.insert
+    /// reaches the DistLSM immediately).
+    std::size_t buffer_depth() const {
+        return ins_depth_.load(std::memory_order_relaxed);
+    }
+
+    void set_buffer_depth(std::size_t d) {
+        ins_depth_.store(d, std::memory_order_relaxed);
+        note_buffer_high_water();
+    }
+
+    /// Per-handle delete-side peek-cache depth; 0 = every h.try_delete_min
+    /// peeks the shared LSM itself.
+    std::size_t peek_cache_depth() const {
+        return peek_depth_.load(std::memory_order_relaxed);
+    }
+
+    void set_peek_cache_depth(std::size_t d) {
+        peek_depth_.store(d, std::memory_order_relaxed);
+        note_buffer_high_water();
+    }
+
+    /// Items a single handle may currently hide from other threads:
+    /// insert buffer + effective peek cache (see note above).
+    std::size_t buffer_total() const {
+        const std::size_t ib = ins_depth_.load(std::memory_order_relaxed);
+        const std::size_t pc =
+            peek_depth_.load(std::memory_order_relaxed);
+        return ib + (pc > 0 ? pc : (ib > 0 ? 1 : 0));
+    }
+
+    /// High-water mark of buffer_total() over the queue's lifetime — the
+    /// per-thread term rank bounds must be computed against.
+    std::size_t max_buffer_depth_seen() const {
+        return max_buffer_seen_.load(std::memory_order_relaxed);
+    }
+
     void insert(const K &key, const V &value) {
         const std::uint32_t slot = dir_.register_self();
         dist_[slot]->insert(
             key, value, slot, k_.load(std::memory_order_relaxed), lazy_,
+            [this](block<K, V> *b, std::uint32_t filled) {
+                shared_.insert(b, filled, lazy_);
+            });
+    }
+
+    /// Insert `n` pairs, pre-sorted in DECREASING key order, as one
+    /// block (the handle's flush path; see dist_lsm::insert_batch).
+    void insert_batch(const std::pair<K, V> *kv, std::size_t n) {
+        const std::uint32_t slot = dir_.register_self();
+        dist_[slot]->insert_batch(
+            kv, n, slot, k_.load(std::memory_order_relaxed), lazy_,
             [this](block<K, V> *b, std::uint32_t filled) {
                 shared_.insert(b, filled, lazy_);
             });
@@ -156,6 +217,158 @@ public:
         value = cand.it->value();
         return cand.it->is_alive(cand.version);
     }
+
+    /// Per-thread operation handle (buffered k-LSM).  Owned by exactly
+    /// one thread; not thread-safe.
+    ///
+    ///   * insert: staged locally up to buffer_depth() pairs, then the
+    ///     whole run is sorted descending and enters the owner's DistLSM
+    ///     as ONE pre-sorted block via insert_batch — one merge chain
+    ///     (and at most one shared-LSM spill) per batch instead of per
+    ///     insert.
+    ///   * try_delete_min: refills a local peek cache by popping up to
+    ///     max(peek_cache_depth(), 1) keys in one burst, then serves the
+    ///     cache — the k slack is spent in amortized bursts instead of
+    ///     one CAS-laden shared-LSM peek per op.  Local ordering
+    ///     semantics are preserved: every delete first consults the
+    ///     handle's own staged inserts and serves the smaller key.
+    ///   * flush(): staged inserts become visible, cached-but-unserved
+    ///     deletions are reinserted.  Destruction flushes.
+    ///
+    /// Each handle hides at most buffer_total() items, so T threads stay
+    /// within rho = (T+1)*k + T*buffer_total (quality.hpp's extended
+    /// accounting).
+    class handle {
+    public:
+        using key_type = K;
+        using value_type = V;
+
+        static constexpr std::size_t npos =
+            static_cast<std::size_t>(-1);
+
+        explicit handle(k_lsm &q) : q_(&q) {}
+
+        handle(handle &&other) noexcept
+            : q_(other.q_), buf_(std::move(other.buf_)),
+              cache_(std::move(other.cache_)),
+              cache_head_(other.cache_head_) {
+            other.q_ = nullptr;
+        }
+        handle(const handle &) = delete;
+        handle &operator=(const handle &) = delete;
+        handle &operator=(handle &&) = delete;
+
+        ~handle() {
+            if (q_ != nullptr)
+                flush();
+        }
+
+        void insert(const K &key, const V &value) {
+            const std::size_t depth =
+                q_->ins_depth_.load(std::memory_order_relaxed);
+            if (depth == 0) {
+                q_->insert(key, value);
+                return;
+            }
+            buf_.emplace_back(key, value);
+            if (buf_.size() >= depth)
+                flush_inserts();
+        }
+
+        bool try_delete_min(K &key, V &value) {
+            for (;;) {
+                if (cache_head_ < cache_.size()) {
+                    // The cache is ascending (popped smallest-first), so
+                    // its head is the best cached key; a smaller staged
+                    // insert must be served instead (local ordering).
+                    const std::size_t m = buf_min_index();
+                    if (m != npos &&
+                        buf_[m].first < cache_[cache_head_].first) {
+                        serve_buf(m, key, value);
+                        return true;
+                    }
+                    key = cache_[cache_head_].first;
+                    value = cache_[cache_head_].second;
+                    ++cache_head_;
+                    if (cache_head_ == cache_.size()) {
+                        cache_.clear();
+                        cache_head_ = 0;
+                    }
+                    return true;
+                }
+                if (refill())
+                    continue;
+                // The queue looked empty; the staged inserts are all
+                // that is left to serve.
+                const std::size_t m = buf_min_index();
+                if (m == npos)
+                    return false;
+                serve_buf(m, key, value);
+                return true;
+            }
+        }
+
+        /// Publish every buffered effect.  Cheap no-op when empty.
+        void flush() {
+            flush_inserts();
+            for (std::size_t i = cache_head_; i < cache_.size(); ++i)
+                q_->insert(cache_[i].first, cache_[i].second);
+            cache_.clear();
+            cache_head_ = 0;
+        }
+
+        // White-box observability for tests.
+        std::size_t inserts_buffered() const { return buf_.size(); }
+        std::size_t deletes_cached() const {
+            return cache_.size() - cache_head_;
+        }
+
+    private:
+        std::size_t buf_min_index() const {
+            std::size_t best = npos;
+            for (std::size_t i = 0; i < buf_.size(); ++i)
+                if (best == npos || buf_[i].first < buf_[best].first)
+                    best = i;
+            return best;
+        }
+
+        void serve_buf(std::size_t i, K &key, V &value) {
+            key = buf_[i].first;
+            value = buf_[i].second;
+            buf_[i] = buf_.back();
+            buf_.pop_back();
+        }
+
+        void flush_inserts() {
+            if (buf_.empty())
+                return;
+            std::sort(buf_.begin(), buf_.end(),
+                      [](const std::pair<K, V> &a,
+                         const std::pair<K, V> &b) {
+                          return b.first < a.first; // decreasing keys
+                      });
+            q_->insert_batch(buf_.data(), buf_.size());
+            buf_.clear();
+        }
+
+        bool refill() {
+            const std::size_t pc =
+                q_->peek_depth_.load(std::memory_order_relaxed);
+            const std::size_t want = pc > 0 ? pc : 1;
+            K k;
+            V v;
+            while (cache_.size() < want && q_->try_delete_min(k, v))
+                cache_.emplace_back(k, v);
+            return !cache_.empty();
+        }
+
+        k_lsm *q_;
+        std::vector<std::pair<K, V>> buf_;   // staged inserts, unordered
+        std::vector<std::pair<K, V>> cache_; // popped keys, ascending
+        std::size_t cache_head_ = 0;
+    };
+
+    handle get_handle() { return handle(*this); }
 
     /// Approximate size; the paper's size() is allowed to be off by up to
     /// rho, and this estimate additionally counts not-yet-compacted
@@ -241,12 +454,26 @@ private:
             m->count(e);
     }
 
+    void note_buffer_high_water() {
+        const std::size_t total = buffer_total();
+        std::size_t cur = max_buffer_seen_.load(std::memory_order_relaxed);
+        while (total > cur && !max_buffer_seen_.compare_exchange_weak(
+                                  cur, total, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+        }
+    }
+
     /// Relaxed-atomic so the adaptive-k controller can retune a live
     /// queue; hot paths load it once per operation.
     std::atomic<std::size_t> k_;
     /// High-water mark of k_ (set_relaxation maintains it): the value
     /// rank bounds are computed from after an adaptive run.
     std::atomic<std::size_t> max_k_seen_;
+    /// Handle insert-buffer depth, delete-side peek-cache depth, and the
+    /// high-water mark of buffer_total() (see the knob accessors).
+    std::atomic<std::size_t> ins_depth_{0};
+    std::atomic<std::size_t> peek_depth_{0};
+    std::atomic<std::size_t> max_buffer_seen_{0};
     /// Contention telemetry sink; null when no controller is attached.
     std::atomic<adapt::contention_monitor *> monitor_{nullptr};
     Lazy lazy_;

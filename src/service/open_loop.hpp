@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "klsm/pq_concept.hpp"
 #include "service/arrival_schedule.hpp"
 #include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
@@ -153,6 +154,7 @@ service_result run_service(PQ &q, const service_params &params,
             const auto &sched = schedule[t];
             typename PQ::key_type key;
             typename PQ::value_type value{};
+            auto h = pq_handle(q);
             worker_tally tally;
             sync.arrive_and_wait();
             const std::uint64_t start =
@@ -162,9 +164,19 @@ service_result run_service(PQ &q, const service_params &params,
                 const std::uint64_t intended_ns = start + sched[i];
                 std::uint64_t now = now_ns();
                 if (now < intended_ns) {
-                    // Ahead of schedule: sleep off all but the tail of
-                    // a long wait, yield through the medium range, spin
-                    // the last couple of microseconds for precision.
+                    // Ahead of schedule = quiesced: publish buffered
+                    // effects before waiting, so consumers on other
+                    // streams see every op this stream has completed and
+                    // the SLO verdict is never computed against hidden
+                    // work.  Re-read the clock — the flush may have
+                    // consumed the slack.
+                    h.flush();
+                    now = now_ns();
+                }
+                if (now < intended_ns) {
+                    // Sleep off all but the tail of a long wait, yield
+                    // through the medium range, spin the last couple of
+                    // microseconds for precision.
                     do {
                         const std::uint64_t ahead = intended_ns - now;
                         if (ahead > 200000)
@@ -197,11 +209,11 @@ service_result run_service(PQ &q, const service_params &params,
                 const std::uint64_t op_start = now_ns();
                 bool served = true;
                 if (ins) {
-                    q.insert(
+                    h.insert(
                         static_cast<typename PQ::key_type>(rng() & mask),
                         value);
                     ++tally.inserts;
-                } else if (q.try_delete_min(key, value)) {
+                } else if (h.try_delete_min(key, value)) {
                     ++tally.deletes;
                 } else {
                     served = false;
@@ -218,6 +230,7 @@ service_result run_service(PQ &q, const service_params &params,
                     intended.record(t, kind, end - intended_ns);
                 }
             }
+            h.flush(); // the run's last ops count toward its window
             tally.end_ns = now_ns();
             tallies[t] = tally;
         });
