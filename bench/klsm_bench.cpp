@@ -32,6 +32,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -66,6 +67,10 @@
 #include "stats/latency_report.hpp"
 #include "topo/pinning.hpp"
 #include "topo/topology.hpp"
+#include "trace/metrics_sampler.hpp"
+#include "trace/progress.hpp"
+#include "trace/trace_export.hpp"
+#include "trace/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/thread_id.hpp"
 #include "util/timer.hpp"
@@ -143,7 +148,75 @@ struct bench_config {
     bool csv = false;
     /// --json-out '-': the JSON report owns stdout, tables go to stderr.
     bool json_to_stdout = false;
+    /// Runtime tracing (src/trace/): --trace arms the per-thread event
+    /// rings; the drained Chrome-trace JSON is written to trace_out
+    /// after the last workload record.
+    bool trace = false;
+    std::string trace_out = "trace.json";
+    std::size_t trace_ring = klsm::trace::tracer::default_ring_capacity;
+    /// In-run metrics sampling period in milliseconds (0 = sampler
+    /// off).  Parsed from --metrics-interval, which accepts "50ms",
+    /// "0.5s", "500us", or a bare millisecond count.
+    double metrics_interval_ms = 0.0;
 };
+
+/// Parse a --metrics-interval value into milliseconds.  A bare number
+/// is milliseconds; "us" / "ms" / "s" suffixes rescale.  Empty or zero
+/// disables the sampler.  nullopt: malformed.
+std::optional<double> parse_interval_ms(const std::string &text) {
+    if (text.empty())
+        return 0.0;
+    std::string num = text;
+    double scale = 1.0;
+    const auto strip = [&num](const char *suffix) {
+        const std::size_t n = std::char_traits<char>::length(suffix);
+        if (num.size() > n &&
+            num.compare(num.size() - n, n, suffix) == 0) {
+            num.resize(num.size() - n);
+            return true;
+        }
+        return false;
+    };
+    if (strip("ms"))
+        scale = 1.0;
+    else if (strip("us"))
+        scale = 1e-3;
+    else if (strip("s"))
+        scale = 1e3;
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(num, &pos);
+        if (pos != num.size() || !(v >= 0))
+            return std::nullopt;
+        return v * scale;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+/// The sampling period one record actually runs with: the requested
+/// period, clamped so a duration-bounded run still yields ~16 rows
+/// (smoke runs last 50 ms; a 50 ms period would sample them twice).
+/// `duration_hint_s` <= 0 means the run length is op-bounded and
+/// unknown, so the request stands.
+double effective_metrics_interval_s(const bench_config &cfg,
+                                    double duration_hint_s) {
+    double s = cfg.metrics_interval_ms / 1000.0;
+    if (duration_hint_s > 0)
+        s = std::min(s, duration_hint_s / 16.0);
+    return std::max(s, 1e-4);
+}
+
+/// Counter tracks accumulated across every record of the run, merged
+/// into the Chrome-trace export as ph:"C" series.  Track names carry
+/// the record label so sweep points stay distinguishable on one
+/// timeline.
+std::vector<klsm::trace::counter_series> g_counter_tracks;
+
+/// Dense index of the measured record currently running, carried as
+/// the `bench_record` span argument so the trace timeline shows which
+/// sweep point each burst of events belongs to.
+std::uint32_t g_record_index = 0;
 
 /// The placement the non-sharded k-LSM structures use: the configured
 /// policy targeted at the constructing thread's current node (the only
@@ -274,6 +347,189 @@ void attach_memory(klsm::json_record &rec, PQ &q,
     }
 }
 
+/// One record's metrics-sampling machinery (src/trace/): the progress
+/// slots the harness workers publish into, the ticker-driven sampler,
+/// and — for k-LSM-family runs without an adaptive controller — a
+/// standalone contention monitor attached for the record's duration.
+/// Construct, wire(q, adaptor), point the harness params at
+/// progress(), run between start() and finish(rec, label).
+///
+/// Every probe reads only concurrent-safe state (relaxed atomics,
+/// monitor totals, quiescence-free memory_stats(false)), so the
+/// sampler thread can run while the workers do.
+class record_sampling {
+public:
+    record_sampling(const bench_config &cfg, unsigned threads,
+                    double duration_hint_s)
+        : enabled_(cfg.metrics_interval_ms > 0), trace_(cfg.trace),
+          progress_(threads),
+          sampler_(effective_metrics_interval_s(cfg, duration_hint_s),
+                   cfg.metrics_interval_ms / 1000.0) {}
+
+    ~record_sampling() {
+        if (detach_)
+            detach_();
+    }
+
+    record_sampling(const record_sampling &) = delete;
+    record_sampling &operator=(const record_sampling &) = delete;
+
+    bool enabled() const { return enabled_; }
+    klsm::trace::progress_counters *progress() {
+        return enabled_ ? &progress_ : nullptr;
+    }
+    klsm::trace::metrics_sampler &sampler() { return sampler_; }
+
+    /// Wire the probe set that makes sense for this structure:
+    /// queue-agnostic op counters from the progress slots; the k-LSM
+    /// family's contention hit mix (the adaptor's monitors when one is
+    /// live, a standalone monitor otherwise); current-k and pool-size
+    /// gauges where the structure exposes them.
+    template <typename PQ, typename Adaptor>
+    void wire(PQ &q, Adaptor adaptor) {
+        if (!enabled_)
+            return;
+        sampler_.add_counter("ops", [this] {
+            return static_cast<double>(progress_.total_ops());
+        });
+        sampler_.add_counter("failed_deletes", [this] {
+            return static_cast<double>(progress_.total_failed());
+        });
+        if constexpr (is_adaptor_v<Adaptor>) {
+            auto *a = adaptor;
+            const auto win = [a] {
+                klsm::adapt::contention_window sum;
+                for (std::uint32_t s = 0; s < a->shards(); ++s) {
+                    const auto t = a->shard_window(s);
+                    sum.publishes += t.publishes;
+                    sum.publish_retries += t.publish_retries;
+                    sum.shared_hits += t.shared_hits;
+                    sum.local_hits += t.local_hits;
+                    sum.spies += t.spies;
+                    sum.fail_rate_ewma =
+                        std::max(sum.fail_rate_ewma, t.fail_rate_ewma);
+                    sum.shared_fraction_ewma =
+                        std::max(sum.shared_fraction_ewma,
+                                 t.shared_fraction_ewma);
+                }
+                return sum;
+            };
+            add_contention_probes(win);
+            sampler_.add_gauge("current_k", [a] {
+                return static_cast<double>(a->current_k());
+            });
+        } else if constexpr (klsm::adapt::adaptable<PQ>) {
+            monitor_ =
+                std::make_unique<klsm::adapt::contention_monitor>();
+            q.set_monitor(monitor_.get());
+            detach_ = [&q] { q.set_monitor(nullptr); };
+            wire_standalone_monitor();
+        } else if constexpr (klsm::adapt::sharded_adaptable<PQ>) {
+            // One aggregate monitor across shards: count() only ever
+            // touches the calling thread's private slot, so sharing
+            // the monitor merely merges the shard mixes — which is
+            // the queue-wide view the sampler wants anyway.
+            monitor_ =
+                std::make_unique<klsm::adapt::contention_monitor>();
+            for (std::uint32_t s = 0; s < q.num_shards(); ++s)
+                q.shard(s).set_monitor(monitor_.get());
+            detach_ = [&q] {
+                for (std::uint32_t s = 0; s < q.num_shards(); ++s)
+                    q.shard(s).set_monitor(nullptr);
+            };
+            wire_standalone_monitor();
+        }
+        if constexpr (klsm::pool_backed<PQ>) {
+            const auto pools = [&q] {
+                const klsm::mm::memory_stats m = q.memory_stats(false);
+                klsm::mm::pool_alloc_snapshot all = m.items;
+                all.merge(m.dist_blocks);
+                all.merge(m.shared_blocks);
+                return all;
+            };
+            sampler_.add_gauge("pool_bytes", [pools] {
+                return static_cast<double>(pools().bytes);
+            });
+            sampler_.add_gauge("released_bytes", [pools] {
+                return static_cast<double>(pools().released_bytes);
+            });
+        }
+    }
+
+    void start() {
+        if (enabled_)
+            sampler_.start();
+    }
+
+    /// Stop sampling, detach any standalone monitor, embed the
+    /// `timeseries` block, and (under --trace) hand the counter
+    /// tracks to the end-of-run Chrome-trace export.
+    void finish(klsm::json_record &rec, const std::string &label) {
+        if (!enabled_)
+            return;
+        sampler_.stop();
+        if (detach_) {
+            detach_();
+            detach_ = nullptr;
+        }
+        rec.set_raw("timeseries", sampler_.json());
+        if (trace_) {
+            auto tracks = sampler_.counter_tracks();
+            for (auto &cs : tracks) {
+                cs.name = label + " " + cs.name;
+                g_counter_tracks.push_back(std::move(cs));
+            }
+        }
+    }
+
+private:
+    template <typename WindowFn>
+    void add_contention_probes(WindowFn win) {
+        sampler_.add_counter("publishes", [win] {
+            return static_cast<double>(win().publishes);
+        });
+        sampler_.add_counter("publish_retries", [win] {
+            return static_cast<double>(win().publish_retries);
+        });
+        sampler_.add_counter("shared_hits", [win] {
+            return static_cast<double>(win().shared_hits);
+        });
+        sampler_.add_counter("local_hits", [win] {
+            return static_cast<double>(win().local_hits);
+        });
+        sampler_.add_counter("spies", [win] {
+            return static_cast<double>(win().spies);
+        });
+        sampler_.add_gauge("fail_rate_ewma", [win] {
+            return win().fail_rate_ewma;
+        });
+        sampler_.add_gauge("shared_fraction_ewma", [win] {
+            return win().shared_fraction_ewma;
+        });
+    }
+
+    void wire_standalone_monitor() {
+        auto *m = monitor_.get();
+        // No controller owns this monitor's ticker, so fold the EWMA
+        // window once per sample row instead.
+        sampler_.add_tick_hook([m] { m->sample_window(); });
+        add_contention_probes([m] { return m->totals(); });
+    }
+
+    bool enabled_;
+    bool trace_;
+    klsm::trace::progress_counters progress_;
+    klsm::trace::metrics_sampler sampler_;
+    std::unique_ptr<klsm::adapt::contention_monitor> monitor_;
+    std::function<void()> detach_;
+};
+
+/// Human-readable sweep-point label for counter-track names.
+std::string record_label(const std::string &name, const std::string &pin,
+                         unsigned threads) {
+    return name + "/" + pin + "/t" + std::to_string(threads);
+}
+
 int run_throughput_workload(const bench_config &cfg,
                             klsm::json_reporter &json) {
     klsm::table_reporter report({"structure", "pin", "threads", "prefill",
@@ -308,6 +564,15 @@ int run_throughput_workload(const bench_config &cfg,
                             params.adapt_tick_s =
                                 cfg.adapt_interval_ms / 1000.0;
                         }
+                        record_sampling sampling{cfg, threads,
+                                                 cfg.duration_s};
+                        sampling.wire(q, adaptor);
+                        params.progress = sampling.progress();
+                        KLSM_TRACE_SPAN(rec_span,
+                                        klsm::trace::kind::bench_record);
+                        rec_span.arg(
+                            klsm::trace::clamp16(g_record_index++));
+                        sampling.start();
                         const auto res = klsm::run_throughput(q, params);
                         report.row(name, pin, threads, cfg.prefill,
                                    res.ops_per_sec(),
@@ -328,6 +593,8 @@ int run_throughput_workload(const bench_config &cfg,
                         if (recs.enabled())
                             rec.set_raw("latency",
                                         klsm::stats::latency_json(recs));
+                        sampling.finish(rec,
+                                        record_label(name, pin, threads));
                         if constexpr (is_adaptor_v<decltype(adaptor)>)
                             rec.set_raw("adaptation", adaptor->json());
                         attach_memory(rec, q, cfg);
@@ -372,6 +639,15 @@ int run_churn_workload(const bench_config &cfg,
                         params.sample_interval_s =
                             cfg.sample_interval_ms / 1000.0;
                         params.pin_cpus = cpus;
+                        record_sampling sampling{cfg, threads,
+                                                 /*duration_hint_s=*/0};
+                        sampling.wire(q, nullptr);
+                        params.progress = sampling.progress();
+                        KLSM_TRACE_SPAN(rec_span,
+                                        klsm::trace::kind::bench_record);
+                        rec_span.arg(
+                            klsm::trace::clamp16(g_record_index++));
+                        sampling.start();
                         const auto res = klsm::run_churn(q, params);
                         const auto &tl = res.timeline;
                         const double ops_per_sec =
@@ -400,6 +676,8 @@ int run_churn_workload(const bench_config &cfg,
                         rec.set("elapsed_s", res.elapsed_s);
                         rec.set("ops_per_sec", ops_per_sec);
                         rec.set_raw("memory_timeline", tl.to_json());
+                        sampling.finish(rec,
+                                        record_label(name, pin, threads));
                         attach_memory(rec, q, cfg);
                     });
                 if (!ok)
@@ -460,6 +738,15 @@ int run_service_workload(const bench_config &cfg,
                             params.adapt_tick_s =
                                 cfg.adapt_interval_ms / 1000.0;
                         }
+                        record_sampling sampling{cfg, threads,
+                                                 cfg.duration_s};
+                        sampling.wire(q, adaptor);
+                        params.progress = sampling.progress();
+                        KLSM_TRACE_SPAN(rec_span,
+                                        klsm::trace::kind::bench_record);
+                        rec_span.arg(
+                            klsm::trace::clamp16(g_record_index++));
+                        sampling.start();
                         const auto res =
                             klsm::service::run_service(q, params,
                                                        schedule);
@@ -477,6 +764,11 @@ int run_service_workload(const bench_config &cfg,
                         if (cfg.find_sustainable) {
                             auto probe_params = params;
                             probe_params.latency = nullptr;
+                            // Probe tallies restart from zero each run,
+                            // which would drag the cumulative `ops`
+                            // counter backwards — keep the probes out
+                            // of the sampled slots.
+                            probe_params.progress = nullptr;
                             sustainable =
                                 klsm::service::find_sustainable_rate(
                                     [&](double rate) {
@@ -530,6 +822,8 @@ int run_service_workload(const bench_config &cfg,
                         if (recs.enabled())
                             rec.set_raw("latency",
                                         klsm::stats::latency_json(recs));
+                        sampling.finish(rec,
+                                        record_label(name, pin, threads));
                         rec.set_raw("service",
                                     klsm::service::service_json(
                                         res, acfg, params));
@@ -542,6 +836,9 @@ int run_service_workload(const bench_config &cfg,
                             rec.set_raw("adaptation", adaptor->json());
                         attach_memory(rec, q, cfg);
                         if (!verdict.pass) {
+                            KLSM_TRACE_EVENT(
+                                klsm::trace::kind::slo_violation, 0,
+                                verdict.observed_p99_ns / 1000);
                             std::cerr
                                 << (cfg.slo_enforce ? "SLO FAIL: "
                                                     : "slo verdict: ")
@@ -603,6 +900,38 @@ int run_quality_workload(const bench_config &cfg,
                             params.adapt_tick_s =
                                 cfg.adapt_interval_ms / 1000.0;
                         }
+                        record_sampling sampling{cfg, threads,
+                                                 /*duration_hint_s=*/0};
+                        sampling.wire(q, adaptor);
+                        params.progress = sampling.progress();
+                        // Quality-only probes: the sampled online rank
+                        // accumulator makes rank error observable *while*
+                        // the run (and any k controller) moves.
+                        klsm::online_rank_stats online_rank;
+                        if (sampling.enabled()) {
+                            params.online_rank = &online_rank;
+                            sampling.sampler().add_counter(
+                                "rank_samples", [&online_rank] {
+                                    return static_cast<double>(
+                                        online_rank.samples.load(
+                                            std::memory_order_relaxed));
+                                });
+                            sampling.sampler().add_gauge(
+                                "rank_mean", [&online_rank] {
+                                    return online_rank.mean();
+                                });
+                            sampling.sampler().add_gauge(
+                                "rank_max", [&online_rank] {
+                                    return static_cast<double>(
+                                        online_rank.rank_max.load(
+                                            std::memory_order_relaxed));
+                                });
+                        }
+                        KLSM_TRACE_SPAN(rec_span,
+                                        klsm::trace::kind::bench_record);
+                        rec_span.arg(
+                            klsm::trace::clamp16(g_record_index++));
+                        sampling.start();
                         const auto res = klsm::measure_rank_error(q, params);
                         // Lemma 2: the k-LSM guarantees at most T*k
                         // smaller keys are skipped.  numa_klsm's
@@ -665,6 +994,8 @@ int run_quality_workload(const bench_config &cfg,
                         if (recs.enabled())
                             rec.set_raw("latency",
                                         klsm::stats::latency_json(recs));
+                        sampling.finish(rec,
+                                        record_label(name, pin, threads));
                         if constexpr (is_adaptor_v<decltype(adaptor)>)
                             rec.set_raw("adaptation", adaptor->json());
                         attach_memory(rec, q, cfg);
@@ -902,6 +1233,22 @@ int main(int argc, char **argv) {
     cli.add_flag("sample-interval-ms", "50",
                  "churn: memory-timeline sampling period in "
                  "milliseconds");
+    cli.add_bool_flag("trace", false,
+                      "arm the runtime tracer (src/trace/): per-thread "
+                      "event rings drained at exit to --trace-out as "
+                      "Chrome-trace JSON (chrome://tracing / Perfetto)");
+    cli.add_flag("trace-out", "trace.json",
+                 "where --trace writes the Chrome-trace JSON");
+    cli.add_flag("trace-ring", "65536",
+                 "trace: per-thread ring capacity in events (rounded "
+                 "up to a power of two; on overflow the oldest events "
+                 "are overwritten and counted as dropped)");
+    cli.add_flag("metrics-interval", "",
+                 "in-run metrics sampling period, e.g. 50ms, 0.5s "
+                 "(bare numbers are milliseconds; empty or 0 = off): "
+                 "each record gains a `timeseries` block, and traces "
+                 "gain counter tracks (throughput/quality/service/"
+                 "churn workloads)");
     cli.add_bool_flag("smoke", false,
                       "tiny parameters, all checks on: the CI smoke mode");
     cli.add_flag("json-out", "",
@@ -1009,6 +1356,28 @@ int main(int argc, char **argv) {
     cfg.smoke = cli.get_bool("smoke");
     cfg.csv = cli.get_bool("csv");
     cfg.json_to_stdout = cli.get("json-out") == "-";
+    cfg.trace = cli.get_bool("trace");
+    cfg.trace_out = cli.get("trace-out");
+    cfg.trace_ring =
+        static_cast<std::size_t>(cli.get_uint64("trace-ring"));
+    if (cfg.trace && cfg.trace_out.empty()) {
+        std::cerr << "--trace-out must name a file when --trace is on\n";
+        return 2;
+    }
+    if (cfg.trace_ring == 0) {
+        std::cerr << "--trace-ring must be positive\n";
+        return 2;
+    }
+    const auto metrics_ms =
+        parse_interval_ms(cli.get("metrics-interval"));
+    if (!metrics_ms) {
+        std::cerr << "--metrics-interval: cannot parse '"
+                  << cli.get("metrics-interval")
+                  << "' (expected e.g. 50ms, 0.5s, or a bare "
+                     "millisecond count)\n";
+        return 2;
+    }
+    cfg.metrics_interval_ms = *metrics_ms;
 
     if (cfg.adaptive) {
         if (cfg.k_min < 1 || cfg.k_min > cfg.k_max) {
@@ -1096,8 +1465,13 @@ int main(int argc, char **argv) {
         }
     }
 
+    if (cfg.trace)
+        klsm::trace::tracer::instance().enable(cfg.trace_ring);
+
     klsm::json_reporter json(cfg.workload);
     json.meta().set("k", cfg.k);
+    json.meta().set("trace", cfg.trace);
+    json.meta().set("metrics_interval_ms", cfg.metrics_interval_ms);
     json.meta().set("mq_stickiness", cfg.mq_stickiness);
     json.meta().set("mq_buffer", cfg.mq_buffer);
     json.meta().set("insert_buffer", cfg.insert_buffer);
@@ -1168,6 +1542,20 @@ int main(int argc, char **argv) {
     }
     if (status == 2)
         return 2;
+
+    if (cfg.trace) {
+        // Stop recording before draining: the export walks the rings,
+        // which is only safe once every instrumented thread is gone.
+        klsm::trace::tracer::instance().disable();
+        std::ofstream tout(cfg.trace_out);
+        if (!tout) {
+            std::cerr << "cannot open " << cfg.trace_out
+                      << " for writing\n";
+            return 2;
+        }
+        klsm::trace::write_chrome_trace(
+            tout, klsm::trace::tracer::instance(), &g_counter_tracks);
+    }
 
     const std::string json_out = cli.get("json-out");
     if (json_out == "-") {

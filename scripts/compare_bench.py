@@ -27,7 +27,16 @@ candidate regresses beyond the configured thresholds:
     than --rss-tolerance (default 0.5) is an enforcing regression when
     BOTH reports sampled RSS reliably (rss_reliable true; sanitizer and
     non-Linux runs only warn), and a plateau verdict flipping
-    ok -> FAIL regresses like an SLO flip.
+    ok -> FAIL regresses like an SLO flip;
+  * any record with a `timeseries` block (--metrics-interval runs):
+    the cumulative `ops` counter is differenced into per-interval
+    rates, bucketed into four run phases, and each phase's mean rate is
+    compared under --phase-tolerance (default 0.40, looser than the
+    whole-run gate because a quarter of the samples is noisier).  This
+    catches phase-localized regressions — a warm-up stall or an
+    end-of-run collapse — that the run-wide ops_per_sec mean averages
+    away.  Records without a timeseries on either side (all baselines
+    predating --metrics-interval) skip this comparison silently.
 
 `--sweep` additionally bucket-merges every matched record of a
 (benchmark, structure) group — across threads and pin policies — and
@@ -361,6 +370,62 @@ def compare_churn(findings, key, base_record, cand_record, args):
             f"tolerance {cand_tl.get('plateau_tolerance', 0):.2f})"))
 
 
+def timeseries_phase_rates(ts, column="ops", phases=4):
+    """Difference a timeseries' cumulative counter column into
+    per-interval rates and average them over `phases` equal time
+    buckets.  Returns a list of per-phase mean rates (None for a phase
+    that caught no interval), or None when the record carries no usable
+    series — no timeseries at all, no `ops` counter column, or too few
+    rows to populate the buckets."""
+    if not isinstance(ts, dict):
+        return None
+    columns = ts.get("columns") or []
+    col = next((i for i, c in enumerate(columns)
+                if isinstance(c, dict) and c.get("name") == column
+                and c.get("kind") == "counter"), None)
+    if col is None:
+        return None
+    samples = ts.get("samples") or []
+    if len(samples) < phases + 1:
+        return None
+    t_end = samples[-1][0]
+    if not t_end or t_end <= 0:
+        return None
+    sums = [0.0] * phases
+    hits = [0] * phases
+    for prev, row in zip(samples, samples[1:]):
+        dt = row[0] - prev[0]
+        if dt <= 0:
+            continue
+        rate = (row[col + 1] - prev[col + 1]) / dt
+        midpoint = (row[0] + prev[0]) / 2.0
+        bucket = min(phases - 1, int(midpoint / t_end * phases))
+        sums[bucket] += rate
+        hits[bucket] += 1
+    return [sums[i] / hits[i] if hits[i] else None
+            for i in range(phases)]
+
+
+def compare_timeseries(findings, key, base_record, cand_record, args):
+    """Phase-localized throughput comparison over the in-run metrics
+    series.  Silent when either side lacks a usable series: baselines
+    recorded before --metrics-interval existed have none, and that must
+    not degrade the gate's verdict."""
+    base_rates = timeseries_phase_rates(base_record.get("timeseries"))
+    cand_rates = timeseries_phase_rates(cand_record.get("timeseries"))
+    if base_rates is None or cand_rates is None:
+        return
+    phases = len(base_rates)
+    for i, (base_rate, cand_rate) in enumerate(
+            zip(base_rates, cand_rates)):
+        if base_rate is None or cand_rate is None or base_rate <= 0:
+            continue
+        compare_metric(findings, key,
+                       f"ops rate phase {i + 1}/{phases}",
+                       base_rate, cand_rate, args.phase_tolerance,
+                       False, "ops/s")
+
+
 def latency_severity(args):
     """Latency findings demote to warnings under --latency-warn-only —
     the mode the CI baseline gate uses: throughput is enforced, but
@@ -403,6 +468,8 @@ def compare_reports(base, cand, args):
         elif benchmark == "churn":
             compare_churn(findings, key, base_record, cand_record,
                           args)
+        compare_timeseries(findings, key, base_record, cand_record,
+                           args)
         base_lat = base_record.get("latency")
         cand_lat = cand_record.get("latency")
         if base_lat and cand_lat:
@@ -752,6 +819,58 @@ def self_test(args_factory):
                           _churn_report(1e6, 100 << 20,
                                         plateau_ok=False), args), True)
 
+    # Timeseries phase gate: cumulative-ops series differenced into
+    # per-phase rates; a collapse confined to one quarter of the run
+    # regresses even though the run-wide ops_per_sec mean barely moves,
+    # and records without a series skip the gate silently.
+    def _ts_report(phase_rates, ops_per_sec=1e6):
+        samples = [[0.0, 0.0]]
+        t, ops = 0.0, 0.0
+        for rate in phase_rates:
+            for _ in range(5):
+                t += 0.1
+                ops += rate * 0.1
+                samples.append([round(t, 6), ops])
+        record = {"structure": "klsm", "pin": "none", "threads": 2,
+                  "ops_per_sec": ops_per_sec,
+                  "timeseries": {"requested_interval_ms": 100.0,
+                                 "interval_ms": 100.0,
+                                 "columns": [{"name": "ops",
+                                              "kind": "counter"}],
+                                 "samples": samples}}
+        return {"benchmark": "throughput", "records": [record]}
+
+    rates = timeseries_phase_rates(
+        _ts_report([1e6, 2e6, 3e6, 4e6])["records"][0]["timeseries"])
+    ok = (rates is not None and len(rates) == 4
+          and all(abs(r - e) < 1.0
+                  for r, e in zip(rates, (1e6, 2e6, 3e6, 4e6))))
+    print(f"self-test {'pass' if ok else 'FAIL'}: phase rates re-derive "
+          f"from the cumulative counter")
+    if not ok:
+        failures.append("phase-rates")
+
+    ts_base = _ts_report([1e6, 1e6, 1e6, 1e6])
+    check("timeseries self-comparison is clean",
+          compare_reports(ts_base, ts_base, args), False)
+    # Whole-run mean drops only 17% (within the 25% throughput gate);
+    # the last quarter alone dropped 70%.
+    ts_tail = _ts_report([1e6, 1e6, 1e6, 0.3e6], ops_per_sec=0.83e6)
+    check("phase-localized collapse regresses",
+          compare_reports(ts_base, ts_tail, args), True)
+    ts_wiggle = _ts_report([0.9e6, 1.05e6, 0.95e6, 0.8e6],
+                           ops_per_sec=0.92e6)
+    check("per-phase noise within tolerance is clean",
+          compare_reports(ts_base, ts_wiggle, args), False)
+    no_ts = _report("throughput", ops_per_sec=1e6)
+    findings = compare_reports(ts_base, no_ts, args)
+    check("candidate without a timeseries skips the phase gate",
+          findings, False)
+    if any("phase" in message for _, message in findings):
+        print("self-test FAIL: missing timeseries still produced phase "
+              "findings")
+        failures.append("phase-silent-skip")
+
     # Bucket math round-trip against the C++ layout: every index in the
     # first few groups maps back into its own [lower, upper] range.
     for sub_bits in (1, 5, 8):
@@ -893,6 +1012,10 @@ def build_parser():
     parser.add_argument("--latency-floor-ns", type=float, default=500,
                         help="latency growth below this many ns never "
                              "counts as a regression")
+    parser.add_argument("--phase-tolerance", type=float, default=0.40,
+                        help="allowed fractional per-phase ops-rate "
+                             "drop in the `timeseries` comparison "
+                             "(records lacking a timeseries skip it)")
     parser.add_argument("--rss-tolerance", type=float, default=0.5,
                         help="allowed fractional growth of the churn "
                              "soak's RSS high-water mark (enforced only "

@@ -35,6 +35,7 @@
 #include "adapt/contention_monitor.hpp"
 #include "adapt/k_controller.hpp"
 #include "klsm/pq_concept.hpp"
+#include "trace/tracer.hpp"
 
 namespace klsm {
 namespace adapt {
@@ -127,6 +128,19 @@ public:
             if (new_k != old_k) {
                 target(s).set_relaxation(new_k);
                 changed = true;
+                if (trace::active() && !l.ctrl.log().empty()) {
+                    // One trace event per decision, kinded by the
+                    // controller's reason so the trace timeline shows
+                    // the direction without argument decoding.
+                    const char *r = l.ctrl.log().back().reason;
+                    const trace::kind tk =
+                        r != nullptr && r[0] == 's'
+                            ? trace::kind::k_shrink
+                        : r != nullptr && r[0] == 'b'
+                            ? trace::kind::k_budget
+                            : trace::kind::k_grow;
+                    KLSM_TRACE_EVENT(tk, old_k, new_k);
+                }
             }
         }
         if (changed) {
@@ -158,6 +172,13 @@ public:
     }
     const k_controller &controller(std::uint32_t s) const {
         return loops_[s]->ctrl;
+    }
+
+    /// Cumulative contention counters of one shard's monitor — safe to
+    /// read concurrently with the workload and the ticker (the metrics
+    /// sampler's per-shard hit-mix gauges read these mid-run).
+    contention_window shard_window(std::uint32_t s) const {
+        return loops_[s]->monitor.totals();
     }
 
     /// Queue-wide current k (max across shards).

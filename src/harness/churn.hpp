@@ -71,6 +71,11 @@ struct churn_params {
     double sample_interval_s = 0.05;
     /// Placement order from topo::cpu_order, as in throughput_params.
     std::vector<std::uint32_t> pin_cpus;
+    /// Optional mid-run progress slots for the metrics sampler
+    /// (src/trace/).  Slots carry cumulative tallies across phases:
+    /// each respawned worker resumes publishing from its slot's
+    /// pre-phase value.
+    trace::progress_counters *progress = nullptr;
 };
 
 /// The four-phase program described in the header comment.  Key bases
@@ -185,6 +190,13 @@ churn_result run_churn(PQ &q, const churn_params &params) {
                 typename PQ::key_type key;
                 typename PQ::value_type value{};
                 auto h = pq_handle(q);
+                // Progress slots accumulate across respawns: pick up
+                // this slot's tallies from the previous phases.
+                trace::progress_counters *const prog = params.progress;
+                const std::uint64_t base_ops =
+                    prog != nullptr ? prog->ops_of(t) : 0;
+                const std::uint64_t base_failed =
+                    prog != nullptr ? prog->failed_of(t) : 0;
                 sync.arrive_and_wait();
                 for (std::uint64_t op = 0; op < ops; ++op) {
                     const bool do_insert =
@@ -203,6 +215,10 @@ churn_result run_churn(PQ &q, const churn_params &params) {
                     } else {
                         ++my_failed;
                     }
+                    if (prog != nullptr)
+                        prog->publish(
+                            t, base_ops + my_ins + my_del + my_failed,
+                            base_failed + my_failed);
                 }
                 // Flush before the phase boundary's quiescent shrink and
                 // boundary sample: every counted op must be visible.

@@ -23,6 +23,7 @@
 #include "klsm/pq_concept.hpp"
 #include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
+#include "trace/progress.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
 #include "util/ticker.hpp"
@@ -76,6 +77,34 @@ inline std::uint64_t rank_error_bound(unsigned worker_threads,
            static_cast<std::uint64_t>(worker_threads) * buffer_total;
 }
 
+/// Concurrent-safe running rank-error accumulator the metrics sampler
+/// reads mid-run, fed by a sampled subset of ranked deletes — quality
+/// becomes observable *during* a run (e.g. while the adaptive
+/// controller moves k) instead of only in the post-hoc aggregate.
+struct online_rank_stats {
+    std::atomic<std::uint64_t> samples{0};
+    std::atomic<std::uint64_t> rank_sum{0};
+    std::atomic<std::uint64_t> rank_max{0};
+
+    void record(std::uint64_t rank) {
+        samples.fetch_add(1, std::memory_order_relaxed);
+        rank_sum.fetch_add(rank, std::memory_order_relaxed);
+        std::uint64_t cur = rank_max.load(std::memory_order_relaxed);
+        while (rank > cur &&
+               !rank_max.compare_exchange_weak(
+                   cur, rank, std::memory_order_relaxed))
+            ;
+    }
+
+    double mean() const {
+        const std::uint64_t n = samples.load(std::memory_order_relaxed);
+        return n ? static_cast<double>(
+                       rank_sum.load(std::memory_order_relaxed)) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+};
+
 struct quality_params {
     std::size_t prefill = 10000;
     std::uint64_t ops_per_thread = 20000;
@@ -98,6 +127,14 @@ struct quality_params {
     /// real inserts and deletes.
     std::function<void()> on_adapt_tick;
     double adapt_tick_s = 0.005;
+    /// Optional mid-run progress slots for the metrics sampler
+    /// (src/trace/).
+    trace::progress_counters *progress = nullptr;
+    /// Optional online rank accumulator: every `rank_sample_stride`-th
+    /// ranked delete also feeds this (sampled to keep the extra atomics
+    /// off most operations).
+    online_rank_stats *online_rank = nullptr;
+    std::uint64_t rank_sample_stride = 16;
 };
 
 /// Drive `q` with a serialized 50/50 workload and measure delete-min
@@ -137,7 +174,10 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
             // the measured rank error includes any staleness buffering
             // introduces — exactly what the extended rho must absorb.
             auto h = pq_handle(q);
+            std::uint64_t my_failed = 0;
             for (std::uint64_t i = 0; i < params.ops_per_thread; ++i) {
+                if (params.progress != nullptr)
+                    params.progress->publish(t, i, my_failed);
                 if (rng.bounded(2) == 0) {
                     const auto k = static_cast<typename PQ::key_type>(
                         rng.bounded(params.key_range));
@@ -151,8 +191,10 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
                     std::lock_guard<std::mutex> g(mtx);
                     stats::op_sample sample{params.latency, t,
                                             stats::op_kind::delete_min};
-                    if (!h.try_delete_min(key, value))
+                    if (!h.try_delete_min(key, value)) {
+                        ++my_failed;
                         continue;
+                    }
                     sample.commit();
                     auto it = mirror.find(key);
                     if (it == mirror.end())
@@ -160,6 +202,10 @@ quality_result measure_rank_error(PQ &q, const quality_params &params) {
                     const auto rank = static_cast<std::uint64_t>(
                         std::distance(mirror.begin(), it));
                     result.record(rank);
+                    if (params.online_rank != nullptr &&
+                        params.rank_sample_stride > 0 &&
+                        result.deletes % params.rank_sample_stride == 0)
+                        params.online_rank->record(rank);
                     mirror.erase(it);
                 }
             }

@@ -73,6 +73,7 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
             typename PQ::key_type key;
             typename PQ::value_type value{};
             auto h = pq_handle(q); // native or pass-through: ONE loop
+            trace::progress_counters *const prog = params.progress;
             sync.arrive_and_wait();
             while (!stop.load(std::memory_order_relaxed)) {
                 if (mix.is_insert(rng)) {
@@ -96,6 +97,10 @@ throughput_result run_throughput(PQ &q, const throughput_params &params) {
                         ++my_failed;
                     }
                 }
+                if (prog != nullptr)
+                    prog->publish(t,
+                                  my_inserts + my_deletes + my_failed,
+                                  my_failed);
             }
             // Publish buffered effects before the counters: the queue's
             // post-run state must reflect every counted op.

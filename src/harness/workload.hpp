@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "klsm/pq_concept.hpp"
+#include "trace/progress.hpp"
 #include "util/rng.hpp"
 
 namespace klsm {
@@ -51,6 +52,11 @@ struct throughput_params {
     /// for the duration of the run (typically queue_adaptor::tick).
     std::function<void()> on_adapt_tick;
     double adapt_tick_s = 0.005;
+    /// Optional mid-run progress slots for the metrics sampler
+    /// (src/trace/): worker t relaxed-stores its cumulative op and
+    /// failed-delete tallies into slot t every iteration.  Null: the
+    /// hot loop pays only a branch.
+    trace::progress_counters *progress = nullptr;
 };
 
 /// Prefill `q` with uniformly random keys using several helper threads

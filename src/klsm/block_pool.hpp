@@ -37,6 +37,7 @@
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
 #include "mm/reclaim/shrink.hpp"
+#include "trace/tracer.hpp"
 
 namespace klsm {
 
@@ -169,6 +170,8 @@ public:
                     continue;
                 b->set_entries_released(true);
                 stats_.count_reclaim(storage.bytes());
+                KLSM_TRACE_EVENT(trace::kind::reclaim_release, 0,
+                                 storage.bytes());
                 ++released;
             }
         return released;

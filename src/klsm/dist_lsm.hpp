@@ -38,6 +38,7 @@
 #include "mm/alloc_stats.hpp"
 #include "mm/item_pool.hpp"
 #include "mm/placement.hpp"
+#include "trace/tracer.hpp"
 
 namespace klsm {
 
@@ -98,6 +99,7 @@ public:
         }
         b->set_level(block<K, V>::level_for(b->filled()));
         b->bloom_insert(tid);
+        KLSM_TRACE_EVENT(trace::kind::dist_batch_flush, 0, b->filled());
         publish_merge(b, tid, spill_bound, lazy,
                       std::forward<Spill>(spill));
     }
@@ -110,6 +112,7 @@ private:
                        std::size_t spill_bound, const Lazy &lazy,
                        Spill &&spill) {
         (void)tid;
+        KLSM_TRACE_SPAN(publish_span, trace::kind::dist_publish);
         const std::uint32_t old_size = size_.load(std::memory_order_relaxed);
         std::uint32_t i = old_size;
         // Listing 4's merge chain: merge from the back while the previous
@@ -121,6 +124,7 @@ private:
             b = merge_replacing(prev, b, lazy);
             --i;
         }
+        publish_span.arg(trace::clamp16(old_size - i));
 
         // Combined k-LSM spill check (Section 4.3): bound the DistLSM to
         // `spill_bound` items in total.
@@ -139,6 +143,9 @@ private:
                 }
                 if ((b->generation() & 1) != 0)
                     b->seal();
+                publish_span.arg(trace::clamp16(old_size));
+                KLSM_TRACE_EVENT(trace::kind::dist_spill, b->level(),
+                                 b->filled());
                 spill(b, b->filled());
                 // The spilled block is now reachable via the shared LSM;
                 // retire every local block (their items live on in b's

@@ -37,6 +37,7 @@
 #include "klsm/shared_lsm.hpp"
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
+#include "trace/tracer.hpp"
 #include "util/slot_directory.hpp"
 #include "util/thread_id.hpp"
 
@@ -416,6 +417,7 @@ public:
         for (const auto &d : dist_)
             released += d->quiescent_shrink();
         released += shared_.quiescent_shrink();
+        KLSM_TRACE_EVENT(trace::kind::reclaim_shrink, 0, released);
         return released;
     }
 

@@ -39,6 +39,7 @@
 #include "klsm/lazy.hpp"
 #include "mm/alloc_stats.hpp"
 #include "mm/placement.hpp"
+#include "trace/tracer.hpp"
 #include "util/backoff.hpp"
 #include "util/rng.hpp"
 #include "util/stamped_ptr.hpp"
@@ -92,6 +93,8 @@ public:
                 const Lazy &lazy = {}) {
         thread_state &ts = self();
         exp_backoff backoff;
+        KLSM_TRACE_SPAN(publish_span, trace::kind::shared_publish);
+        std::uint16_t publish_retries = 0;
         for (;;) {
             assert(ts.created.empty());
             arr *snap;
@@ -115,6 +118,7 @@ public:
                 // nothing to publish.
                 ts.pool.release(nb);
                 snap->seal();
+                publish_span.cancel();
                 return;
             }
             ts.created.push_back(nb);
@@ -130,11 +134,14 @@ public:
             if (push_snapshot(ts, snap, v)) {
                 commit_created(ts);
                 note(adapt::event::shared_publish);
+                publish_span.arg(publish_retries);
                 return;
             }
             rollback_created(ts);
             ts.snapshot = nullptr;
             note(adapt::event::shared_publish_retry);
+            if (publish_retries != 0xffff)
+                ++publish_retries;
             backoff();
         }
     }

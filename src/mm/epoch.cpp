@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "trace/tracer.hpp"
+
 namespace klsm {
 
 epoch_manager::epoch_manager() = default;
@@ -70,9 +72,12 @@ bool epoch_manager::try_advance() {
             return false; // a thread is still reading in an older epoch
     }
     std::uint64_t expected = e;
-    return global_epoch_.compare_exchange_strong(
+    const bool advanced = global_epoch_.compare_exchange_strong(
         expected, e + 1, std::memory_order_acq_rel,
         std::memory_order_relaxed);
+    if (advanced)
+        KLSM_TRACE_EVENT(trace::kind::epoch_advance, 0, e + 1);
+    return advanced;
 }
 
 void epoch_manager::reclaim_slot_locked(std::uint32_t slot) {

@@ -48,6 +48,7 @@
 #include "mm/placement.hpp"
 #include "mm/reclaim/config.hpp"
 #include "mm/reclaim/freelist.hpp"
+#include "trace/tracer.hpp"
 
 namespace klsm {
 
@@ -302,6 +303,8 @@ private:
         rec.st = chunk_rec::quarantined;
         rec.cold_inspections = 0;
         rec.version_floor = floor;
+        KLSM_TRACE_EVENT(trace::kind::reclaim_quarantine, c,
+                         arena_.chunk_bytes(c));
     }
 
     /// Release a quarantined chunk's pages.  Re-filters the freelist
@@ -312,6 +315,8 @@ private:
         if (!arena_.release_chunk_pages(c))
             return false; // platform refused; stays quarantined
         chunk_state_[c].st = chunk_rec::released;
+        KLSM_TRACE_EVENT(trace::kind::reclaim_release, c,
+                         arena_.chunk_bytes(c));
         return true;
     }
 

@@ -34,6 +34,8 @@
 #include "service/arrival_schedule.hpp"
 #include "stats/latency_recorder.hpp"
 #include "topo/pinning.hpp"
+#include "trace/progress.hpp"
+#include "trace/tracer.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
 #include "util/ticker.hpp"
@@ -63,6 +65,10 @@ struct service_params {
     /// the other harnesses.
     std::function<void()> on_adapt_tick;
     double adapt_tick_s = 0.005;
+    /// Optional mid-run progress slots for the metrics sampler
+    /// (src/trace/); each worker publishes its cumulative issued ops
+    /// and failed (empty) delete-mins into its own slot.
+    trace::progress_counters *progress = nullptr;
 };
 
 struct service_result {
@@ -190,6 +196,8 @@ service_result run_service(PQ &q, const service_params &params,
                     // Behind: issue immediately (catch-up), book the
                     // lateness and how deep the overdue backlog is.
                     const std::uint64_t lateness = now - intended_ns;
+                    KLSM_TRACE_EVENT(trace::kind::service_late, t,
+                                     lateness);
                     ++tally.late;
                     tally.late_sum += lateness;
                     if (lateness > tally.max_late)
@@ -229,6 +237,10 @@ service_result run_service(PQ &q, const service_params &params,
                     // enforces.
                     intended.record(t, kind, end - intended_ns);
                 }
+                if (params.progress != nullptr)
+                    params.progress->publish(
+                        t, tally.inserts + tally.deletes + tally.failed,
+                        tally.failed);
             }
             h.flush(); // the run's last ops count toward its window
             tally.end_ns = now_ns();

@@ -1,0 +1,82 @@
+#pragma once
+
+// Per-worker progress counters the metrics sampler reads mid-run.
+//
+// The harness worker loops keep their op tallies in plain locals
+// (cheap, no sharing) and publish end-of-run totals — which is exactly
+// why nothing could observe throughput *during* a run.  This type is
+// the minimal bridge: each worker owns one cache-line-aligned slot and
+// relaxed-stores its running totals into it every iteration; the
+// sampler thread sums the slots every `--metrics-interval`.  A relaxed
+// store to an exclusively-owned line costs on the order of a register
+// spill, so the instrument does not perturb what it measures.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/align.hpp"
+
+namespace klsm::trace {
+
+class progress_counters {
+public:
+    explicit progress_counters(unsigned threads)
+        : n_(threads == 0 ? 1 : threads),
+          slots_(std::make_unique<slot[]>(n_))
+    {
+    }
+
+    unsigned threads() const { return n_; }
+
+    /// Owner-thread publish: cumulative ops and failed delete_mins of
+    /// worker `t` so far.
+    void publish(unsigned t, std::uint64_t ops, std::uint64_t failed)
+    {
+        if (t >= n_)
+            return;
+        slots_[t].ops.store(ops, std::memory_order_relaxed);
+        slots_[t].failed.store(failed, std::memory_order_relaxed);
+    }
+
+    /// Cumulative ops already published for worker `t` — lets a slot
+    /// carry totals across harness phases that respawn workers.
+    std::uint64_t ops_of(unsigned t) const
+    {
+        return t < n_ ? slots_[t].ops.load(std::memory_order_relaxed)
+                      : 0;
+    }
+    std::uint64_t failed_of(unsigned t) const
+    {
+        return t < n_
+                   ? slots_[t].failed.load(std::memory_order_relaxed)
+                   : 0;
+    }
+
+    std::uint64_t total_ops() const
+    {
+        std::uint64_t s = 0;
+        for (unsigned t = 0; t < n_; ++t)
+            s += slots_[t].ops.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    std::uint64_t total_failed() const
+    {
+        std::uint64_t s = 0;
+        for (unsigned t = 0; t < n_; ++t)
+            s += slots_[t].failed.load(std::memory_order_relaxed);
+        return s;
+    }
+
+private:
+    struct alignas(cache_line_size) slot {
+        std::atomic<std::uint64_t> ops{0};
+        std::atomic<std::uint64_t> failed{0};
+    };
+
+    unsigned n_;
+    std::unique_ptr<slot[]> slots_;
+};
+
+} // namespace klsm::trace

@@ -1,0 +1,88 @@
+#pragma once
+
+// Fixed-capacity single-producer event ring.
+//
+// Each registered thread owns exactly one ring (tracer.hpp hands them
+// out by `thread_index()` slot), so `push` needs no synchronization
+// beyond a relaxed monotone head counter: the owner stores the event
+// into `buf_[head & mask]` and bumps the count.  When the ring is
+// full the oldest event is overwritten — a trace that keeps the most
+// recent window is the useful one when something goes wrong at the
+// end of a run, and it is what keeps the hot path allocation-free.
+//
+// Draining happens only at quiesce, after the producing threads have
+// been joined (or, in tests, from the producer itself).  The head
+// counter is atomic so a concurrent reader sees a consistent count
+// under TSan, but the event payloads themselves are only safe to read
+// once the producer has stopped; drain-time code must respect that.
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <memory>
+
+#include "trace/trace_event.hpp"
+#include "util/bits.hpp"
+
+namespace klsm::trace {
+
+class trace_ring {
+public:
+    explicit trace_ring(std::size_t capacity)
+        : cap_(next_pow2(capacity < 2 ? 2 : capacity)),
+          mask_(cap_ - 1),
+          buf_(new trace_event[cap_])
+    {
+    }
+
+    trace_ring(const trace_ring &) = delete;
+    trace_ring &operator=(const trace_ring &) = delete;
+
+    /// Owner-thread only.  One store + one relaxed counter bump.
+    void push(const trace_event &e)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        buf_[h & mask_] = e;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    std::size_t capacity() const { return cap_; }
+
+    /// Events ever pushed (monotone; not reset by wrap-around).
+    std::uint64_t pushed() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /// Events currently retained in the ring.
+    std::uint64_t size() const
+    {
+        const std::uint64_t h = pushed();
+        return h < cap_ ? h : cap_;
+    }
+
+    /// Events lost to wrap-around overwrites.
+    std::uint64_t dropped() const
+    {
+        const std::uint64_t h = pushed();
+        return h < cap_ ? 0 : h - cap_;
+    }
+
+    /// Visit retained events oldest-first.  Only valid once the owner
+    /// thread has quiesced.
+    template <typename Fn> void for_each(Fn &&fn) const
+    {
+        const std::uint64_t h = pushed();
+        for (std::uint64_t i = h < cap_ ? 0 : h - cap_; i < h; ++i) {
+            fn(buf_[i & mask_]);
+        }
+    }
+
+private:
+    const std::size_t cap_;
+    const std::size_t mask_;
+    std::unique_ptr<trace_event[]> buf_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+} // namespace klsm::trace

@@ -1,0 +1,110 @@
+// Runtime tracer state: ring registry, enable/disable, quiesce drain.
+//
+// Compiled into klsm_core so the whole process shares one tracer and
+// one activity flag, whichever headers a TU pulled in.
+
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace klsm::trace {
+
+namespace detail {
+std::atomic<bool> g_active{false};
+} // namespace detail
+
+tracer &tracer::instance()
+{
+    static tracer t;
+    return t;
+}
+
+tracer::~tracer()
+{
+    for (auto &slot : rings_) {
+        delete slot.load(std::memory_order_acquire);
+    }
+}
+
+void tracer::enable(std::size_t ring_capacity)
+{
+    {
+        std::lock_guard<std::mutex> g(alloc_mtx_);
+        ring_capacity_ = ring_capacity < 2 ? 2 : ring_capacity;
+    }
+    base_ns_.store(now_ns(), std::memory_order_release);
+    detail::g_active.store(true, std::memory_order_release);
+}
+
+void tracer::disable()
+{
+    detail::g_active.store(false, std::memory_order_release);
+}
+
+void tracer::reset()
+{
+    disable();
+    std::lock_guard<std::mutex> g(alloc_mtx_);
+    for (auto &slot : rings_) {
+        delete slot.exchange(nullptr, std::memory_order_acq_rel);
+    }
+}
+
+trace_ring *tracer::ring_for_this_thread()
+{
+    const std::uint32_t idx = thread_index();
+    trace_ring *r = rings_[idx].load(std::memory_order_acquire);
+    if (r == nullptr) {
+        // One-time allocation per thread slot; every later event on
+        // this thread is allocation-free.  The lock only serializes
+        // ring construction, never event recording.
+        std::lock_guard<std::mutex> g(alloc_mtx_);
+        r = rings_[idx].load(std::memory_order_relaxed);
+        if (r == nullptr) {
+            r = new trace_ring(ring_capacity_);
+            rings_[idx].store(r, std::memory_order_release);
+        }
+    }
+    return r;
+}
+
+void tracer::record(kind k, std::uint16_t a, std::uint32_t b,
+                    std::uint64_t ts_ns)
+{
+    trace_event e;
+    e.ts_ns = ts_ns;
+    e.kind_ = static_cast<std::uint16_t>(k);
+    e.a = a;
+    e.b = b;
+    ring_for_this_thread()->push(e);
+}
+
+std::vector<tracer::tagged_event>
+tracer::drain_sorted(drain_stats *stats)
+{
+    std::vector<tagged_event> out;
+    drain_stats ds;
+    std::lock_guard<std::mutex> g(alloc_mtx_);
+    for (std::uint32_t tid = 0; tid < max_registered_threads; ++tid) {
+        const trace_ring *r = rings_[tid].load(std::memory_order_acquire);
+        if (r == nullptr || r->pushed() == 0) {
+            continue;
+        }
+        ds.rings += 1;
+        ds.recorded += r->size();
+        ds.dropped += r->dropped();
+        r->for_each([&](const trace_event &ev) {
+            out.push_back({tid, ev});
+        });
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const tagged_event &x, const tagged_event &y) {
+                         return x.ev.ts_ns < y.ev.ts_ns;
+                     });
+    if (stats != nullptr) {
+        *stats = ds;
+    }
+    return out;
+}
+
+} // namespace klsm::trace

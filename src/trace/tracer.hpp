@@ -1,0 +1,176 @@
+#pragma once
+
+// Process-wide runtime tracer: per-thread lock-free event rings behind
+// one relaxed on/off flag.
+//
+// Gating is two-level, mirroring how the paper's artifact keeps its
+// instrumentation out of measured runs:
+//
+//  * compile time — building with -DKLSM_TRACE_ENABLED=0 (CMake option
+//    KLSM_TRACE=OFF) turns the KLSM_TRACE_* macros into no-ops, so the
+//    hot paths carry zero tracing code;
+//  * run time — in a tracing build, every instrumentation point is
+//    `if (trace::active())`: one relaxed atomic load and a
+//    well-predicted branch when the user did not pass `--trace`.  The
+//    compare_bench smoke gate enforces that this costs nothing
+//    measurable.
+//
+// When active, an event costs one clock read plus a 16-byte store into
+// the calling thread's private ring (trace_ring.hpp).  Rings are
+// allocated once per thread slot on first use — after that the hot
+// path never allocates.  Draining happens at quiesce, after workers
+// have been joined, via `tracer::instance().drain_sorted()` /
+// trace_export.hpp.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+#include "trace/trace_ring.hpp"
+#include "util/thread_id.hpp"
+#include "util/timer.hpp"
+
+// Compile-time gate; overridable via the KLSM_TRACE CMake option.
+#ifndef KLSM_TRACE_ENABLED
+#define KLSM_TRACE_ENABLED 1
+#endif
+
+namespace klsm::trace {
+
+namespace detail {
+/// The one flag every instrumentation point loads.  Kept outside the
+/// tracer singleton so the fast path needs no function-local static
+/// guard check.
+extern std::atomic<bool> g_active;
+} // namespace detail
+
+/// True iff tracing was both compiled in and enabled at runtime.
+inline bool active()
+{
+#if KLSM_TRACE_ENABLED
+    return detail::g_active.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+class tracer {
+public:
+    static constexpr std::size_t default_ring_capacity = 1u << 16;
+
+    static tracer &instance();
+
+    /// Arm the tracer: future events are recorded into per-thread
+    /// rings of `ring_capacity` events each.  Captures the base
+    /// timestamp exported traces are expressed relative to.
+    void enable(std::size_t ring_capacity = default_ring_capacity);
+
+    /// Stop recording.  Rings retain their events for draining.
+    void disable();
+
+    /// Drop all rings and recorded events (test isolation helper; the
+    /// caller must know the producing threads have quiesced).
+    void reset();
+
+    std::uint64_t base_ns() const
+    {
+        return base_ns_.load(std::memory_order_acquire);
+    }
+
+    /// Record one event on the calling thread's ring.  Callers should
+    /// gate on `trace::active()`; this re-checks only cheaply enough
+    /// to tolerate a disable() racing a final event.
+    void record(kind k, std::uint16_t a, std::uint32_t b,
+                std::uint64_t ts_ns);
+
+    struct tagged_event {
+        std::uint32_t tid;
+        trace_event ev;
+    };
+
+    struct drain_stats {
+        std::uint64_t recorded = 0; ///< events retained across rings
+        std::uint64_t dropped = 0;  ///< events lost to wrap-around
+        std::uint32_t rings = 0;    ///< thread slots that ever traced
+    };
+
+    /// Merge every ring's retained events, sorted by timestamp.  Only
+    /// valid once producing threads have quiesced (joined or idle).
+    std::vector<tagged_event> drain_sorted(drain_stats *stats = nullptr);
+
+private:
+    tracer() = default;
+    ~tracer();
+
+    trace_ring *ring_for_this_thread();
+
+    std::atomic<trace_ring *> rings_[max_registered_threads] = {};
+    std::atomic<std::uint64_t> base_ns_{0};
+    std::size_t ring_capacity_ = default_ring_capacity;
+    std::mutex alloc_mtx_;
+};
+
+/// Record an instant event now.  Call sites gate on trace::active().
+inline void emit(kind k, std::uint16_t a = 0, std::uint32_t b = 0)
+{
+    tracer::instance().record(k, a, b, now_ns());
+}
+
+/// RAII duration probe: reads the clock only when tracing is active,
+/// and on destruction emits a span event whose `b` is the elapsed
+/// nanoseconds (saturating).  `arg()` sets the span's `a` payload
+/// after construction (e.g. blocks merged, CAS retries).
+class span {
+public:
+    explicit span(kind k, std::uint16_t a = 0)
+        : k_(k), a_(a), armed_(active()),
+          start_ns_(armed_ ? now_ns() : 0)
+    {
+    }
+
+    span(const span &) = delete;
+    span &operator=(const span &) = delete;
+
+    void arg(std::uint16_t a) { a_ = a; }
+    void cancel() { armed_ = false; }
+
+    ~span()
+    {
+        if (armed_ && active()) {
+            const std::uint64_t end = now_ns();
+            tracer::instance().record(k_, a_, clamp32(end - start_ns_),
+                                      end);
+        }
+    }
+
+private:
+    kind k_;
+    std::uint16_t a_;
+    bool armed_;
+    std::uint64_t start_ns_;
+};
+
+} // namespace klsm::trace
+
+// Instrumentation macros.  Arguments are evaluated only when the
+// tracer is active; with KLSM_TRACE_ENABLED=0 they compile away
+// entirely.
+#if KLSM_TRACE_ENABLED
+#define KLSM_TRACE_EVENT(k, a, b)                                        \
+    do {                                                                 \
+        if (::klsm::trace::active()) {                                   \
+            ::klsm::trace::emit((k),                                     \
+                                ::klsm::trace::clamp16(                  \
+                                    static_cast<std::uint64_t>(a)),      \
+                                ::klsm::trace::clamp32(                  \
+                                    static_cast<std::uint64_t>(b)));     \
+        }                                                                \
+    } while (0)
+#define KLSM_TRACE_SPAN(var, k) ::klsm::trace::span var { (k) }
+#else
+#define KLSM_TRACE_EVENT(k, a, b) ((void)0)
+#define KLSM_TRACE_SPAN(var, k)                                          \
+    ::klsm::trace::span var { (k) }
+#endif

@@ -1,0 +1,125 @@
+// The absolute-schedule ticker (util/ticker.hpp).
+//
+// The drift fix is pure arithmetic — tick n fires at start + n*period,
+// regardless of how late earlier ticks ran — so the bulk of the suite
+// drives `tick_schedule` with fake clock values and never sleeps.  One
+// real-thread smoke test at the end checks the periodic_ticker wiring
+// (ticks happen, destruction is prompt, empty callbacks are no-ops).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/ticker.hpp"
+
+namespace {
+
+using klsm::tick_schedule;
+
+TEST(TickSchedule, DeadlinesSitOnTheAbsoluteGrid) {
+    const tick_schedule s{1000, 50};
+    EXPECT_EQ(s.deadline_ns(1), 1050u);
+    EXPECT_EQ(s.deadline_ns(2), 1100u);
+    EXPECT_EQ(s.deadline_ns(10), 1500u);
+    // The fix in one assertion: tick 1000 is exactly 1000 periods after
+    // start.  A relative re-arm scheme accumulates jitter here.
+    EXPECT_EQ(s.deadline_ns(1000), 1000u + 1000u * 50u);
+}
+
+TEST(TickSchedule, PeriodIsClampedToAtLeastOneNanosecond) {
+    const tick_schedule s{0, 0};
+    EXPECT_EQ(s.period_ns(), 1u);
+    EXPECT_EQ(s.deadline_ns(7), 7u);
+}
+
+TEST(TickSchedule, NextIndexBeforeFirstDeadlineIsOne) {
+    const tick_schedule s{1000, 50};
+    EXPECT_EQ(s.next_index(0), 1u);
+    EXPECT_EQ(s.next_index(1000), 1u);
+    EXPECT_EQ(s.next_index(1049), 1u);
+}
+
+TEST(TickSchedule, OnTimeCallbackAdvancesByOne) {
+    const tick_schedule s{1000, 50};
+    // Finished tick 1's callback a little after its deadline but well
+    // before tick 2's: the next tick to wait for is 2.
+    EXPECT_EQ(s.next_index(1051), 2u);
+    EXPECT_EQ(s.next_index(1099), 2u);
+}
+
+TEST(TickSchedule, OverrunSkipsMissedTicksWithoutBurst) {
+    const tick_schedule s{1000, 50};
+    // A callback that overran three whole periods (now = 1230, i.e.
+    // deadlines 1050/1100/1150/1200 have all passed) resumes at tick 5
+    // (deadline 1250) — the missed ticks are skipped, never replayed.
+    EXPECT_EQ(s.next_index(1230), 5u);
+    EXPECT_EQ(s.deadline_ns(s.next_index(1230)), 1250u);
+}
+
+TEST(TickSchedule, ExactDeadlineBelongsToTheNextTick) {
+    const tick_schedule s{1000, 50};
+    // next_index returns the first tick strictly after `now`: standing
+    // exactly on deadline n means tick n just became due, so the next
+    // one to wait for is n + 1.
+    EXPECT_EQ(s.next_index(1050), 2u);
+    EXPECT_EQ(s.next_index(1100), 3u);
+}
+
+TEST(TickSchedule, LongHorizonStaysOnGrid) {
+    // The drift scenario from the soak runs: a 5 ms control loop whose
+    // callback is consistently 1 ms late.  On the absolute schedule the
+    // millionth deadline is still exactly 10^6 periods after start.
+    const std::uint64_t period = 5'000'000;
+    const tick_schedule s{0, period};
+    std::uint64_t n = 1;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t fired_at = s.deadline_ns(n) + 1'000'000;
+        n = s.next_index(fired_at);
+    }
+    // 1 ms lateness < one 5 ms period, so no tick is ever skipped and
+    // after 1000 rounds we are waiting for exactly tick 1001.
+    EXPECT_EQ(n, 1001u);
+    EXPECT_EQ(s.deadline_ns(n), 1001u * period);
+}
+
+TEST(PeriodicTicker, TicksAndStopsPromptly) {
+    std::atomic<int> ticks{0};
+    const auto destroy_start = std::chrono::steady_clock::now();
+    {
+        klsm::periodic_ticker t{[&ticks] { ++ticks; }, 0.002};
+        while (ticks.load() < 3)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const int at_destruction = ticks.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Destruction joined the thread: no further ticks.
+    EXPECT_EQ(ticks.load(), at_destruction);
+    // And it did not block for anything like a long interval.
+    const auto elapsed = std::chrono::steady_clock::now() - destroy_start;
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+TEST(PeriodicTicker, DestructionDoesNotWaitOutALongInterval) {
+    std::atomic<int> ticks{0};
+    const auto start = std::chrono::steady_clock::now();
+    {
+        klsm::periodic_ticker t{[&ticks] { ++ticks; }, 3600.0};
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+    EXPECT_EQ(ticks.load(), 0);
+}
+
+TEST(PeriodicTicker, EmptyCallbackAndNonPositiveIntervalAreNoOps) {
+    klsm::periodic_ticker a{std::function<void()>{}, 0.001};
+    std::atomic<int> ticks{0};
+    klsm::periodic_ticker b{[&ticks] { ++ticks; }, 0.0};
+    klsm::periodic_ticker c{[&ticks] { ++ticks; }, -1.0};
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(ticks.load(), 0);
+}
+
+} // namespace
