@@ -1,1547 +1,74 @@
-// Unified benchmark driver: every structure x workload combination the
-// figure benchmarks cover, behind one CLI, emitting one JSON report.
+// Unified benchmark driver.  This translation unit owns only the
+// driver skeleton: build the workload registry, register flags (core
+// group first, then each workload's own group), resolve the selection,
+// hand the core config and reporter to each selected workload, and
+// export the trace/JSON artifacts at the end.
 //
-// CI runs `klsm_bench --smoke --structure <s>` for each structure; perf
-// work sweeps full scenarios through the same entry point, e.g.
-//   klsm_bench --workload throughput --structure klsm,linden,multiqueue
-//              --threads 1,2,4,8 --prefill 1000000 --duration 10
-//              --pin none,compact,scatter --json-out report.json
-//
-// Workloads:
-//   throughput — the paper's 50/50 insert/delete-min mix (Figure 3)
-//   quality    — delete-min rank error vs an exact mirror; fails on a
-//                bound violation: rho = T*k for the k-LSM (Lemma 2),
-//                nodes*(T*k + k) for the NUMA-sharded numa_klsm
-//   sssp       — label-correcting parallel SSSP on an Erdős–Rényi graph,
-//                verified against sequential Dijkstra (Figure 4)
-//   service    — open-loop arrival traffic (src/service/): workers
-//                follow precomputed arrival schedules (steady, poisson,
-//                spike, diurnal), latency is measured from the intended
-//                start so coordinated omission is visible, and every
-//                record carries a `service` telemetry object plus an
-//                `slo` verdict (p99 <= X at Y ops/s)
-//
-// --pin sweeps thread-placement policies (src/topo/pinning.hpp); the
-// discovered machine topology is recorded in the JSON meta either way.
-//
-// Exit status is nonzero on any correctness failure, so the smoke stage
-// doubles as an end-to-end test.
+// Everything workload-specific — flags, validation, smoke shrinking,
+// meta annotation, the sweep itself — lives with its registrant in
+// bench/workload_*.cpp behind the harness/workload_registry.hpp API.
+// Dispatch is a registry lookup; this file compares no workload names.
 
 #include <algorithm>
-#include <cstddef>
 #include <fstream>
-#include <functional>
 #include <iostream>
-#include <memory>
-#include <optional>
-#include <set>
-#include <stdexcept>
 #include <string>
-#include <type_traits>
 #include <vector>
 
-#include "adapt/adaptive.hpp"
-#include "baselines/centralized_k.hpp"
-#include "baselines/hybrid_k.hpp"
-#include "baselines/linden.hpp"
-#include "baselines/multiqueue.hpp"
-#include "baselines/spin_heap.hpp"
-#include "baselines/spraylist.hpp"
-#include "graph/dijkstra.hpp"
-#include "graph/erdos_renyi.hpp"
-#include "graph/parallel_sssp.hpp"
-#include "harness/churn.hpp"
-#include "harness/quality.hpp"
-#include "harness/reporter.hpp"
-#include "harness/throughput.hpp"
-#include "klsm/k_lsm.hpp"
-#include "klsm/numa_klsm.hpp"
-#include "klsm/pq_concept.hpp"
-#include "mm/alloc_stats.hpp"
-#include "mm/placement.hpp"
-#include "service/arrival_schedule.hpp"
-#include "service/open_loop.hpp"
-#include "service/service_report.hpp"
-#include "service/slo.hpp"
-#include "stats/latency_recorder.hpp"
-#include "stats/latency_report.hpp"
-#include "topo/pinning.hpp"
-#include "topo/topology.hpp"
-#include "trace/metrics_sampler.hpp"
-#include "trace/progress.hpp"
+#include "bench_common.hpp"
+#include "harness/workload_registry.hpp"
 #include "trace/trace_export.hpp"
 #include "trace/tracer.hpp"
 #include "util/cli.hpp"
-#include "util/thread_id.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-using bench_key = std::uint32_t;
-using bench_val = std::uint32_t;
-
-struct bench_config {
-    std::string workload;
-    std::vector<std::string> structures;
-    std::vector<std::string> pins; ///< pinning policies to sweep
-    std::vector<std::int64_t> threads_list;
-    std::size_t k = 256;
-    /// Engineered-MultiQueue tuning: queue accesses between handle
-    /// resamples and per-handle insertion/deletion buffer capacity.
-    std::size_t mq_stickiness = 8;
-    std::size_t mq_buffer = 16;
-    /// Buffered k-LSM handle knobs: per-thread insert-buffer depth and
-    /// delete-side peek-cache depth (0 = off; the paper's unbuffered
-    /// immediate-visibility behavior).
-    std::size_t insert_buffer = 0;
-    std::size_t peek_cache = 0;
-    std::size_t prefill = 100000;
-    double duration_s = 0.1;
-    std::uint64_t ops_per_thread = 20000;
-    unsigned insert_percent = 50;
-    std::uint32_t nodes = 1000;
-    double edge_prob = 0.05;
-    std::uint64_t seed = 1;
-    /// Per-op latency sampling stride: 0 = off, 1 = every op, N = every
-    /// Nth op.  --smoke turns it on (stride 4) when left unset.
-    std::uint64_t latency_sample = 0;
-    /// Adaptive relaxation (src/adapt/): walk k online in
-    /// [k_min, k_max] from observed contention, one controller per
-    /// shard.  Structures without dynamic k run fixed as before.
-    bool adaptive = false;
-    std::size_t k_min = 16;
-    std::size_t k_max = 4096;
-    std::uint64_t rank_budget = 0; ///< 0 = no budget clamp
-    double adapt_interval_ms = 5.0;
-    /// Pool page placement (mm/placement.hpp) for the k-LSM family:
-    /// numa_klsm binds each shard's pools to that shard's node;
-    /// klsm/dlsm bind to the constructing thread's node.
-    klsm::mm::numa_alloc_policy numa_alloc =
-        klsm::mm::numa_alloc_policy::none;
-    /// Emit a `memory` telemetry object per record (README "Memory
-    /// placement").
-    bool alloc_stats = false;
-    /// Reclamation tier (mm/reclaim/): cross-thread freelist recycling
-    /// and/or epoch-driven pool shrink inside the k-LSM family's pools.
-    klsm::mm::reclaim_config reclaim{};
-    /// Back pool chunks with explicit huge pages (MAP_HUGETLB, with
-    /// transparent-huge-page fallback) where the platform allows.
-    bool huge_pages = false;
-    /// Churn workload (harness/churn.hpp): ops per thread per phase and
-    /// the timeline sampling cadence.
-    std::uint64_t churn_ops = 50000;
-    double sample_interval_ms = 50.0;
-    /// Service workload (src/service/): open-loop arrival process,
-    /// offered rate, SLO thresholds, sustainable-rate search.
-    klsm::service::arrival_kind arrival =
-        klsm::service::arrival_kind::poisson;
-    double rate = 100000;
-    double spike_frac = 0.1;
-    double spike_mult = 8.0;
-    double diurnal_amplitude = 0.75;
-    double diurnal_periods = 1.0;
-    std::uint64_t slo_p99_ns = 0; ///< 0 = no latency objective
-    double slo_min_rate = 0.9;
-    bool slo_enforce = false;
-    bool find_sustainable = false;
-    bool smoke = false;
-    bool csv = false;
-    /// --json-out '-': the JSON report owns stdout, tables go to stderr.
-    bool json_to_stdout = false;
-    /// Runtime tracing (src/trace/): --trace arms the per-thread event
-    /// rings; the drained Chrome-trace JSON is written to trace_out
-    /// after the last workload record.
-    bool trace = false;
-    std::string trace_out = "trace.json";
-    std::size_t trace_ring = klsm::trace::tracer::default_ring_capacity;
-    /// In-run metrics sampling period in milliseconds (0 = sampler
-    /// off).  Parsed from --metrics-interval, which accepts "50ms",
-    /// "0.5s", "500us", or a bare millisecond count.
-    double metrics_interval_ms = 0.0;
-};
-
-/// Parse a --metrics-interval value into milliseconds.  A bare number
-/// is milliseconds; "us" / "ms" / "s" suffixes rescale.  Empty or zero
-/// disables the sampler.  nullopt: malformed.
-std::optional<double> parse_interval_ms(const std::string &text) {
-    if (text.empty())
-        return 0.0;
-    std::string num = text;
-    double scale = 1.0;
-    const auto strip = [&num](const char *suffix) {
-        const std::size_t n = std::char_traits<char>::length(suffix);
-        if (num.size() > n &&
-            num.compare(num.size() - n, n, suffix) == 0) {
-            num.resize(num.size() - n);
-            return true;
-        }
-        return false;
-    };
-    if (strip("ms"))
-        scale = 1.0;
-    else if (strip("us"))
-        scale = 1e-3;
-    else if (strip("s"))
-        scale = 1e3;
-    try {
-        std::size_t pos = 0;
-        const double v = std::stod(num, &pos);
-        if (pos != num.size() || !(v >= 0))
-            return std::nullopt;
-        return v * scale;
-    } catch (const std::exception &) {
-        return std::nullopt;
-    }
-}
-
-/// The sampling period one record actually runs with: the requested
-/// period, clamped so a duration-bounded run still yields ~16 rows
-/// (smoke runs last 50 ms; a 50 ms period would sample them twice).
-/// `duration_hint_s` <= 0 means the run length is op-bounded and
-/// unknown, so the request stands.
-double effective_metrics_interval_s(const bench_config &cfg,
-                                    double duration_hint_s) {
-    double s = cfg.metrics_interval_ms / 1000.0;
-    if (duration_hint_s > 0)
-        s = std::min(s, duration_hint_s / 16.0);
-    return std::max(s, 1e-4);
-}
-
-/// Counter tracks accumulated across every record of the run, merged
-/// into the Chrome-trace export as ph:"C" series.  Track names carry
-/// the record label so sweep points stay distinguishable on one
-/// timeline.
-std::vector<klsm::trace::counter_series> g_counter_tracks;
-
-/// Dense index of the measured record currently running, carried as
-/// the `bench_record` span argument so the trace timeline shows which
-/// sweep point each burst of events belongs to.
-std::uint32_t g_record_index = 0;
-
-/// The placement the non-sharded k-LSM structures use: the configured
-/// policy targeted at the constructing thread's current node (the only
-/// sensible single target; numa_klsm overrides per shard).  Reclamation
-/// and huge-page settings ride inside the placement.
-klsm::mm::mem_placement family_placement(const bench_config &cfg) {
-    return {cfg.numa_alloc,
-            klsm::topo::current_node(klsm::topo::topology::system()),
-            cfg.huge_pages, cfg.reclaim};
-}
-
-/// Construct the structure named `name` for key/value types K, V and
-/// invoke `fn(queue)`.  Returns false (after printing to stderr) for an
-/// unknown name so the caller can exit with a usage error.
-template <typename K, typename V, typename Fn>
-bool with_structure(const std::string &name, unsigned threads,
-                    std::size_t k, const bench_config &cfg, Fn &&fn) {
-    if (name == "klsm") {
-        klsm::k_lsm<K, V> q{k, {}, family_placement(cfg)};
-        q.set_buffer_depth(cfg.insert_buffer);
-        q.set_peek_cache_depth(cfg.peek_cache);
-        fn(q);
-    } else if (name == "dlsm") {
-        klsm::dist_pq<K, V> q{family_placement(cfg)};
-        fn(q);
-    } else if (name == "multiqueue") {
-        klsm::multiqueue<K, V> q{threads, 2, cfg.mq_stickiness,
-                                 cfg.mq_buffer};
-        fn(q);
-    } else if (name == "linden") {
-        klsm::linden_pq<K, V> q{32};
-        fn(q);
-    } else if (name == "spraylist") {
-        klsm::spray_pq<K, V> q{threads};
-        fn(q);
-    } else if (name == "heap") {
-        klsm::spin_heap<K, V> q;
-        fn(q);
-    } else if (name == "centralized") {
-        klsm::centralized_k_pq<K, V> q{k};
-        fn(q);
-    } else if (name == "hybrid") {
-        klsm::hybrid_k_pq<K, V> q{k};
-        fn(q);
-    } else if (name == "numa_klsm") {
-        klsm::numa_klsm<K, V> q{k, klsm::topo::topology::system(), {},
-                                cfg.numa_alloc, cfg.reclaim,
-                                cfg.huge_pages};
-        fn(q);
-    } else {
-        std::cerr << "unknown structure: " << name
-                  << " (expected klsm, dlsm, multiqueue, linden, "
-                     "spraylist, heap, centralized, hybrid, or "
-                     "numa_klsm)\n";
-        return false;
-    }
-    return true;
-}
-
-/// Resolve a pinning-policy name against the live machine topology;
-/// empty order means "do not pin".
-std::vector<std::uint32_t> pin_order(const std::string &policy) {
-    const auto order =
-        klsm::topo::cpu_order(klsm::topo::topology::system(), policy);
-    return order ? *order : std::vector<std::uint32_t>{};
-}
-
-/// The k the structure is constructed with: adaptive runs start
-/// dynamic-k structures at --k clamped into [k_min, k_max] and walk
-/// from there — up under publish contention, down when the contention
-/// signal stays quiet (so the trajectory moves in both regimes); every
-/// other combination keeps the fixed --k.
-std::size_t build_k(const bench_config &cfg, const std::string &name) {
-    const bool dynamic = name == "klsm" || name == "numa_klsm";
-    if (!cfg.adaptive || !dynamic)
-        return cfg.k;
-    return std::clamp(cfg.k, cfg.k_min, cfg.k_max);
-}
-
-/// Run `body(adaptor)` with an adaptive-k control loop attached when
-/// --adaptive is on and the structure supports dynamic k; `body`
-/// receives a queue_adaptor pointer, or nullptr (as std::nullptr_t)
-/// when running fixed-k.  The adaptor outlives the body, so hooks that
-/// capture it (harness tickers) stay valid for the whole run.
-template <typename PQ, typename Body>
-void with_adaptation(PQ &q, const bench_config &cfg,
-                     const std::string &name, unsigned threads,
-                     Body &&body) {
-    if constexpr (klsm::adapt::adaptive_capable<PQ>) {
-        if (cfg.adaptive) {
-            klsm::adapt::k_controller_config acfg;
-            acfg.k_min = cfg.k_min;
-            acfg.k_max = cfg.k_max;
-            acfg.rank_budget = cfg.rank_budget;
-            klsm::adapt::queue_adaptor<PQ> adaptor{q, acfg, threads};
-            body(&adaptor);
-            return;
-        }
-    } else {
-        // Once per structure, not once per (pin, threads) sweep point:
-        // the note would otherwise drown real warnings in a big sweep.
-        static std::set<std::string> noted;
-        if (cfg.adaptive && noted.insert(name).second)
-            std::cerr << "note: " << name
-                      << " has no dynamic k; --adaptive runs it fixed\n";
-    }
-    body(nullptr);
-}
-
-/// True iff `adaptor` (from with_adaptation) is a live adaptor rather
-/// than the fixed-k nullptr.
-template <typename A>
-constexpr bool is_adaptor_v =
-    !std::is_same_v<std::decay_t<A>, std::nullptr_t>;
-
-/// Attach the `memory` telemetry object to a record when --alloc-stats
-/// is on and the structure exposes pool telemetry (the k-LSM family).
-/// Residency is queried here, after the harness joined its workers, so
-/// the quiescent-only region walk is safe.
-template <typename PQ>
-void attach_memory(klsm::json_record &rec, PQ &q,
-                   const bench_config &cfg) {
-    if (!cfg.alloc_stats)
-        return;
-    if constexpr (klsm::pool_backed<PQ>) {
-        rec.set_raw("memory", klsm::mm::memory_json(q.memory_stats(true),
-                                                    cfg.numa_alloc));
-    }
-}
-
-/// One record's metrics-sampling machinery (src/trace/): the progress
-/// slots the harness workers publish into, the ticker-driven sampler,
-/// and — for k-LSM-family runs without an adaptive controller — a
-/// standalone contention monitor attached for the record's duration.
-/// Construct, wire(q, adaptor), point the harness params at
-/// progress(), run between start() and finish(rec, label).
-///
-/// Every probe reads only concurrent-safe state (relaxed atomics,
-/// monitor totals, quiescence-free memory_stats(false)), so the
-/// sampler thread can run while the workers do.
-class record_sampling {
-public:
-    record_sampling(const bench_config &cfg, unsigned threads,
-                    double duration_hint_s)
-        : enabled_(cfg.metrics_interval_ms > 0), trace_(cfg.trace),
-          progress_(threads),
-          sampler_(effective_metrics_interval_s(cfg, duration_hint_s),
-                   cfg.metrics_interval_ms / 1000.0) {}
-
-    ~record_sampling() {
-        if (detach_)
-            detach_();
-    }
-
-    record_sampling(const record_sampling &) = delete;
-    record_sampling &operator=(const record_sampling &) = delete;
-
-    bool enabled() const { return enabled_; }
-    klsm::trace::progress_counters *progress() {
-        return enabled_ ? &progress_ : nullptr;
-    }
-    klsm::trace::metrics_sampler &sampler() { return sampler_; }
-
-    /// Wire the probe set that makes sense for this structure:
-    /// queue-agnostic op counters from the progress slots; the k-LSM
-    /// family's contention hit mix (the adaptor's monitors when one is
-    /// live, a standalone monitor otherwise); current-k and pool-size
-    /// gauges where the structure exposes them.
-    template <typename PQ, typename Adaptor>
-    void wire(PQ &q, Adaptor adaptor) {
-        if (!enabled_)
-            return;
-        sampler_.add_counter("ops", [this] {
-            return static_cast<double>(progress_.total_ops());
-        });
-        sampler_.add_counter("failed_deletes", [this] {
-            return static_cast<double>(progress_.total_failed());
-        });
-        if constexpr (is_adaptor_v<Adaptor>) {
-            auto *a = adaptor;
-            const auto win = [a] {
-                klsm::adapt::contention_window sum;
-                for (std::uint32_t s = 0; s < a->shards(); ++s) {
-                    const auto t = a->shard_window(s);
-                    sum.publishes += t.publishes;
-                    sum.publish_retries += t.publish_retries;
-                    sum.shared_hits += t.shared_hits;
-                    sum.local_hits += t.local_hits;
-                    sum.spies += t.spies;
-                    sum.fail_rate_ewma =
-                        std::max(sum.fail_rate_ewma, t.fail_rate_ewma);
-                    sum.shared_fraction_ewma =
-                        std::max(sum.shared_fraction_ewma,
-                                 t.shared_fraction_ewma);
-                }
-                return sum;
-            };
-            add_contention_probes(win);
-            sampler_.add_gauge("current_k", [a] {
-                return static_cast<double>(a->current_k());
-            });
-        } else if constexpr (klsm::adapt::adaptable<PQ>) {
-            monitor_ =
-                std::make_unique<klsm::adapt::contention_monitor>();
-            q.set_monitor(monitor_.get());
-            detach_ = [&q] { q.set_monitor(nullptr); };
-            wire_standalone_monitor();
-        } else if constexpr (klsm::adapt::sharded_adaptable<PQ>) {
-            // One aggregate monitor across shards: count() only ever
-            // touches the calling thread's private slot, so sharing
-            // the monitor merely merges the shard mixes — which is
-            // the queue-wide view the sampler wants anyway.
-            monitor_ =
-                std::make_unique<klsm::adapt::contention_monitor>();
-            for (std::uint32_t s = 0; s < q.num_shards(); ++s)
-                q.shard(s).set_monitor(monitor_.get());
-            detach_ = [&q] {
-                for (std::uint32_t s = 0; s < q.num_shards(); ++s)
-                    q.shard(s).set_monitor(nullptr);
-            };
-            wire_standalone_monitor();
-        }
-        if constexpr (klsm::pool_backed<PQ>) {
-            const auto pools = [&q] {
-                const klsm::mm::memory_stats m = q.memory_stats(false);
-                klsm::mm::pool_alloc_snapshot all = m.items;
-                all.merge(m.dist_blocks);
-                all.merge(m.shared_blocks);
-                return all;
-            };
-            sampler_.add_gauge("pool_bytes", [pools] {
-                return static_cast<double>(pools().bytes);
-            });
-            sampler_.add_gauge("released_bytes", [pools] {
-                return static_cast<double>(pools().released_bytes);
-            });
-        }
-    }
-
-    void start() {
-        if (enabled_)
-            sampler_.start();
-    }
-
-    /// Stop sampling, detach any standalone monitor, embed the
-    /// `timeseries` block, and (under --trace) hand the counter
-    /// tracks to the end-of-run Chrome-trace export.
-    void finish(klsm::json_record &rec, const std::string &label) {
-        if (!enabled_)
-            return;
-        sampler_.stop();
-        if (detach_) {
-            detach_();
-            detach_ = nullptr;
-        }
-        rec.set_raw("timeseries", sampler_.json());
-        if (trace_) {
-            auto tracks = sampler_.counter_tracks();
-            for (auto &cs : tracks) {
-                cs.name = label + " " + cs.name;
-                g_counter_tracks.push_back(std::move(cs));
-            }
-        }
-    }
-
-private:
-    template <typename WindowFn>
-    void add_contention_probes(WindowFn win) {
-        sampler_.add_counter("publishes", [win] {
-            return static_cast<double>(win().publishes);
-        });
-        sampler_.add_counter("publish_retries", [win] {
-            return static_cast<double>(win().publish_retries);
-        });
-        sampler_.add_counter("shared_hits", [win] {
-            return static_cast<double>(win().shared_hits);
-        });
-        sampler_.add_counter("local_hits", [win] {
-            return static_cast<double>(win().local_hits);
-        });
-        sampler_.add_counter("spies", [win] {
-            return static_cast<double>(win().spies);
-        });
-        sampler_.add_gauge("fail_rate_ewma", [win] {
-            return win().fail_rate_ewma;
-        });
-        sampler_.add_gauge("shared_fraction_ewma", [win] {
-            return win().shared_fraction_ewma;
-        });
-    }
-
-    void wire_standalone_monitor() {
-        auto *m = monitor_.get();
-        // No controller owns this monitor's ticker, so fold the EWMA
-        // window once per sample row instead.
-        sampler_.add_tick_hook([m] { m->sample_window(); });
-        add_contention_probes([m] { return m->totals(); });
-    }
-
-    bool enabled_;
-    bool trace_;
-    klsm::trace::progress_counters progress_;
-    klsm::trace::metrics_sampler sampler_;
-    std::unique_ptr<klsm::adapt::contention_monitor> monitor_;
-    std::function<void()> detach_;
-};
-
-/// Human-readable sweep-point label for counter-track names.
-std::string record_label(const std::string &name, const std::string &pin,
-                         unsigned threads) {
-    return name + "/" + pin + "/t" + std::to_string(threads);
-}
-
-int run_throughput_workload(const bench_config &cfg,
-                            klsm::json_reporter &json) {
-    klsm::table_reporter report({"structure", "pin", "threads", "prefill",
-                                 "ops/s", "ops/thread/s", "failed_dels"},
-                                cfg.csv,
-                                cfg.json_to_stdout ? std::cerr : std::cout);
-    for (const auto &pin : cfg.pins) {
-        const auto cpus = pin_order(pin);
-        for (const auto threads_i : cfg.threads_list) {
-            const auto threads = static_cast<unsigned>(threads_i);
-            for (const auto &name : cfg.structures) {
-                const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg,
-                    [&](auto &q) {
-                        klsm::prefill_queue(q, cfg.prefill, cfg.seed);
-                        with_adaptation(q, cfg, name, threads, [&](
-                                            auto adaptor) {
-                        klsm::throughput_params params;
-                        params.prefill = cfg.prefill;
-                        params.threads = threads;
-                        params.duration_s = cfg.duration_s;
-                        params.insert_percent = cfg.insert_percent;
-                        params.seed = cfg.seed;
-                        params.pin_cpus = cpus;
-                        klsm::stats::latency_recorder_set recs{
-                            threads, cfg.latency_sample};
-                        params.latency = &recs;
-                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
-                            params.on_adapt_tick = [adaptor] {
-                                adaptor->tick();
-                            };
-                            params.adapt_tick_s =
-                                cfg.adapt_interval_ms / 1000.0;
-                        }
-                        record_sampling sampling{cfg, threads,
-                                                 cfg.duration_s};
-                        sampling.wire(q, adaptor);
-                        params.progress = sampling.progress();
-                        KLSM_TRACE_SPAN(rec_span,
-                                        klsm::trace::kind::bench_record);
-                        rec_span.arg(
-                            klsm::trace::clamp16(g_record_index++));
-                        sampling.start();
-                        const auto res = klsm::run_throughput(q, params);
-                        report.row(name, pin, threads, cfg.prefill,
-                                   res.ops_per_sec(),
-                                   res.ops_per_thread_per_sec(threads),
-                                   res.failed_deletes);
-                        auto &rec = json.add_record();
-                        rec.set("structure", name);
-                        rec.set("pin", pin);
-                        rec.set("threads", threads);
-                        rec.set("prefill", cfg.prefill);
-                        rec.set("ops", res.total_ops);
-                        rec.set("inserts", res.inserts);
-                        rec.set("deletes", res.deletes);
-                        rec.set("failed_deletes", res.failed_deletes);
-                        rec.set("pin_failures", res.pin_failures);
-                        rec.set("elapsed_s", res.elapsed_s);
-                        rec.set("ops_per_sec", res.ops_per_sec());
-                        if (recs.enabled())
-                            rec.set_raw("latency",
-                                        klsm::stats::latency_json(recs));
-                        sampling.finish(rec,
-                                        record_label(name, pin, threads));
-                        if constexpr (is_adaptor_v<decltype(adaptor)>)
-                            rec.set_raw("adaptation", adaptor->json());
-                        attach_memory(rec, q, cfg);
-                        });
-                    });
-                if (!ok)
-                    return 2;
-            }
-        }
-    }
-    return 0;
-}
-
-/// The churn soak workload (harness/churn.hpp): a four-phase program of
-/// key-range shifts, an insert surge, and bursty drains, with the queue
-/// quiesced and shrunk at every phase boundary.  Each record carries a
-/// `memory_timeline` object — RSS and pool-counter samples over the run
-/// plus the derived plateau verdict.  The timeline is reported here and
-/// *enforced* by scripts/check_memory_schema.py --bench-churn (shrink
-/// events observed, final RSS on the steady-phase plateau), so a soak
-/// regression fails CI without making every local bench run brittle.
-int run_churn_workload(const bench_config &cfg,
-                       klsm::json_reporter &json) {
-    klsm::table_reporter report({"structure", "pin", "threads", "ops",
-                                 "ops/s", "shrinks", "rss_hw_mb",
-                                 "plateau"},
-                                cfg.csv,
-                                cfg.json_to_stdout ? std::cerr : std::cout);
-    for (const auto &pin : cfg.pins) {
-        const auto cpus = pin_order(pin);
-        for (const auto threads_i : cfg.threads_list) {
-            const auto threads = static_cast<unsigned>(threads_i);
-            for (const auto &name : cfg.structures) {
-                const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg,
-                    [&](auto &q) {
-                        klsm::churn_params params;
-                        params.threads = threads;
-                        params.ops_per_phase = cfg.churn_ops;
-                        params.prefill = cfg.prefill;
-                        params.seed = cfg.seed;
-                        params.sample_interval_s =
-                            cfg.sample_interval_ms / 1000.0;
-                        params.pin_cpus = cpus;
-                        record_sampling sampling{cfg, threads,
-                                                 /*duration_hint_s=*/0};
-                        sampling.wire(q, nullptr);
-                        params.progress = sampling.progress();
-                        KLSM_TRACE_SPAN(rec_span,
-                                        klsm::trace::kind::bench_record);
-                        rec_span.arg(
-                            klsm::trace::clamp16(g_record_index++));
-                        sampling.start();
-                        const auto res = klsm::run_churn(q, params);
-                        const auto &tl = res.timeline;
-                        const double ops_per_sec =
-                            res.elapsed_s > 0
-                                ? static_cast<double>(res.total_ops()) /
-                                      res.elapsed_s
-                                : 0.0;
-                        report.row(
-                            name, pin, threads, res.total_ops(),
-                            ops_per_sec, tl.shrink_events,
-                            static_cast<double>(tl.rss_high_water_bytes) /
-                                (1024.0 * 1024.0),
-                            !tl.rss_reliable ? "n/a"
-                            : tl.plateau_ok  ? "ok"
-                                             : "FAIL");
-                        auto &rec = json.add_record();
-                        rec.set("structure", name);
-                        rec.set("pin", pin);
-                        rec.set("threads", threads);
-                        rec.set("prefill", cfg.prefill);
-                        rec.set("ops", res.total_ops());
-                        rec.set("inserts", res.inserts);
-                        rec.set("deletes", res.deletes);
-                        rec.set("failed_deletes", res.failed_deletes);
-                        rec.set("pin_failures", res.pin_failures);
-                        rec.set("elapsed_s", res.elapsed_s);
-                        rec.set("ops_per_sec", ops_per_sec);
-                        rec.set_raw("memory_timeline", tl.to_json());
-                        sampling.finish(rec,
-                                        record_label(name, pin, threads));
-                        attach_memory(rec, q, cfg);
-                    });
-                if (!ok)
-                    return 2;
-            }
-        }
-    }
-    return 0;
-}
-
-/// The open-loop service workload: one record per (structure, pin,
-/// threads) point, each carrying `service` telemetry and an `slo`
-/// verdict.  A failed verdict is *reported* but only fails the run
-/// under --slo-enforce — CI judges verdicts through compare_bench
-/// against a baseline, where flips (pass -> fail) are what matter.
-int run_service_workload(const bench_config &cfg,
-                         klsm::json_reporter &json) {
-    klsm::table_reporter report(
-        {"structure", "pin", "threads", "offered/s", "achieved/s",
-         "intent_p99_us", "svc_p99_us", "late", "slo"},
-        cfg.csv, cfg.json_to_stdout ? std::cerr : std::cout);
-    int status = 0;
-    for (const auto &pin : cfg.pins) {
-        const auto cpus = pin_order(pin);
-        for (const auto threads_i : cfg.threads_list) {
-            const auto threads = static_cast<unsigned>(threads_i);
-            for (const auto &name : cfg.structures) {
-                const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg,
-                    [&](auto &q) {
-                        klsm::prefill_queue(q, cfg.prefill, cfg.seed);
-                        with_adaptation(q, cfg, name, threads, [&](
-                                            auto adaptor) {
-                        klsm::service::arrival_config acfg;
-                        acfg.kind = cfg.arrival;
-                        acfg.rate = cfg.rate;
-                        acfg.duration_s = cfg.duration_s;
-                        acfg.threads = threads;
-                        acfg.seed = cfg.seed;
-                        acfg.spike_fraction = cfg.spike_frac;
-                        acfg.spike_multiplier = cfg.spike_mult;
-                        acfg.diurnal_amplitude = cfg.diurnal_amplitude;
-                        acfg.diurnal_periods = cfg.diurnal_periods;
-                        const auto schedule =
-                            klsm::service::make_arrival_schedule(acfg);
-                        klsm::service::service_params params;
-                        params.threads = threads;
-                        params.insert_percent = cfg.insert_percent;
-                        params.seed = cfg.seed;
-                        params.pin_cpus = cpus;
-                        klsm::stats::latency_recorder_set recs{
-                            threads, cfg.latency_sample};
-                        params.latency = &recs;
-                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
-                            params.on_adapt_tick = [adaptor] {
-                                adaptor->tick();
-                            };
-                            params.adapt_tick_s =
-                                cfg.adapt_interval_ms / 1000.0;
-                        }
-                        record_sampling sampling{cfg, threads,
-                                                 cfg.duration_s};
-                        sampling.wire(q, adaptor);
-                        params.progress = sampling.progress();
-                        KLSM_TRACE_SPAN(rec_span,
-                                        klsm::trace::kind::bench_record);
-                        rec_span.arg(
-                            klsm::trace::clamp16(g_record_index++));
-                        sampling.start();
-                        const auto res =
-                            klsm::service::run_service(q, params,
-                                                       schedule);
-                        klsm::service::slo_config slo;
-                        slo.p99_ns = cfg.slo_p99_ns;
-                        slo.min_achieved_fraction = cfg.slo_min_rate;
-                        const auto verdict = klsm::service::evaluate_slo(
-                            slo, res,
-                            klsm::service::offered_rate(res, acfg));
-                        // --find-sustainable: short probe runs on the
-                        // same (already warm) queue, without polluting
-                        // the main record's latency capture.
-                        std::optional<klsm::service::sustainable_result>
-                            sustainable;
-                        if (cfg.find_sustainable) {
-                            auto probe_params = params;
-                            probe_params.latency = nullptr;
-                            // Probe tallies restart from zero each run,
-                            // which would drag the cumulative `ops`
-                            // counter backwards — keep the probes out
-                            // of the sampled slots.
-                            probe_params.progress = nullptr;
-                            sustainable =
-                                klsm::service::find_sustainable_rate(
-                                    [&](double rate) {
-                                        auto pcfg = acfg;
-                                        pcfg.rate = rate;
-                                        const auto psched = klsm::
-                                            service::
-                                                make_arrival_schedule(
-                                                    pcfg);
-                                        const auto pres =
-                                            klsm::service::run_service(
-                                                q, probe_params, psched);
-                                        return klsm::service::
-                                            evaluate_slo(
-                                                slo, pres,
-                                                klsm::service::
-                                                    offered_rate(pres,
-                                                                 pcfg))
-                                                .pass;
-                                    },
-                                    cfg.rate);
-                        }
-                        std::uint64_t svc_p99 = 0;
-                        for (unsigned op = 0; op < klsm::stats::op_kinds;
-                             ++op) {
-                            const auto h = res.completion.merged(
-                                static_cast<klsm::stats::op_kind>(op));
-                            if (h.count() > 0 &&
-                                h.percentile(99) > svc_p99)
-                                svc_p99 = h.percentile(99);
-                        }
-                        report.row(
-                            name, pin, threads,
-                            klsm::service::offered_rate(res, acfg),
-                            res.achieved_rate(),
-                            verdict.observed_p99_ns / 1000.0,
-                            svc_p99 / 1000.0, res.late_ops,
-                            verdict.pass ? "pass" : "FAIL");
-                        auto &rec = json.add_record();
-                        rec.set("structure", name);
-                        rec.set("pin", pin);
-                        rec.set("threads", threads);
-                        rec.set("prefill", cfg.prefill);
-                        rec.set("ops", res.completed_ops);
-                        rec.set("inserts", res.inserts);
-                        rec.set("deletes", res.deletes);
-                        rec.set("failed_deletes", res.failed_deletes);
-                        rec.set("pin_failures", res.pin_failures);
-                        rec.set("elapsed_s", res.elapsed_s);
-                        rec.set("ops_per_sec", res.achieved_rate());
-                        if (recs.enabled())
-                            rec.set_raw("latency",
-                                        klsm::stats::latency_json(recs));
-                        sampling.finish(rec,
-                                        record_label(name, pin, threads));
-                        rec.set_raw("service",
-                                    klsm::service::service_json(
-                                        res, acfg, params));
-                        rec.set_raw(
-                            "slo",
-                            klsm::service::slo_json(
-                                verdict, slo,
-                                sustainable ? &*sustainable : nullptr));
-                        if constexpr (is_adaptor_v<decltype(adaptor)>)
-                            rec.set_raw("adaptation", adaptor->json());
-                        attach_memory(rec, q, cfg);
-                        if (!verdict.pass) {
-                            KLSM_TRACE_EVENT(
-                                klsm::trace::kind::slo_violation, 0,
-                                verdict.observed_p99_ns / 1000);
-                            std::cerr
-                                << (cfg.slo_enforce ? "SLO FAIL: "
-                                                    : "slo verdict: ")
-                                << name << " pin=" << pin << " t="
-                                << threads << " p99="
-                                << verdict.observed_p99_ns << "ns"
-                                << (verdict.latency_ok ? ""
-                                                       : " (> threshold)")
-                                << " achieved="
-                                << static_cast<std::uint64_t>(
-                                       verdict.achieved_rate)
-                                << "/s"
-                                << (verdict.rate_ok ? ""
-                                                    : " (< floor)")
-                                << "\n";
-                            if (cfg.slo_enforce)
-                                status = 1;
-                        }
-                        });
-                    });
-                if (!ok)
-                    return 2;
-            }
-        }
-    }
-    return status;
-}
-
-int run_quality_workload(const bench_config &cfg,
-                         klsm::json_reporter &json) {
-    klsm::table_reporter report({"structure", "pin", "threads", "deletes",
-                                 "mean_rank", "max_rank", "bound"},
-                                cfg.csv,
-                                cfg.json_to_stdout ? std::cerr : std::cout);
-    int status = 0;
-    for (const auto &pin : cfg.pins) {
-        const auto cpus = pin_order(pin);
-        for (const auto threads_i : cfg.threads_list) {
-            const auto threads = static_cast<unsigned>(threads_i);
-            for (const auto &name : cfg.structures) {
-                const bool ok = with_structure<bench_key, bench_val>(
-                    name, threads, build_k(cfg, name), cfg,
-                    [&](auto &q) {
-                        with_adaptation(q, cfg, name, threads, [&](
-                                            auto adaptor) {
-                        klsm::quality_params params;
-                        params.threads = threads;
-                        params.prefill = cfg.prefill;
-                        params.ops_per_thread = cfg.ops_per_thread;
-                        params.seed = cfg.seed;
-                        params.pin_cpus = cpus;
-                        klsm::stats::latency_recorder_set recs{
-                            threads, cfg.latency_sample};
-                        params.latency = &recs;
-                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
-                            params.on_adapt_tick = [adaptor] {
-                                adaptor->tick();
-                            };
-                            params.adapt_tick_s =
-                                cfg.adapt_interval_ms / 1000.0;
-                        }
-                        record_sampling sampling{cfg, threads,
-                                                 /*duration_hint_s=*/0};
-                        sampling.wire(q, adaptor);
-                        params.progress = sampling.progress();
-                        // Quality-only probes: the sampled online rank
-                        // accumulator makes rank error observable *while*
-                        // the run (and any k controller) moves.
-                        klsm::online_rank_stats online_rank;
-                        if (sampling.enabled()) {
-                            params.online_rank = &online_rank;
-                            sampling.sampler().add_counter(
-                                "rank_samples", [&online_rank] {
-                                    return static_cast<double>(
-                                        online_rank.samples.load(
-                                            std::memory_order_relaxed));
-                                });
-                            sampling.sampler().add_gauge(
-                                "rank_mean", [&online_rank] {
-                                    return online_rank.mean();
-                                });
-                            sampling.sampler().add_gauge(
-                                "rank_max", [&online_rank] {
-                                    return static_cast<double>(
-                                        online_rank.rank_max.load(
-                                            std::memory_order_relaxed));
-                                });
-                        }
-                        KLSM_TRACE_SPAN(rec_span,
-                                        klsm::trace::kind::bench_record);
-                        rec_span.arg(
-                            klsm::trace::clamp16(g_record_index++));
-                        sampling.start();
-                        const auto res = klsm::measure_rank_error(q, params);
-                        // Lemma 2: the k-LSM guarantees at most T*k
-                        // smaller keys are skipped.  numa_klsm's
-                        // composed bound nodes*(T*k + k) is structural
-                        // only with one shard (see numa_klsm.hpp): on a
-                        // multi-node machine local-first deletes trade
-                        // it for locality, so there it is reported and
-                        // checked advisorily, without failing the run.
-                        // The relaxed comparators offer no bound at all.
-                        // Adaptive runs check against the *maximum* k
-                        // the controller ever set — correct for every
-                        // delete that completed under that k, advisory
-                        // for the run as a whole (ops in flight across
-                        // a k change straddle two bounds), mirroring
-                        // the rho_hard split.
-                        const std::uint32_t numa_nodes =
-                            klsm::topo::topology::system().num_nodes();
-                        const bool has_rho =
-                            name == "klsm" || name == "numa_klsm";
-                        std::uint64_t k_bound = cfg.k;
-                        bool adaptive_run = false;
-                        if constexpr (is_adaptor_v<decltype(adaptor)>) {
-                            k_bound = adaptor->max_k_seen();
-                            adaptive_run = true;
-                        }
-                        const bool hard =
-                            !adaptive_run &&
-                            (name == "klsm" ||
-                             (name == "numa_klsm" && numa_nodes == 1));
-                        // Buffered handles hide up to buffer_total items
-                        // per worker; the extended rho (quality.hpp)
-                        // charges T * max_buffer_depth_seen() on top of
-                        // Lemma 2's relaxation term.
-                        std::uint64_t buffer_total = 0;
-                        if constexpr (klsm::dynamic_buffering<
-                                          std::remove_reference_t<
-                                              decltype(q)>>)
-                            buffer_total = q.max_buffer_depth_seen();
-                        const std::uint64_t rho =
-                            name == "numa_klsm"
-                                ? klsm::numa_rank_error_bound(
-                                      numa_nodes, threads, k_bound)
-                                : klsm::rank_error_bound(threads, k_bound,
-                                                         buffer_total);
-                        std::string bound_cell = "none";
-                        if (has_rho)
-                            bound_cell = "rho=" + std::to_string(rho) +
-                                         (hard ? "" : " (advisory)");
-                        report.row(name, pin, threads, res.deletes,
-                                   res.mean_rank(), res.rank_max,
-                                   bound_cell);
-                        auto &rec = json.add_record();
-                        rec.set("structure", name);
-                        rec.set("pin", pin);
-                        rec.set("threads", threads);
-                        rec.set("deletes", res.deletes);
-                        rec.set("mean_rank", res.mean_rank());
-                        rec.set("max_rank", res.rank_max);
-                        rec.set("pin_failures", res.pin_failures);
-                        if (recs.enabled())
-                            rec.set_raw("latency",
-                                        klsm::stats::latency_json(recs));
-                        sampling.finish(rec,
-                                        record_label(name, pin, threads));
-                        if constexpr (is_adaptor_v<decltype(adaptor)>)
-                            rec.set_raw("adaptation", adaptor->json());
-                        attach_memory(rec, q, cfg);
-                        if (has_rho) {
-                            rec.set("rho", rho);
-                            rec.set("rho_hard", hard);
-                            rec.set("buffer_total", buffer_total);
-                            if (res.rank_max > rho) {
-                                std::cerr
-                                    << (hard ? "BOUND VIOLATION: "
-                                             : "advisory bound "
-                                               "exceeded: ")
-                                    << name << " k=" << k_bound
-                                    << " max rank " << res.rank_max
-                                    << " > " << rho << "\n";
-                                if (hard)
-                                    status = 1;
-                            }
-                        }
-                        });
-                    });
-                if (!ok)
-                    return 2;
-            }
-        }
-    }
-    return status;
-}
-
-int run_sssp_workload(const bench_config &cfg, klsm::json_reporter &json) {
-    klsm::erdos_renyi_params gp;
-    gp.nodes = cfg.nodes;
-    gp.edge_probability = cfg.edge_prob;
-    gp.max_weight = 100000000;
-    gp.seed = cfg.seed;
-    const klsm::graph g = klsm::make_erdos_renyi(gp);
-    const auto ref = klsm::dijkstra(g, 0);
-    json.meta().set("nodes", g.num_nodes());
-    json.meta().set("arcs", static_cast<std::uint64_t>(g.num_edges()));
-
-    klsm::table_reporter report({"structure", "pin", "threads", "time_s",
-                                 "expansions", "stale_pops",
-                                 "mismatches"},
-                                cfg.csv,
-                                cfg.json_to_stdout ? std::cerr : std::cout);
-    int status = 0;
-    // Runs one (structure, pin, threads) point on a caller-created state;
-    // the k-LSM needs the state before queue construction to wire in
-    // lazy deletion, the other structures don't care.
-    auto run_one = [&](const std::string &name, const std::string &pin,
-                       const std::vector<std::uint32_t> &cpus,
-                       unsigned threads, klsm::sssp_state &state,
-                       auto &q, auto adaptor) {
-        klsm::stats::latency_recorder_set recs{threads,
-                                               cfg.latency_sample};
-        std::function<void()> adapt_tick;
-        if constexpr (is_adaptor_v<decltype(adaptor)>)
-            adapt_tick = [adaptor] { adaptor->tick(); };
-        klsm::wall_timer timer;
-        const auto stats = klsm::parallel_sssp(
-            q, g, 0, threads, state, cpus, &recs, adapt_tick,
-            cfg.adapt_interval_ms / 1000.0);
-        const double seconds = timer.elapsed_s();
-        std::uint64_t mismatches = 0;
-        for (std::uint32_t u = 0; u < g.num_nodes(); ++u)
-            mismatches += (state.dist(u) != ref.dist[u]);
-        report.row(name, pin, threads, seconds, stats.expansions,
-                   stats.stale_pops, mismatches);
-        auto &rec = json.add_record();
-        rec.set("structure", name);
-        rec.set("pin", pin);
-        rec.set("threads", threads);
-        rec.set("time_s", seconds);
-        rec.set("expansions", stats.expansions);
-        rec.set("stale_pops", stats.stale_pops);
-        rec.set("pin_failures", stats.pin_failures);
-        rec.set("mismatches", mismatches);
-        if (recs.enabled())
-            rec.set_raw("latency", klsm::stats::latency_json(recs));
-        if constexpr (is_adaptor_v<decltype(adaptor)>)
-            rec.set_raw("adaptation", adaptor->json());
-        attach_memory(rec, q, cfg);
-        if (mismatches) {
-            std::cerr << "SSSP MISMATCH: " << name << " with " << threads
-                      << " threads disagrees with Dijkstra on "
-                      << mismatches << " nodes\n";
-            status = 1;
-        }
-    };
-    for (const auto &pin : cfg.pins) {
-        const auto cpus = pin_order(pin);
-        for (const auto threads_i : cfg.threads_list) {
-            const auto threads = static_cast<unsigned>(threads_i);
-            for (const auto &name : cfg.structures) {
-                if (name == "klsm") {
-                    // Paper Section 4.5: superseded (distance, node)
-                    // entries are dropped when the k-LSM rebuilds blocks.
-                    klsm::sssp_state state{g.num_nodes()};
-                    klsm::k_lsm<std::uint64_t, std::uint32_t,
-                                klsm::sssp_lazy>
-                        q{build_k(cfg, name), klsm::sssp_lazy{&state},
-                          family_placement(cfg)};
-                    with_adaptation(q, cfg, name, threads,
-                                    [&](auto adaptor) {
-                                        run_one(name, pin, cpus, threads,
-                                                state, q, adaptor);
-                                    });
-                    continue;
-                }
-                klsm::sssp_state state{g.num_nodes()};
-                const bool ok =
-                    with_structure<std::uint64_t, std::uint32_t>(
-                        name, threads, build_k(cfg, name),
-                        cfg, [&](auto &q) {
-                            with_adaptation(
-                                q, cfg, name, threads, [&](auto adaptor) {
-                                    run_one(name, pin, cpus, threads,
-                                            state, q, adaptor);
-                                });
-                        });
-                if (!ok)
-                    return 2;
-            }
-        }
-    }
-    return status;
-}
-
-} // namespace
 
 int main(int argc, char **argv) {
+    using namespace klsm::bench;
+
+    workload_registry registry;
+    register_builtin_workloads(registry);
+
     klsm::cli_parser cli(
         "Unified k-LSM benchmark driver: one CLI for every structure and "
         "workload, one JSON report per invocation");
-    cli.add_flag("workload", "throughput",
-                 "workload: throughput | quality | sssp | service | "
-                 "churn");
-    cli.add_flag("benchmark", "",
-                 "alias for --workload (overrides it when set)");
-    cli.add_flag("structure", "klsm",
-                 "comma-separated: klsm,dlsm,multiqueue,linden,"
-                 "spraylist,heap,centralized,hybrid,numa_klsm");
-    cli.add_flag("pin", "none",
-                 "comma-separated pinning policies: none,compact,"
-                 "scatter,numa_fill");
-    cli.add_flag("threads", "4", "comma-separated thread counts");
-    cli.add_flag("k", "256", "k-LSM relaxation parameter");
-    cli.add_flag("mq-stickiness", "8",
-                 "multiqueue: handle queue accesses between resamples "
-                 "(1 = classic two-choice resampling every access)");
-    cli.add_flag("mq-buffer", "16",
-                 "multiqueue: per-handle insertion/deletion buffer "
-                 "capacity (0 = unbuffered handles)");
-    cli.add_flag("insert-buffer", "0",
-                 "klsm: per-thread handle insert-buffer depth; staged "
-                 "inserts flush into the DistLSM as one pre-sorted "
-                 "block (0 = off, the paper's immediate visibility)");
-    cli.add_flag("peek-cache", "0",
-                 "klsm: per-thread delete-side peek-cache depth; "
-                 "delete-min refills in bursts of this many pops "
-                 "(0 = off)");
-    cli.add_flag("prefill", "100000", "keys inserted before timing");
-    cli.add_flag("duration", "0.1", "seconds per throughput measurement");
-    cli.add_flag("ops", "20000", "quality: operations per thread");
-    cli.add_flag("insert-pct", "50", "throughput: percent inserts");
-    cli.add_flag("nodes", "1000", "sssp: graph size");
-    cli.add_flag("edge-prob", "0.05", "sssp: edge probability");
-    cli.add_flag("arrival", "poisson",
-                 "service: arrival process: steady | poisson | spike | "
-                 "diurnal");
-    cli.add_flag("rate", "100000",
-                 "service: offered arrival rate in total ops/s across "
-                 "all threads");
-    cli.add_flag("spike-frac", "0.1",
-                 "service: fraction of the run the spike covers");
-    cli.add_flag("spike-mult", "8",
-                 "service: rate multiplier inside the spike window");
-    cli.add_flag("diurnal-amplitude", "0.75",
-                 "service: sinusoid amplitude as a fraction of the base "
-                 "rate, in [0, 1]");
-    cli.add_flag("diurnal-periods", "1",
-                 "service: full sinusoid cycles over the run");
-    cli.add_flag("slo-p99-us", "0",
-                 "service: intended-start p99 objective in microseconds "
-                 "(0 = no latency objective)");
-    cli.add_flag("slo-min-rate", "0.9",
-                 "service: fail the SLO when achieved/offered rate "
-                 "falls below this fraction, in (0, 1]");
-    cli.add_bool_flag("slo-enforce", false,
-                      "service: exit nonzero when any record's SLO "
-                      "verdict fails (default: report only)");
-    cli.add_bool_flag("find-sustainable", false,
-                      "service: binary-search the highest offered rate "
-                      "that still passes the SLO, from --rate");
-    cli.add_flag("seed", "1", "base RNG seed");
-    cli.add_flag("latency-sample", "0",
-                 "per-op latency sampling stride: 0 = off, 1 = every "
-                 "op, N = every Nth op (--smoke raises 0 to 4)");
-    cli.add_bool_flag("adaptive", false,
-                      "adapt k online from observed contention "
-                      "(klsm/numa_klsm; others run fixed)");
-    cli.add_flag("k-min", "16",
-                 "adaptive: lower bound on k (the walk starts at --k "
-                 "clamped into [k-min, k-max])");
-    cli.add_flag("k-max", "4096", "adaptive: upper bound on k");
-    cli.add_flag("rank-budget", "0",
-                 "adaptive: keep rho = T*k + k within this budget "
-                 "(0 = unconstrained)");
-    cli.add_flag("adapt-interval-ms", "5",
-                 "adaptive: controller tick period in milliseconds");
-    cli.add_flag("numa-alloc", "none",
-                 "pool page placement for the k-LSM family: none | "
-                 "bind (mbind each shard's pools to its node) | "
-                 "firsttouch (pre-fault on the allocating thread)");
-    cli.add_bool_flag("alloc-stats", false,
-                      "emit a `memory` allocation-telemetry object per "
-                      "record (chunks/bytes/reuse per pool, resident-"
-                      "node histogram where move_pages is queryable)");
-    cli.add_flag("reclaim", "auto",
-                 "pool reclamation tier for the k-LSM family: auto "
-                 "(full for churn, none otherwise) | none | freelist "
-                 "(cross-thread recycling) | shrink (return cold "
-                 "chunks to the OS) | full (both)");
-    cli.add_flag("reclaim-period", "512",
-                 "reclaim: allocations between pool maintenance steps");
-    cli.add_flag("reclaim-grace", "2",
-                 "reclaim: maintenance inspections a chunk must stay "
-                 "cold before its pages are released");
-    cli.add_bool_flag("huge-pages", false,
-                      "back pool chunks with explicit huge pages "
-                      "(MAP_HUGETLB), falling back to transparent-huge-"
-                      "page advice, then to normal pages");
-    cli.add_flag("churn-ops", "50000",
-                 "churn: operations per thread per phase");
-    cli.add_flag("sample-interval-ms", "50",
-                 "churn: memory-timeline sampling period in "
-                 "milliseconds");
-    cli.add_bool_flag("trace", false,
-                      "arm the runtime tracer (src/trace/): per-thread "
-                      "event rings drained at exit to --trace-out as "
-                      "Chrome-trace JSON (chrome://tracing / Perfetto)");
-    cli.add_flag("trace-out", "trace.json",
-                 "where --trace writes the Chrome-trace JSON");
-    cli.add_flag("trace-ring", "65536",
-                 "trace: per-thread ring capacity in events (rounded "
-                 "up to a power of two; on overflow the oldest events "
-                 "are overwritten and counted as dropped)");
-    cli.add_flag("metrics-interval", "",
-                 "in-run metrics sampling period, e.g. 50ms, 0.5s "
-                 "(bare numbers are milliseconds; empty or 0 = off): "
-                 "each record gains a `timeseries` block, and traces "
-                 "gain counter tracks (throughput/quality/service/"
-                 "churn workloads)");
-    cli.add_bool_flag("smoke", false,
-                      "tiny parameters, all checks on: the CI smoke mode");
-    cli.add_flag("json-out", "",
-                 "write the JSON report here ('-' for stdout)");
-    cli.add_bool_flag("csv", false, "emit CSV instead of a table");
+    register_core_flags(cli, registry);
+    registry.register_flags(cli);
     cli.parse(argc, argv);
 
-    bench_config cfg;
-    cfg.workload = cli.get("benchmark").empty() ? cli.get("workload")
-                                                : cli.get("benchmark");
-    cfg.structures = cli.get_list("structure");
-    cfg.pins = cli.get_list("pin");
-    cfg.threads_list = cli.get_int_list("threads");
-    cfg.k = static_cast<std::size_t>(cli.get_int("k"));
-    cfg.mq_stickiness =
-        static_cast<std::size_t>(cli.get_uint64("mq-stickiness"));
-    cfg.mq_buffer = static_cast<std::size_t>(cli.get_uint64("mq-buffer"));
-    cfg.insert_buffer =
-        static_cast<std::size_t>(cli.get_uint64("insert-buffer"));
-    cfg.peek_cache =
-        static_cast<std::size_t>(cli.get_uint64("peek-cache"));
-    if (cfg.mq_stickiness == 0) {
-        std::cerr << "--mq-stickiness must be positive\n";
+    const std::string selection = workload_registry::resolve_alias(
+        cli.get("workload"), cli.get("benchmark"));
+    std::string resolve_error;
+    const auto selected = registry.resolve(selection, &resolve_error);
+    if (selected.empty()) {
+        std::cerr << resolve_error << "\n";
         return 2;
-    }
-    cfg.prefill = static_cast<std::size_t>(cli.get_int("prefill"));
-    cfg.duration_s = cli.get_double("duration");
-    cfg.ops_per_thread = static_cast<std::uint64_t>(cli.get_int("ops"));
-    cfg.insert_percent = static_cast<unsigned>(cli.get_int("insert-pct"));
-    cfg.nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
-    cfg.edge_prob = cli.get_double("edge-prob");
-    const auto arrival = klsm::service::parse_arrival(cli.get("arrival"));
-    if (!arrival) {
-        std::cerr << "unknown --arrival process: " << cli.get("arrival")
-                  << " (expected steady, poisson, spike, or diurnal)\n";
-        return 2;
-    }
-    cfg.arrival = *arrival;
-    cfg.rate = cli.get_double("rate");
-    cfg.spike_frac = cli.get_double("spike-frac");
-    cfg.spike_mult = cli.get_double("spike-mult");
-    cfg.diurnal_amplitude = cli.get_double("diurnal-amplitude");
-    cfg.diurnal_periods = cli.get_double("diurnal-periods");
-    cfg.slo_p99_ns = static_cast<std::uint64_t>(
-        cli.get_double("slo-p99-us") * 1000.0);
-    cfg.slo_min_rate = cli.get_double("slo-min-rate");
-    cfg.slo_enforce = cli.get_bool("slo-enforce");
-    cfg.find_sustainable = cli.get_bool("find-sustainable");
-    cfg.seed = cli.get_uint64("seed");
-    cfg.latency_sample = cli.get_uint64("latency-sample");
-    cfg.adaptive = cli.get_bool("adaptive");
-    cfg.k_min = static_cast<std::size_t>(cli.get_uint64("k-min"));
-    cfg.k_max = static_cast<std::size_t>(cli.get_uint64("k-max"));
-    cfg.rank_budget = cli.get_uint64("rank-budget");
-    cfg.adapt_interval_ms = cli.get_double("adapt-interval-ms");
-    const auto numa_alloc =
-        klsm::mm::parse_numa_alloc_policy(cli.get("numa-alloc"));
-    if (!numa_alloc) {
-        std::cerr << "unknown --numa-alloc policy: "
-                  << cli.get("numa-alloc")
-                  << " (expected none, bind, or firsttouch)\n";
-        return 2;
-    }
-    cfg.numa_alloc = *numa_alloc;
-    cfg.alloc_stats = cli.get_bool("alloc-stats");
-    if (cli.get("reclaim") == "auto") {
-        // Churn is the reclamation soak: exercising the full tier is
-        // the point.  Everywhere else the tier defaults off so perf
-        // baselines keep their exact pre-reclaim allocation behavior.
-        cfg.reclaim.policy = cfg.workload == "churn"
-                                 ? klsm::mm::reclaim_policy::full
-                                 : klsm::mm::reclaim_policy::none;
-    } else {
-        klsm::mm::reclaim_policy rp;
-        if (!klsm::mm::reclaim::parse_reclaim_policy(
-                cli.get("reclaim").c_str(), rp)) {
-            std::cerr << "unknown --reclaim policy: " << cli.get("reclaim")
-                      << " (expected auto, none, freelist, shrink, or "
-                         "full)\n";
-            return 2;
-        }
-        cfg.reclaim.policy = rp;
-    }
-    cfg.reclaim.maintenance_period =
-        static_cast<std::uint32_t>(cli.get_uint64("reclaim-period"));
-    cfg.reclaim.grace_inspections =
-        static_cast<std::uint32_t>(cli.get_uint64("reclaim-grace"));
-    if (cfg.reclaim.maintenance_period == 0) {
-        std::cerr << "--reclaim-period must be positive\n";
-        return 2;
-    }
-    cfg.huge_pages = cli.get_bool("huge-pages");
-    cfg.churn_ops = cli.get_uint64("churn-ops");
-    cfg.sample_interval_ms = cli.get_double("sample-interval-ms");
-    if (cfg.workload == "churn") {
-        if (cfg.churn_ops == 0) {
-            std::cerr << "--churn-ops must be positive\n";
-            return 2;
-        }
-        if (cfg.sample_interval_ms <= 0) {
-            std::cerr << "--sample-interval-ms must be positive\n";
-            return 2;
-        }
-    }
-    cfg.smoke = cli.get_bool("smoke");
-    cfg.csv = cli.get_bool("csv");
-    cfg.json_to_stdout = cli.get("json-out") == "-";
-    cfg.trace = cli.get_bool("trace");
-    cfg.trace_out = cli.get("trace-out");
-    cfg.trace_ring =
-        static_cast<std::size_t>(cli.get_uint64("trace-ring"));
-    if (cfg.trace && cfg.trace_out.empty()) {
-        std::cerr << "--trace-out must name a file when --trace is on\n";
-        return 2;
-    }
-    if (cfg.trace_ring == 0) {
-        std::cerr << "--trace-ring must be positive\n";
-        return 2;
-    }
-    const auto metrics_ms =
-        parse_interval_ms(cli.get("metrics-interval"));
-    if (!metrics_ms) {
-        std::cerr << "--metrics-interval: cannot parse '"
-                  << cli.get("metrics-interval")
-                  << "' (expected e.g. 50ms, 0.5s, or a bare "
-                     "millisecond count)\n";
-        return 2;
-    }
-    cfg.metrics_interval_ms = *metrics_ms;
-
-    if (cfg.adaptive) {
-        if (cfg.k_min < 1 || cfg.k_min > cfg.k_max) {
-            std::cerr << "--k-min " << cfg.k_min << " must be in [1, "
-                         "--k-max] (" << cfg.k_max << ")\n";
-            return 2;
-        }
-        if (cfg.adapt_interval_ms <= 0) {
-            std::cerr << "--adapt-interval-ms must be positive\n";
-            return 2;
-        }
-    }
-    for (const auto &pin : cfg.pins) {
-        if (!klsm::topo::parse_pin_policy(pin)) {
-            std::cerr << "unknown pin policy: " << pin
-                      << " (expected none, compact, scatter, or "
-                         "numa_fill)\n";
-            return 2;
-        }
-    }
-    for (const auto t : cfg.threads_list) {
-        if (t < 1) {
-            std::cerr << "--threads: " << t << " must be at least 1\n";
-            return 2;
-        }
-        try {
-            // Same check the harnesses apply, surfaced as a CLI error
-            // instead of an exception mid-benchmark.  Clamp before the
-            // narrowing cast: a value above UINT32_MAX must reach the
-            // check as "too large", not wrap to a small count.
-            klsm::check_thread_capacity(static_cast<unsigned>(
-                std::min<std::int64_t>(t, 0xffffffffLL)));
-        } catch (const std::invalid_argument &e) {
-            std::cerr << "--threads: " << e.what() << "\n";
-            return 2;
-        }
     }
 
-    if (cfg.smoke) {
-        // Small enough for a sanitizer build on a one-core CI runner,
-        // large enough to exercise merges, spills, and spying.
-        cfg.prefill = 2000;
-        cfg.duration_s = 0.05;
-        cfg.ops_per_thread = 2000;
-        cfg.churn_ops = std::min<std::uint64_t>(cfg.churn_ops, 5000);
-        cfg.sample_interval_ms = std::min(cfg.sample_interval_ms, 10.0);
-        cfg.nodes = 200;
-        cfg.edge_prob = 0.1;
-        if (cfg.threads_list.size() > 2)
-            cfg.threads_list.resize(2);
-        for (auto &t : cfg.threads_list)
-            t = std::min<std::int64_t>(t, 4);
-        // Smoke doubles as the CI perf probe: latency capture is on by
-        // default so every smoke JSON carries a `latency` object.
-        if (cfg.latency_sample == 0)
-            cfg.latency_sample = 4;
-    }
-
-    if (cfg.workload == "service") {
-        if (!(cfg.slo_min_rate > 0) || cfg.slo_min_rate > 1) {
-            std::cerr << "--slo-min-rate " << cfg.slo_min_rate
-                      << " must be in (0, 1]\n";
+    core_config cfg;
+    cfg.workload = selection;
+    if (!parse_core_config(cli, selected, cfg))
+        return 2;
+    for (const auto *entry : selected)
+        if (entry->configure && !entry->configure(cli, cfg))
             return 2;
-        }
-        // Validate the arrival process once up front (post --smoke
-        // shrinking, so the cap sees the real duration) instead of
-        // throwing mid-benchmark.  --find-sustainable doubles the rate
-        // up to 2^4 times, so its ceiling must clear the cap too.
-        for (const auto t : cfg.threads_list) {
-            klsm::service::arrival_config acfg;
-            acfg.kind = cfg.arrival;
-            acfg.rate = cfg.find_sustainable ? cfg.rate * 16 : cfg.rate;
-            acfg.duration_s = cfg.duration_s;
-            acfg.threads = static_cast<unsigned>(t);
-            acfg.spike_fraction = cfg.spike_frac;
-            acfg.spike_multiplier = cfg.spike_mult;
-            acfg.diurnal_amplitude = cfg.diurnal_amplitude;
-            acfg.diurnal_periods = cfg.diurnal_periods;
-            try {
-                klsm::service::validate_arrival_config(acfg);
-            } catch (const std::invalid_argument &e) {
-                std::cerr << "service workload: " << e.what() << "\n";
-                return 2;
-            }
-        }
-    }
 
     if (cfg.trace)
         klsm::trace::tracer::instance().enable(cfg.trace_ring);
 
-    klsm::json_reporter json(cfg.workload);
-    json.meta().set("k", cfg.k);
-    json.meta().set("trace", cfg.trace);
-    json.meta().set("metrics_interval_ms", cfg.metrics_interval_ms);
-    json.meta().set("mq_stickiness", cfg.mq_stickiness);
-    json.meta().set("mq_buffer", cfg.mq_buffer);
-    json.meta().set("insert_buffer", cfg.insert_buffer);
-    json.meta().set("peek_cache", cfg.peek_cache);
-    json.meta().set("seed", cfg.seed);
-    json.meta().set("smoke", cfg.smoke);
-    json.meta().set("latency_sample", cfg.latency_sample);
-    json.meta().set("adaptive", cfg.adaptive);
-    json.meta().set("numa_alloc",
-                    klsm::mm::numa_alloc_policy_name(cfg.numa_alloc));
-    json.meta().set("alloc_stats", cfg.alloc_stats);
-    json.meta().set("reclaim",
-                    klsm::mm::reclaim::reclaim_policy_name(
-                        cfg.reclaim.policy));
-    json.meta().set("reclaim_period", cfg.reclaim.maintenance_period);
-    json.meta().set("reclaim_grace", cfg.reclaim.grace_inspections);
-    json.meta().set("huge_pages", cfg.huge_pages);
-    if (cfg.adaptive) {
-        json.meta().set("k_min", cfg.k_min);
-        json.meta().set("k_max", cfg.k_max);
-        json.meta().set("adapt_interval_ms", cfg.adapt_interval_ms);
-        if (cfg.rank_budget)
-            json.meta().set("rank_budget", cfg.rank_budget);
-    }
-    // The discovered machine layout: without it, cross-machine JSON
-    // reports are not comparable (arXiv:1603.05047's central lesson).
-    const auto &sys = klsm::topo::topology::system();
-    json.meta().set("topology_source",
-                    sys.from_sysfs() ? "sysfs" : "fallback");
-    json.meta().set("cpus", sys.num_cpus());
-    json.meta().set("packages", sys.num_packages());
-    json.meta().set("numa_nodes", sys.num_nodes());
-    json.meta().set("cores", sys.num_cores());
-    json.meta().set("smt", sys.smt());
+    klsm::json_reporter json(selection);
+    annotate_core_meta(cfg, json);
+    // A comma selection shares one meta block; per-workload settings
+    // would collide there, so each record's "workload" field carries
+    // the attribution instead.
+    if (selected.size() == 1 && selected.front()->annotate_meta)
+        selected.front()->annotate_meta(cfg, json.meta());
 
-    int status;
-    if (cfg.workload == "throughput") {
-        json.meta().set("insert_percent", cfg.insert_percent);
-        json.meta().set("duration_s", cfg.duration_s);
-        status = run_throughput_workload(cfg, json);
-    } else if (cfg.workload == "quality") {
-        json.meta().set("prefill", cfg.prefill);
-        json.meta().set("ops_per_thread", cfg.ops_per_thread);
-        status = run_quality_workload(cfg, json);
-    } else if (cfg.workload == "sssp") {
-        status = run_sssp_workload(cfg, json);
-    } else if (cfg.workload == "churn") {
-        json.meta().set("churn_ops", cfg.churn_ops);
-        json.meta().set("sample_interval_ms", cfg.sample_interval_ms);
-        json.meta().set("prefill", cfg.prefill);
-        status = run_churn_workload(cfg, json);
-    } else if (cfg.workload == "service") {
-        json.meta().set("arrival",
-                        klsm::service::arrival_name(cfg.arrival));
-        json.meta().set("rate", cfg.rate);
-        json.meta().set("duration_s", cfg.duration_s);
-        json.meta().set("insert_percent", cfg.insert_percent);
-        json.meta().set("prefill", cfg.prefill);
-        json.meta().set("slo_p99_ns", cfg.slo_p99_ns);
-        json.meta().set("slo_min_achieved_fraction", cfg.slo_min_rate);
-        json.meta().set("find_sustainable", cfg.find_sustainable);
-        status = run_service_workload(cfg, json);
-    } else {
-        std::cerr << "unknown workload: " << cfg.workload
-                  << " (expected throughput, quality, sssp, service, "
-                     "or churn)\n";
-        return 2;
+    int status = 0;
+    for (const auto *entry : selected) {
+        const int s = entry->run(cfg, json);
+        if (s == 2)
+            return 2;
+        status = std::max(status, s);
     }
-    if (status == 2)
-        return 2;
 
     if (cfg.trace) {
         // Stop recording before draining: the export walks the rings,

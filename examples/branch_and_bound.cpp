@@ -9,68 +9,17 @@
 // for correctness (bounding still prunes), and far more scalable than
 // fighting over the single best node.
 //
+// The search itself lives in src/workloads/bnb.hpp, where klsm_bench
+// runs it across every structure (`--workload bnb`); this example is
+// the minimal k-LSM-only invocation.
+//
 //   ./build/examples/branch_and_bound [items] [threads] [k]
 
-#include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "klsm/k_lsm.hpp"
-#include "util/rng.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-struct knapsack {
-    std::vector<std::uint32_t> weight;
-    std::vector<std::uint32_t> value;
-    std::uint64_t capacity;
-};
-
-// Subproblem: decided items [0, depth), remaining capacity, value so far.
-struct subproblem {
-    std::uint32_t depth;
-    std::uint32_t pad = 0;
-    std::uint64_t remaining;
-    std::uint64_t value;
-};
-
-// Fractional (LP) bound: greedy by density over the undecided suffix.
-std::uint64_t upper_bound(const knapsack &ks,
-                          const std::vector<std::uint32_t> &order,
-                          const subproblem &sp) {
-    double bound = static_cast<double>(sp.value);
-    std::uint64_t cap = sp.remaining;
-    for (std::uint32_t i = sp.depth; i < order.size(); ++i) {
-        const std::uint32_t it = order[i];
-        if (ks.weight[it] <= cap) {
-            cap -= ks.weight[it];
-            bound += ks.value[it];
-        } else {
-            bound += static_cast<double>(ks.value[it]) * cap /
-                     ks.weight[it];
-            break;
-        }
-    }
-    return static_cast<std::uint64_t>(bound) + 1;
-}
-
-std::uint64_t solve_sequential_dp(const knapsack &ks) {
-    // Reference: classic DP over capacity (capacity kept small enough).
-    std::vector<std::uint64_t> best(ks.capacity + 1, 0);
-    for (std::size_t i = 0; i < ks.weight.size(); ++i)
-        for (std::uint64_t c = ks.capacity; c >= ks.weight[i]; --c)
-            best[c] = std::max(best[c], best[c - ks.weight[i]] +
-                                            ks.value[i]);
-    return best[ks.capacity];
-}
-
-} // namespace
+#include "workloads/bnb.hpp"
 
 int main(int argc, char **argv) {
     const std::uint32_t items =
@@ -80,117 +29,23 @@ int main(int argc, char **argv) {
     const std::size_t k =
         argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 64;
 
-    knapsack ks;
-    klsm::xoroshiro128 rng{2024};
-    std::uint64_t total_weight = 0;
-    for (std::uint32_t i = 0; i < items; ++i) {
-        ks.weight.push_back(
-            static_cast<std::uint32_t>(rng.range(5, 120)));
-        ks.value.push_back(
-            static_cast<std::uint32_t>(rng.range(10, 200)));
-        total_weight += ks.weight.back();
-    }
-    ks.capacity = total_weight / 3;
+    const auto ks = klsm::workloads::make_knapsack(items, 2024);
 
-    // Density order for the bound.
-    std::vector<std::uint32_t> order(items);
-    for (std::uint32_t i = 0; i < items; ++i)
-        order[i] = i;
-    std::sort(order.begin(), order.end(), [&](auto a, auto b) {
-        return static_cast<double>(ks.value[a]) / ks.weight[a] >
-               static_cast<double>(ks.value[b]) / ks.weight[b];
-    });
-
-    const std::uint64_t reference = solve_sequential_dp(ks);
-
-    // Best-first search.  Key = ~bound so the best bound pops first;
-    // values index a grow-only subproblem arena.
-    constexpr std::uint64_t key_flip = ~std::uint64_t{0};
     klsm::k_lsm<std::uint64_t, std::uint64_t> queue{k};
-    std::mutex arena_mutex;
-    std::deque<subproblem> arena;
-    std::atomic<std::uint64_t> incumbent{0};
-    std::atomic<std::int64_t> outstanding{0};
-    std::atomic<std::uint64_t> expanded{0};
+    klsm::workloads::bnb_params params;
+    params.threads = threads;
+    const auto res = klsm::workloads::run_bnb(queue, ks, params);
 
-    auto push = [&](const subproblem &sp) {
-        const std::uint64_t bound = upper_bound(ks, order, sp);
-        if (bound <= incumbent.load(std::memory_order_relaxed))
-            return; // pruned at generation time
-        std::uint64_t idx;
-        {
-            std::lock_guard<std::mutex> g(arena_mutex);
-            idx = arena.size();
-            arena.push_back(sp);
-        }
-        outstanding.fetch_add(1, std::memory_order_acq_rel);
-        queue.insert(key_flip - bound, idx);
-    };
-
-    klsm::wall_timer timer;
-    std::vector<std::thread> pool;
-    std::atomic<bool> seeded{false};
-    for (unsigned w = 0; w < threads; ++w) {
-        pool.emplace_back([&, w] {
-            if (w == 0) {
-                push(subproblem{0, 0, ks.capacity, 0});
-                seeded.store(true, std::memory_order_release);
-            }
-            std::uint64_t key, idx;
-            for (;;) {
-                if (!queue.try_delete_min(key, idx)) {
-                    if (seeded.load(std::memory_order_acquire) &&
-                        outstanding.load(std::memory_order_acquire) == 0)
-                        return;
-                    continue;
-                }
-                subproblem sp;
-                {
-                    std::lock_guard<std::mutex> g(arena_mutex);
-                    sp = arena[idx];
-                }
-                const std::uint64_t bound = key_flip - key;
-                if (bound > incumbent.load(std::memory_order_relaxed) &&
-                    sp.depth < items) {
-                    expanded.fetch_add(1, std::memory_order_relaxed);
-                    const std::uint32_t it = order[sp.depth];
-                    // Branch 1: take the item (if it fits).
-                    if (ks.weight[it] <= sp.remaining) {
-                        subproblem take = sp;
-                        ++take.depth;
-                        take.remaining -= ks.weight[it];
-                        take.value += ks.value[it];
-                        // Update the incumbent with the feasible value.
-                        std::uint64_t inc =
-                            incumbent.load(std::memory_order_relaxed);
-                        while (take.value > inc &&
-                               !incumbent.compare_exchange_weak(
-                                   inc, take.value))
-                            ;
-                        push(take);
-                    }
-                    // Branch 2: skip the item.
-                    subproblem skip = sp;
-                    ++skip.depth;
-                    push(skip);
-                }
-                outstanding.fetch_sub(1, std::memory_order_acq_rel);
-            }
-        });
-    }
-    for (auto &t : pool)
-        t.join();
-
-    const double secs = timer.elapsed_s();
     std::printf("knapsack: %u items, capacity %lu\n", items,
                 static_cast<unsigned long>(ks.capacity));
     std::printf("branch-and-bound (T=%u, k=%zu): best=%lu in %.3f s, "
-                "%lu nodes expanded\n",
-                threads, k,
-                static_cast<unsigned long>(incumbent.load()), secs,
-                static_cast<unsigned long>(expanded.load()));
+                "%lu nodes expanded (%lu wasted, %lu pruned pops)\n",
+                threads, k, static_cast<unsigned long>(res.best),
+                res.elapsed_s, static_cast<unsigned long>(res.expanded),
+                static_cast<unsigned long>(res.wasted_expansions),
+                static_cast<unsigned long>(res.pruned_pops));
     std::printf("dynamic-programming reference: %lu -> %s\n",
-                static_cast<unsigned long>(reference),
-                incumbent.load() == reference ? "MATCH" : "MISMATCH");
-    return incumbent.load() == reference ? 0 : 1;
+                static_cast<unsigned long>(ks.optimum),
+                res.best == ks.optimum ? "MATCH" : "MISMATCH");
+    return res.best == ks.optimum ? 0 : 1;
 }

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate the `bnb` and `des` objects in klsm_bench JSON.
+
+Schema (README "Application workloads"): every record of a
+--workload bnb report carries
+
+    "workload": "bnb", "expanded", "time_to_optimum_s",
+    "bnb": {
+      "items", "capacity", "optimum", "best", "match",
+      "expanded", "wasted_expansions", "pruned_pops", "pushed",
+      "failed_pops", "time_to_optimum_s"
+    }
+
+and every record of a --workload des report carries
+
+    "workload": "des", "events_per_sec",
+    "des": {
+      "lps", "population", "target_events", "committed", "scheduled",
+      "failed_pops", "violations", "violation_fraction", "lookahead",
+      "mean_delay", "budget", "budget_ok", "max_lag", "virtual_time"
+    }
+
+with the accounting invariants that make the scalars trustworthy:
+
+  * bnb: best == optimum (match true — relaxation may only waste work,
+    never lose the optimum), wasted_expansions <= expanded, every push
+    was popped (pushed == expanded + pruned_pops), and the
+    time-to-optimum stamp exists (>= 0);
+  * des: committed >= target_events, violations <= committed,
+    violation_fraction == violations / committed, and budget_ok is
+    exactly violation_fraction <= budget.
+
+Usage:
+    check_workload_schema.py report.json [report2.json ...]
+    check_workload_schema.py --bench path/to/klsm_bench
+
+The --bench mode runs the ISSUE's acceptance commands end to end
+(--workload bnb / des --structure klsm,multiqueue --smoke --json-out -,
+plus a combined bnb,des invocation), validates their stdout, and then
+probes k-sensitivity: at k=16 vs k=4096 the k-LSM's expanded-node
+count (bnb) and causality-violation count (des) must measurably
+differ.  CTest invokes it so the wiring is covered by `ctest -L tier1`.
+"""
+
+import json
+import subprocess
+import sys
+
+BNB_COUNTERS = ("items", "capacity", "optimum", "best", "expanded",
+                "wasted_expansions", "pruned_pops", "pushed",
+                "failed_pops")
+DES_COUNTERS = ("lps", "population", "target_events", "committed",
+                "scheduled", "failed_pops", "violations", "lookahead",
+                "mean_delay", "max_lag", "virtual_time")
+
+
+def check_bnb(where, record):
+    block = record.get("bnb")
+    assert isinstance(block, dict), f"{where}: no bnb object"
+    for field in BNB_COUNTERS:
+        value = block.get(field)
+        assert isinstance(value, int) and value >= 0, \
+            f"{where}.bnb.{field} = {value!r} is not a non-negative " \
+            f"integer"
+    assert isinstance(block.get("match"), bool), \
+        f"{where}.bnb.match missing or not a bool"
+    assert block["match"] and block["best"] == block["optimum"], \
+        f"{where}: best {block['best']} != optimum {block['optimum']} " \
+        f"(relaxation may only waste work, never lose the optimum)"
+    assert block["wasted_expansions"] <= block["expanded"], \
+        f"{where}: more wasted expansions than expansions"
+    assert block["pushed"] == block["expanded"] + block["pruned_pops"], \
+        f"{where}: pushed {block['pushed']} != expanded + pruned_pops " \
+        f"{block['expanded'] + block['pruned_pops']} (drain leaked " \
+        f"subproblems)"
+    t_opt = block.get("time_to_optimum_s")
+    assert isinstance(t_opt, (int, float)) and t_opt >= 0, \
+        f"{where}.bnb.time_to_optimum_s = {t_opt!r} (never reached " \
+        f"the optimum?)"
+    # The record-level scalars mirror the block (the block is printed
+    # at lower float precision, so the time check is approximate).
+    assert record.get("expanded") == block["expanded"], \
+        f"{where}: record.expanded disagrees with bnb.expanded"
+    rec_t = record.get("time_to_optimum_s")
+    assert isinstance(rec_t, (int, float)) and \
+        abs(rec_t - t_opt) <= 1e-4 + 1e-3 * max(rec_t, t_opt), \
+        f"{where}: record.time_to_optimum_s {rec_t} disagrees with " \
+        f"the block's {t_opt}"
+
+
+def check_des(where, record):
+    block = record.get("des")
+    assert isinstance(block, dict), f"{where}: no des object"
+    for field in DES_COUNTERS:
+        value = block.get(field)
+        assert isinstance(value, int) and value >= 0, \
+            f"{where}.des.{field} = {value!r} is not a non-negative " \
+            f"integer"
+    for field in ("violation_fraction", "budget"):
+        value = block.get(field)
+        assert isinstance(value, (int, float)) and 0 <= value <= 1, \
+            f"{where}.des.{field} = {value!r} outside [0, 1]"
+    assert isinstance(block.get("budget_ok"), bool), \
+        f"{where}.des.budget_ok missing or not a bool"
+    assert block["committed"] >= block["target_events"], \
+        f"{where}: committed {block['committed']} below the " \
+        f"target {block['target_events']}"
+    assert block["violations"] <= block["committed"], \
+        f"{where}: more violations than commits"
+    frac = block["violations"] / block["committed"]
+    assert abs(block["violation_fraction"] - frac) < 1e-6, \
+        f"{where}: violation_fraction {block['violation_fraction']} " \
+        f"!= violations/committed {frac}"
+    assert block["budget_ok"] == (
+        block["violation_fraction"] <= block["budget"]), \
+        f"{where}: budget_ok disagrees with fraction <= budget"
+    if block["violations"] > 0:
+        assert block["max_lag"] > 0, \
+            f"{where}: violations recorded but max_lag is zero"
+    eps = record.get("events_per_sec")
+    assert isinstance(eps, (int, float)) and eps > 0, \
+        f"{where}: events_per_sec = {eps!r}"
+
+
+def check_report(report, path, expect=None):
+    """Validate every record; returns {workload: count} checked."""
+    workloads = report.get("benchmark", "").split(",")
+    if expect is not None:
+        assert workloads == expect, \
+            f"{path}: benchmark meta {report.get('benchmark')!r}, " \
+            f"expected {','.join(expect)!r}"
+    checked = {}
+    for record in report.get("records", []):
+        wl = record.get("workload")
+        assert wl in workloads, \
+            f"{path}: record workload {wl!r} not in the meta's " \
+            f"selection {workloads}"
+        where = f"{path}:{record.get('structure', '?')}:{wl}"
+        if wl == "bnb":
+            check_bnb(where, record)
+        elif wl == "des":
+            check_des(where, record)
+        checked[wl] = checked.get(wl, 0) + 1
+    for wl in ("bnb", "des"):
+        if wl in workloads:
+            assert checked.get(wl), f"{path}: no {wl} records"
+    return checked
+
+
+def run_bench(bench, *extra):
+    cmd = [bench, "--smoke", "--json-out", "-", *extra]
+    out = subprocess.run(cmd, stdout=subprocess.PIPE,
+                         stderr=subprocess.DEVNULL, check=True)
+    return json.loads(out.stdout)
+
+
+def klsm_block(report, workload):
+    for record in report["records"]:
+        if (record.get("structure") == "klsm"
+                and record.get("workload") == workload):
+            return record[workload]
+    raise AssertionError(f"no klsm {workload} record")
+
+
+def probe_k_sensitivity(bench):
+    """Relaxation must be visible: at k=4096 the klsm must expand more
+    bnb nodes and commit more des violations than at k=16.  Individual
+    seeds can be noisy (the container has one CPU and scheduling
+    quanta drive the interleaving), so several seeds are tried and the
+    direction only has to hold for one — but equality across *all*
+    seeds means k is not wired through, which is the bug this guards.
+    """
+    for seed in (1, 7, 13):
+        tight = run_bench(bench, "--workload", "bnb,des", "--structure",
+                          "klsm", "--k", "16", "--seed", str(seed))
+        loose = run_bench(bench, "--workload", "bnb,des", "--structure",
+                          "klsm", "--k", "4096", "--seed", str(seed))
+        bnb_t = klsm_block(tight, "bnb")["expanded"]
+        bnb_l = klsm_block(loose, "bnb")["expanded"]
+        des_t = klsm_block(tight, "des")["violation_fraction"]
+        des_l = klsm_block(loose, "des")["violation_fraction"]
+        print(f"  seed {seed}: bnb expanded {bnb_t} -> {bnb_l}, "
+              f"des violation fraction {des_t:.4f} -> {des_l:.4f}")
+        if bnb_l > bnb_t and des_l > des_t:
+            return
+    raise AssertionError(
+        "k=16 and k=4096 are indistinguishable across every probe "
+        "seed: relaxation is not reaching the workloads")
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--bench":
+        bench = argv[1]
+        for selection in ("bnb", "des"):
+            report = run_bench(bench, "--workload", selection,
+                               "--structure", "klsm,multiqueue")
+            check_report(report, f"<{selection} stdout>",
+                         expect=[selection])
+        combined = run_bench(bench, "--workload", "bnb,des",
+                             "--structure", "klsm")
+        checked = check_report(combined, "<bnb,des stdout>",
+                               expect=["bnb", "des"])
+        print(f"workload schema OK: acceptance runs, combined "
+              f"{checked}")
+        probe_k_sensitivity(bench)
+        print("workload schema OK: k-sensitivity probe")
+        return 0
+    if not argv:
+        print(__doc__)
+        return 2
+    for path in argv:
+        with open(path) as f:
+            report = json.load(f)
+        checked = check_report(report, path)
+        print(f"workload schema OK: {path} ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,15 @@ candidate regresses beyond the configured thresholds:
     coordinated-omission-correct distribution) growing past the latency
     thresholds, and the `slo` verdict flipping pass -> fail (a flip is
     always a regression; both sides already failing only warns);
+  * bnb workload: the search-quality scalars — time_to_optimum_s and
+    the expanded-node count — growing by more than --search-tolerance
+    (default 1.0: search-order noise is large, so only a blowup past
+    2x trips the gate), and the `match` verdict flipping true -> false
+    (always a regression: relaxation may waste work but must never
+    lose the optimum);
+  * des workload: events_per_sec dropping like throughput (enforcing),
+    and the `budget_ok` verdict flipping true -> false (a flip is
+    always a regression; both sides already over budget only warns);
   * churn workload: ops_per_sec like throughput, plus the
     `memory_timeline` footprint — rss_high_water_bytes growing by more
     than --rss-tolerance (default 0.5) is an enforcing regression when
@@ -56,9 +65,9 @@ other *within* it instead of diffing a baseline against a candidate:
 records are paired on (pin, threads) between the two structures named
 by --h2h (default klsm,multiqueue — the paper's queue vs the
 engineered-MultiQueue rival), and each pair prints a relative verdict:
-ops_per_sec ratio for throughput/churn/service, time_s for sssp, and
-mean/max rank error (with each side's rho bound when present) for
-quality.  The mode is informational — it exits nonzero only when the
+ops_per_sec ratio for throughput/churn/service/des, time_s for sssp,
+expanded nodes for bnb, and mean/max rank error (with each side's rho
+bound when present) for quality.  The mode is informational — it exits nonzero only when the
 report contains no matchable pairs, never on a losing ratio.
 
 The latency schema (README "Latency metrics"): percentiles are
@@ -176,8 +185,11 @@ def load_report(path):
 
 
 def record_key(report, record):
+    # Records carry their own workload name since the registry allowed
+    # comma selections ("bnb,des"); fall back to the report meta for
+    # reports predating the field.
     return (
-        report.get("benchmark", "?"),
+        record.get("workload", report.get("benchmark", "?")),
         record.get("structure", "?"),
         record.get("pin", "?"),
         record.get("threads", "?"),
@@ -370,6 +382,61 @@ def compare_churn(findings, key, base_record, cand_record, args):
             f"tolerance {cand_tl.get('plateau_tolerance', 0):.2f})"))
 
 
+def compare_bnb(findings, key, base_record, cand_record, args):
+    """Branch-and-bound comparison: the search-quality scalars under
+    the loose --search-tolerance (relaxed pop order makes expansion
+    counts noisy run to run), and the optimum-match verdict, which is
+    binary and always enforcing."""
+    base_t = base_record.get("time_to_optimum_s")
+    cand_t = cand_record.get("time_to_optimum_s")
+    if base_t is not None and cand_t is not None \
+            and base_t >= 0 and cand_t >= 0:
+        # 10ms floor: smoke instances reach the optimum in microseconds
+        # and scheduler jitter alone is a multiple of that.
+        compare_metric(findings, key, "time_to_optimum_s",
+                       base_t * 1e9, cand_t * 1e9,
+                       args.search_tolerance, True, "ns", floor=1e7)
+    base_bnb = base_record.get("bnb") or {}
+    cand_bnb = cand_record.get("bnb") or {}
+    compare_metric(findings, key, "expanded",
+                   base_record.get("expanded", base_bnb.get("expanded")),
+                   cand_record.get("expanded", cand_bnb.get("expanded")),
+                   args.search_tolerance, True, "rank")
+    if base_bnb.get("match") and cand_bnb.get("match") is False:
+        findings.append((
+            "regression",
+            f"{fmt_key(key)} match: verdict flipped true -> FALSE "
+            f"(best {cand_bnb.get('best')} != optimum "
+            f"{cand_bnb.get('optimum')} — the search lost the optimum)"))
+
+
+def compare_des(findings, key, base_record, cand_record, args):
+    """Discrete-event-simulation comparison: commit rate enforces like
+    throughput, and the violation-budget verdict enforces like an SLO
+    flip — the workload's contract is 'events/sec at a fixed
+    causality-violation budget', so losing either side regresses."""
+    compare_metric(findings, key, "events_per_sec",
+                   base_record.get("events_per_sec"),
+                   cand_record.get("events_per_sec"),
+                   args.throughput_tolerance, False, "ops/s")
+    base_des = base_record.get("des") or {}
+    cand_des = cand_record.get("des") or {}
+    if "budget_ok" not in base_des or "budget_ok" not in cand_des:
+        return
+    if base_des["budget_ok"] and not cand_des["budget_ok"]:
+        findings.append((
+            "regression",
+            f"{fmt_key(key)} budget: verdict flipped ok -> OVER "
+            f"(violation fraction "
+            f"{cand_des.get('violation_fraction', 0):.4f} > budget "
+            f"{cand_des.get('budget', 0):.4f})"))
+    elif not base_des["budget_ok"] and not cand_des["budget_ok"]:
+        findings.append((
+            "warn",
+            f"{fmt_key(key)} budget: over on both sides (baseline was "
+            f"already over budget)"))
+
+
 def timeseries_phase_rates(ts, column="ops", phases=4):
     """Difference a timeseries' cumulative counter column into
     per-interval rates and average them over `phases` equal time
@@ -468,6 +535,10 @@ def compare_reports(base, cand, args):
         elif benchmark == "churn":
             compare_churn(findings, key, base_record, cand_record,
                           args)
+        elif benchmark == "bnb":
+            compare_bnb(findings, key, base_record, cand_record, args)
+        elif benchmark == "des":
+            compare_des(findings, key, base_record, cand_record, args)
         compare_timeseries(findings, key, base_record, cand_record,
                            args)
         base_lat = base_record.get("latency")
@@ -551,7 +622,8 @@ def head_to_head(report, left, right):
     by_struct = {}
     for record in report.get("records", []):
         by_struct.setdefault(record.get("structure", "?"), {})[
-            (record.get("pin", "?"), record.get("threads", "?"))] = record
+            (record.get("workload", benchmark), record.get("pin", "?"),
+             record.get("threads", "?"))] = record
     left_recs = by_struct.get(left, {})
     right_recs = by_struct.get(right, {})
     lines = []
@@ -568,17 +640,21 @@ def head_to_head(report, left, right):
             f"ahead)")
 
     for key in sorted(left_recs.keys() & right_recs.keys(),
-                      key=lambda k: (str(k[0]), str(k[1]))):
+                      key=lambda k: tuple(str(part) for part in k)):
         a, b = left_recs[key], right_recs[key]
-        pin, threads = key
-        label = f"{benchmark} pin={pin}/t={threads}"
-        if benchmark == "sssp":
+        workload, pin, threads = key
+        label = f"{workload} pin={pin}/t={threads}"
+        if workload == "sssp":
             va, vb = a.get("time_s"), b.get("time_s")
             if va is not None and vb:
                 ratio_line(label, "time_s",
                            {"time_s": va * 1e9}, {"time_s": vb * 1e9},
                            "ns", True)
-        elif benchmark == "quality":
+        elif workload == "bnb":
+            # Search quality: fewer expansions and a faster route to
+            # the optimum both mean a tighter pop order.
+            ratio_line(label, "expanded", a, b, "rank", True)
+        elif workload == "quality":
             # Rank error: lower is better; each side's bound (when the
             # record carries one) contextualizes how much of the
             # relaxation budget was actually spent.
@@ -819,6 +895,89 @@ def self_test(args_factory):
                           _churn_report(1e6, 100 << 20,
                                         plateau_ok=False), args), True)
 
+    # bnb records: the search scalars only regress past the loose
+    # --search-tolerance, and losing the optimum is always a
+    # regression.  Records carry their own `workload` field, so a
+    # combined "bnb,des" report keys each record by its workload.
+    def _bnb_report(expanded, t_opt, match=True, benchmark="bnb"):
+        record = {"workload": "bnb", "structure": "klsm",
+                  "pin": "none", "threads": 2,
+                  "expanded": expanded, "time_to_optimum_s": t_opt,
+                  "ops_per_sec": 1e6,
+                  "bnb": {"items": 30, "capacity": 7000,
+                          "optimum": 5000,
+                          "best": 5000 if match else 4990,
+                          "match": match, "expanded": expanded,
+                          "wasted_expansions": expanded // 2,
+                          "pruned_pops": 100, "pushed": expanded + 100,
+                          "failed_pops": 0,
+                          "time_to_optimum_s": t_opt}}
+        return {"benchmark": benchmark, "records": [record]}
+
+    bnb_base = _bnb_report(1000, 0.1)
+    check("bnb self-comparison is clean",
+          compare_reports(bnb_base, bnb_base, args), False)
+    check("3x expanded nodes regresses",
+          compare_reports(bnb_base, _bnb_report(3000, 0.1), args), True)
+    check("expanded growth within search tolerance is clean",
+          compare_reports(bnb_base, _bnb_report(1800, 0.1), args),
+          False)
+    check("3x time-to-optimum regresses",
+          compare_reports(bnb_base, _bnb_report(1000, 0.3), args), True)
+    check("match true -> false flip regresses",
+          compare_reports(bnb_base, _bnb_report(1000, 0.1, match=False),
+                          args), True)
+
+    # des records: commit rate enforces like throughput; the violation
+    # budget flipping ok -> over is a regression on its own.
+    def _des_report(events_per_sec, budget_ok=True,
+                    benchmark="des"):
+        record = {"workload": "des", "structure": "klsm",
+                  "pin": "none", "threads": 2,
+                  "ops_per_sec": events_per_sec,
+                  "events_per_sec": events_per_sec,
+                  "des": {"lps": 256, "population": 8192,
+                          "target_events": 200000,
+                          "committed": 200000, "scheduled": 200000,
+                          "failed_pops": 0,
+                          "violations": 1000 if budget_ok else 80000,
+                          "violation_fraction":
+                              0.005 if budget_ok else 0.4,
+                          "lookahead": 0, "mean_delay": 64,
+                          "budget": 0.15, "budget_ok": budget_ok,
+                          "max_lag": 100, "virtual_time": 10 ** 7}}
+        return {"benchmark": benchmark, "records": [record]}
+
+    des_base = _des_report(1e6)
+    check("des self-comparison is clean",
+          compare_reports(des_base, des_base, args), False)
+    check("halved events/sec regresses",
+          compare_reports(des_base, _des_report(0.5e6), args), True)
+    check("budget ok -> over flip regresses",
+          compare_reports(des_base, _des_report(1e6, budget_ok=False),
+                          args), True)
+    des_fail = _des_report(1e6, budget_ok=False)
+    findings = compare_reports(des_fail, des_fail, args)
+    check("budget over on both sides does not regress", findings, False)
+    if not any(s == "warn" for s, _ in findings):
+        print("self-test FAIL: both-sides budget failure produced no "
+              "warning")
+        failures.append("des-both-over-warning")
+
+    # Combined-selection keying: a "bnb,des" report pairs each record
+    # with its same-workload twin, so a des rate collapse is found even
+    # though the report-level benchmark string matches neither record.
+    combined_base = {"benchmark": "bnb,des",
+                     "records": [_bnb_report(1000, 0.1)["records"][0],
+                                 _des_report(1e6)["records"][0]]}
+    combined_slow = {"benchmark": "bnb,des",
+                     "records": [_bnb_report(1000, 0.1)["records"][0],
+                                 _des_report(0.4e6)["records"][0]]}
+    check("combined bnb,des reports key records by workload",
+          compare_reports(combined_base, combined_slow, args), True)
+    check("combined bnb,des self-comparison is clean",
+          compare_reports(combined_base, combined_base, args), False)
+
     # Timeseries phase gate: cumulative-ops series differenced into
     # per-phase rates; a collapse confined to one quarter of the run
     # regresses even though the run-wide ops_per_sec mean barely moves,
@@ -1016,6 +1175,11 @@ def build_parser():
                         help="allowed fractional per-phase ops-rate "
                              "drop in the `timeseries` comparison "
                              "(records lacking a timeseries skip it)")
+    parser.add_argument("--search-tolerance", type=float, default=1.0,
+                        help="allowed fractional growth of the bnb "
+                             "search scalars (time_to_optimum_s and "
+                             "expanded nodes) — loose because relaxed "
+                             "pop order makes them noisy run to run")
     parser.add_argument("--rss-tolerance", type=float, default=0.5,
                         help="allowed fractional growth of the churn "
                              "soak's RSS high-water mark (enforced only "

@@ -5,16 +5,17 @@
 # can upload them as workflow artifacts.
 #
 #   scripts/smoke.sh [build-dir] [report-dir] \
-#       [--memory-only|--service-only|--soak-only]
+#       [--memory-only|--service-only|--soak-only|--workloads-only]
 #   (defaults: build, <build-dir>/smoke-reports)
 #
 # --memory-only runs the memory-placement section instead — what the CI
 # `memory-placement` job invokes (in parallel with the smoke job), so
 # the sweep and its schema validator have exactly one definition and
 # run exactly once per pipeline.  --service-only does the same for the
-# open-loop service section (the CI `service-smoke` job), and
-# --soak-only for the churn/reclamation section (the CI `soak-smoke`
-# job).
+# open-loop service section (the CI `service-smoke` job), --soak-only
+# for the churn/reclamation section (the CI `soak-smoke` job), and
+# --workloads-only for the bnb/des application workloads (the CI
+# `workload-smoke` job).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -246,6 +247,72 @@ soak_section() {
     fi
 }
 
+# Application-workload schema (README "Application workloads"): every
+# record of a --workload bnb/des report must carry the full `bnb`/`des`
+# accounting block with match/budget verdicts intact.  The field-level
+# checks live in scripts/check_workload_schema.py so the CTest wiring
+# test and the CI workload-smoke job validate against the same
+# definition.
+check_workloads() {
+    command -v python3 > /dev/null || return 0
+    python3 "$(dirname "$0")/check_workload_schema.py" "$1" > /dev/null
+}
+
+# Application workloads: branch-and-bound and discrete-event
+# simulation through the registry.  Run ONLY via --workloads-only (the
+# dedicated CI workload-smoke job), mirroring the other sections'
+# split.
+workloads_section() {
+    echo "== application workloads: bnb + des =="
+    # The ISSUE's acceptance shapes: each workload through the paper's
+    # queue and the engineered rival.
+    local json
+    for w in bnb des; do
+        json="$REPORT_DIR/workload-$w.json"
+        "$BUILD_DIR/bench/klsm_bench" --workload "$w" \
+            --structure klsm,multiqueue --smoke \
+            --json-out "$json" > /dev/null
+        check_json "$json"
+        check_workloads "$json"
+        check_latency "$json"
+        echo "smoke OK: workload $w"
+    done
+    # Combined selection: one report, records attributed per workload.
+    json="$REPORT_DIR/workload-combined.json"
+    "$BUILD_DIR/bench/klsm_bench" --workload bnb,des \
+        --structure klsm,heap --threads 1,2 --smoke \
+        --json-out "$json" > /dev/null
+    check_json "$json"
+    check_workloads "$json"
+    echo "smoke OK: workload bnb,des combined"
+    # Adaptive k through both searches: the controller must move k and
+    # emit the full adaptation schema while the workloads run.
+    for w in bnb des; do
+        json="$REPORT_DIR/workload-adaptive-$w.json"
+        "$BUILD_DIR/bench/klsm_bench" --smoke --workload "$w" \
+            --structure klsm --threads 2 --adaptive \
+            --k-min 16 --k-max 4096 --json-out "$json" > /dev/null
+        check_json "$json"
+        check_adaptation "$json"
+        check_workloads "$json"
+        echo "smoke OK: adaptive $w"
+    done
+    if command -v python3 > /dev/null; then
+        # Identity diff through compare_bench's bnb/des paths: the
+        # match/budget verdict machinery must hold on a self-compare.
+        python3 "$(dirname "$0")/compare_bench.py" \
+            "$REPORT_DIR/workload-combined.json" \
+            "$REPORT_DIR/workload-combined.json" > /dev/null
+        echo "smoke OK: workload self-diff clean"
+        # klsm vs multiqueue head-to-head inside each report.
+        python3 "$(dirname "$0")/compare_bench.py" --head-to-head \
+            "$REPORT_DIR/workload-bnb.json" > /dev/null
+        python3 "$(dirname "$0")/compare_bench.py" --head-to-head \
+            "$REPORT_DIR/workload-des.json" > /dev/null
+        echo "smoke OK: workload head-to-head"
+    fi
+}
+
 if [[ "$MODE" == "--memory-only" ]]; then
     memory_section
     echo "memory placement stage passed (reports in $REPORT_DIR)"
@@ -259,6 +326,11 @@ fi
 if [[ "$MODE" == "--soak-only" ]]; then
     soak_section
     echo "soak stage passed (reports in $REPORT_DIR)"
+    exit 0
+fi
+if [[ "$MODE" == "--workloads-only" ]]; then
+    workloads_section
+    echo "workloads stage passed (reports in $REPORT_DIR)"
     exit 0
 fi
 

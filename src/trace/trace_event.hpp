@@ -64,8 +64,15 @@ enum class kind : std::uint16_t {
     /// One benchmark record's measurement window (span; a = record
     /// index within the invocation's sweep).
     bench_record,
+    /// Branch-and-bound expanded a live subproblem node (instant;
+    /// a = depth, b = the node's upper bound, saturating).
+    bnb_expand,
+    /// Discrete-event simulation committed an event (instant; a = the
+    /// logical process, b = commit lag in virtual time — how far the
+    /// LP's clock was already past the event's timestamp, saturating).
+    des_commit,
 };
-inline constexpr std::uint16_t kind_count = 16;
+inline constexpr std::uint16_t kind_count = 17;
 
 /// Two words: 8-byte timestamp + 8-byte payload.
 struct trace_event {
@@ -102,6 +109,8 @@ inline constexpr kind_info kind_table[kind_count] = {
     {"service.late", "service", false, "", "lateness_ns"},
     {"service.slo_violation", "service", false, "", "p99_us"},
     {"bench.record", "bench", true, "record", nullptr},
+    {"bnb.expand", "workload", false, "depth", "bound"},
+    {"des.commit", "workload", false, "lp", "lag"},
 };
 
 inline const kind_info &info(std::uint16_t k) {

@@ -3,7 +3,15 @@
 // Minimal command-line flag parser shared by the benchmark binaries.
 // Flags look like `--threads 4` or `--threads=4`; unrecognized flags abort
 // with a usage message so typos in experiment scripts fail loudly.
+//
+// Flags can be organised into named groups (`begin_group`): `--help`
+// prints one section per group, which is how klsm_bench shows each
+// workload's flags under its own heading.  Re-registering a flag name
+// exits immediately — with many workloads contributing flags to one
+// parser, a silent collision would leave one of them reading the
+// other's value.
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
@@ -22,8 +30,41 @@ public:
 
     void add_flag(const std::string &name, const std::string &default_value,
                   const std::string &help) {
+        if (values_.count(name)) {
+            std::cerr << "internal error: flag --" << name
+                      << " registered twice\n";
+            std::exit(2);
+        }
         values_[name] = default_value;
-        help_.emplace_back(name, help + " (default: " + default_value + ")");
+        help_.push_back({name, help + " (default: " + default_value + ")",
+                         current_group_});
+    }
+
+    /// Flags added after this call belong to `title`; `usage()` prints
+    /// one section per group in first-registration order.  Flags added
+    /// before any begin_group() render first, unheaded.
+    void begin_group(const std::string &title) { current_group_ = title; }
+
+    /// Names of the flags registered under `title`, in registration
+    /// order.  Lets tests assert that a workload's flags stay inside
+    /// its own group.
+    std::vector<std::string> group_flags(const std::string &title) const {
+        std::vector<std::string> out;
+        for (const auto &e : help_)
+            if (e.group == title)
+                out.push_back(e.name);
+        return out;
+    }
+
+    /// Group titles in first-registration order (the unheaded group is
+    /// the empty string and is omitted).
+    std::vector<std::string> groups() const {
+        std::vector<std::string> out;
+        for (const auto &e : help_)
+            if (!e.group.empty() &&
+                std::find(out.begin(), out.end(), e.group) == out.end())
+                out.push_back(e.group);
+        return out;
     }
 
     /// A boolean flag: bare `--name` means true; `--name=false` and
@@ -164,14 +205,36 @@ private:
 
     void usage(const char *prog) const {
         std::cerr << description_ << "\n\nusage: " << prog << " [flags]\n";
-        for (const auto &[name, help] : help_)
-            std::cerr << "  --" << name << "  " << help << "\n";
+        // One pass per group keeps each group's flags contiguous even
+        // if registration interleaved; groups print in first-seen
+        // order, the unheaded group first.
+        std::vector<std::string> order{""};
+        for (const auto &g : groups())
+            order.push_back(g);
+        for (const auto &group : order) {
+            bool any = false;
+            for (const auto &e : help_) {
+                if (e.group != group)
+                    continue;
+                if (!any && !group.empty())
+                    std::cerr << "\n" << group << ":\n";
+                any = true;
+                std::cerr << "  --" << e.name << "  " << e.help << "\n";
+            }
+        }
     }
 
+    struct flag_help {
+        std::string name;
+        std::string help;
+        std::string group;
+    };
+
     std::string description_;
+    std::string current_group_;
     std::map<std::string, std::string> values_;
     std::set<std::string> bool_flags_;
-    std::vector<std::pair<std::string, std::string>> help_;
+    std::vector<flag_help> help_;
 };
 
 } // namespace klsm

@@ -1,0 +1,140 @@
+// Branch-and-bound workload (src/workloads/bnb.hpp): subproblem
+// packing, instance generation/finalization against the DP reference,
+// and — the point of the workload — that every structure, exact or
+// relaxed, still terminates at the true optimum.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "baselines/multiqueue.hpp"
+#include "baselines/spin_heap.hpp"
+#include "klsm/k_lsm.hpp"
+#include "workloads/bnb.hpp"
+
+namespace {
+
+using namespace klsm::workloads;
+
+TEST(BnbPacking, RoundTripsAllFields) {
+    bnb_subproblem sp;
+    sp.depth = 1234;
+    sp.remaining = bnb_field_cap - 1;
+    sp.value = bnb_field_cap - 2;
+    const auto back = unpack_subproblem(pack_subproblem(sp));
+    EXPECT_EQ(back.depth, sp.depth);
+    EXPECT_EQ(back.remaining, sp.remaining);
+    EXPECT_EQ(back.value, sp.value);
+
+    const bnb_subproblem zero;
+    const auto zback = unpack_subproblem(pack_subproblem(zero));
+    EXPECT_EQ(zback.depth, 0u);
+    EXPECT_EQ(zback.remaining, 0u);
+    EXPECT_EQ(zback.value, 0u);
+}
+
+TEST(BnbInstance, HandBuiltOptimumMatchesDp) {
+    // capacity 5: {w2 v3, w3 v4} fit together for 7; any single item
+    // is worse, {w2,w4}=6 exceeds nothing better.
+    knapsack_instance ks;
+    ks.weight = {2, 3, 4, 5};
+    ks.value = {3, 4, 5, 6};
+    ks.capacity = 5;
+    finalize_instance(ks);
+    EXPECT_EQ(ks.optimum, 7u);
+    // Density order is a permutation of all items.
+    ASSERT_EQ(ks.order.size(), 4u);
+    std::uint32_t mask = 0;
+    for (const auto i : ks.order)
+        mask |= 1u << i;
+    EXPECT_EQ(mask, 0b1111u);
+}
+
+TEST(BnbInstance, FinalizeRejectsUnpackableInstances) {
+    knapsack_instance ks;
+    ks.weight = {1};
+    ks.value = {1};
+    ks.capacity = bnb_field_cap; // does not fit the 24-bit field
+    EXPECT_THROW(finalize_instance(ks), std::invalid_argument);
+}
+
+TEST(BnbInstance, GenerationIsDeterministic) {
+    const auto a = make_knapsack(20, 42);
+    const auto b = make_knapsack(20, 42);
+    const auto c = make_knapsack(20, 43);
+    EXPECT_EQ(a.weight, b.weight);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.optimum, b.optimum);
+    EXPECT_NE(a.weight, c.weight);
+}
+
+TEST(BnbInstance, BoundIsAdmissibleAtRoot) {
+    const auto ks = make_knapsack(24, 7);
+    const bnb_subproblem root{0, ks.capacity, 0};
+    EXPECT_GT(knapsack_upper_bound(ks, root), ks.optimum);
+}
+
+// The search must reach the DP optimum no matter how relaxed the pop
+// order is — relaxation may only cost wasted expansions.
+template <typename PQ>
+void expect_finds_optimum(PQ &q, const knapsack_instance &ks,
+                          unsigned threads, std::uint32_t seed_depth) {
+    bnb_params params;
+    params.threads = threads;
+    params.seed_frontier_depth = seed_depth;
+    const auto res = run_bnb(q, ks, params);
+    EXPECT_EQ(res.best, ks.optimum);
+    EXPECT_GE(res.time_to_optimum_s, 0.0);
+    EXPECT_GE(res.expanded, 1u);
+    EXPECT_LE(res.wasted_expansions, res.expanded);
+    // Drained: every pushed subproblem was popped (expanded or pruned),
+    // plus the leaf completions that were never re-inserted.
+    EXPECT_EQ(res.pushed, res.expanded + res.pruned_pops);
+}
+
+TEST(BnbSearch, ExactHeapFindsOptimum) {
+    const auto ks = make_knapsack(22, 3);
+    klsm::spin_heap<std::uint64_t, std::uint64_t> q;
+    expect_finds_optimum(q, ks, 2, 0);
+}
+
+TEST(BnbSearch, KlsmTightFindsOptimum) {
+    const auto ks = make_knapsack(24, 5);
+    klsm::k_lsm<std::uint64_t, std::uint64_t> q{16};
+    expect_finds_optimum(q, ks, 4, 8);
+}
+
+TEST(BnbSearch, KlsmHeavilyRelaxedFindsOptimum) {
+    const auto ks = make_knapsack(24, 5);
+    klsm::k_lsm<std::uint64_t, std::uint64_t> q{4096};
+    expect_finds_optimum(q, ks, 4, 8);
+}
+
+TEST(BnbSearch, MultiqueueFindsOptimum) {
+    const auto ks = make_knapsack(22, 11);
+    klsm::multiqueue<std::uint64_t, std::uint64_t> q{4};
+    expect_finds_optimum(q, ks, 4, 8);
+}
+
+TEST(BnbSearch, SingleThreadRootOnlySeed) {
+    const auto ks = make_knapsack(18, 9);
+    klsm::k_lsm<std::uint64_t, std::uint64_t> q{64};
+    expect_finds_optimum(q, ks, 1, 0);
+}
+
+TEST(BnbSearch, NothingFitsMeansEmptyOptimum) {
+    knapsack_instance ks;
+    ks.weight = {10, 11};
+    ks.value = {5, 6};
+    ks.capacity = 4;
+    finalize_instance(ks);
+    ASSERT_EQ(ks.optimum, 0u);
+    klsm::spin_heap<std::uint64_t, std::uint64_t> q;
+    bnb_params params;
+    params.threads = 1;
+    const auto res = run_bnb(q, ks, params);
+    EXPECT_EQ(res.best, 0u);
+    EXPECT_GE(res.time_to_optimum_s, 0.0);
+}
+
+} // namespace
